@@ -1,0 +1,98 @@
+"""EXT-DIST — distributed scheduler scaling (future-work extension).
+
+Not a paper figure: §VI states "future work will focus on distributing
+our scheduler based on [46]" (DtCraft).  This bench records how the
+two evaluation workloads behave when their task graphs are partitioned
+across cluster nodes: the view-parallel timing workload scales
+near-linearly, the iteration-chained placement workload does not —
+distribution has the same structural limits as intra-node scaling.
+"""
+
+import pytest
+
+from repro.apps.placement import build_placement_flow
+from repro.apps.timing import build_timing_flow
+from repro.dist import ClusterSpec, DistSimExecutor
+from repro.sim import paper_testbed
+
+from conftest import record_table
+
+NODES = (1, 2, 4, 8)
+
+
+@pytest.fixture(scope="module")
+def tflow():
+    return build_timing_flow(num_views=256, num_gates=40, paths_per_view=4)
+
+
+@pytest.fixture(scope="module")
+def pflow():
+    return build_placement_flow(num_cells=30, iterations=20, num_matchers=32, window_size=1)
+
+
+def test_ext_dist_scaling(tflow, pflow, benchmark):
+    def sweep():
+        out = {}
+        for name, flow in (("timing", tflow), ("placement", pflow)):
+            for nn in NODES:
+                cl = ClusterSpec(nn, paper_testbed(10, 1))
+                rep = DistSimExecutor(cl, flow.cost_model).run(flow.graph)
+                out[(name, nn)] = rep
+        return out
+
+    res = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    rows = []
+    for name in ("timing", "placement"):
+        base = res[(name, 1)].makespan
+        for nn in NODES:
+            r = res[(name, nn)]
+            rows.append(
+                (
+                    name,
+                    nn,
+                    r.makespan,
+                    base / r.makespan,
+                    r.messages,
+                    r.partition.cut_fraction,
+                )
+            )
+    record_table(
+        "EXT-DIST: distributed scheduling over N nodes (10 cores + 1 GPU each)",
+        ["workload", "nodes", "sim_s", "speedup", "messages", "cut_frac"],
+        rows,
+        notes="extension of paper SVI future work (DtCraft-based distribution); "
+        "view-parallel timing scales, iteration-chained placement does not",
+    )
+
+    # 1 node: no messages, matches the local simulator exactly
+    assert res[("timing", 1)].messages == 0
+    # timing scales: >= 2.8x at 4 nodes, >= 4.5x at 8
+    t = {nn: res[("timing", nn)].makespan for nn in NODES}
+    assert t[1] / t[4] > 2.8
+    assert t[1] / t[8] > 4.5
+    # placement is chain-bound: < 1.5x at 8 nodes
+    p = {nn: res[("placement", nn)].makespan for nn in NODES}
+    assert p[1] / p[8] < 1.5
+    # partitioner keeps cuts modest on the parallel workload
+    assert res[("timing", 8)].partition.cut_fraction < 0.25
+
+
+def test_ext_dist_network_sensitivity(tflow, benchmark):
+    """Makespan degrades gracefully as the fabric slows down."""
+
+    def sweep():
+        out = {}
+        for bw in (25e9, 3.1e9, 0.125e9):  # 200GbE, 25GbE, 1GbE
+            cl = ClusterSpec(4, paper_testbed(10, 1), net_bandwidth=bw)
+            out[bw] = DistSimExecutor(cl, tflow.cost_model).run(tflow.graph).makespan
+        return out
+
+    res = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    record_table(
+        "EXT-DIST-NET: 4-node timing makespan vs fabric bandwidth",
+        ["bandwidth_GBps", "sim_s"],
+        [(bw / 1e9, s) for bw, s in sorted(res.items(), reverse=True)],
+    )
+    ordered = [res[bw] for bw in sorted(res, reverse=True)]
+    assert ordered[0] <= ordered[1] <= ordered[2]

@@ -1,0 +1,100 @@
+"""EXT-INC — incremental vs full STA (OpenTimer-2.0 capability).
+
+Not a paper figure, but the timing substrate's parent tool (OpenTimer
+2.0, paper refs [24]/[25]) is defined by incremental timing; this
+bench records the node-evaluation and wall-clock savings of cone
+repropagation over full recomputation under local edits.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.apps.timing import TimingGraph, generate_netlist, run_sta
+from repro.apps.timing.incremental import IncrementalTimer
+
+from conftest import record_table
+
+N_GATES = 3000
+N_EDITS = 20
+
+
+@pytest.fixture(scope="module")
+def tg():
+    return TimingGraph.from_netlist(generate_netlist(N_GATES, seed=13))
+
+
+@pytest.fixture(scope="module")
+def edits(tg):
+    rng = np.random.default_rng(13)
+    arcs = rng.choice(tg.num_arcs, size=N_EDITS, replace=False)
+    factors = rng.uniform(0.5, 2.0, size=N_EDITS)
+    return [(int(a), float(f)) for a, f in zip(arcs, factors)]
+
+
+def test_ext_incremental_vs_full(tg, edits, benchmark):
+    def measure():
+        # incremental: one timer, edit -> query
+        timer = IncrementalTimer(tg)
+        t0 = time.perf_counter()
+        for arc, factor in edits:
+            timer.scale_arc_delay(arc, factor)
+            timer.update_timing()
+        inc_s = time.perf_counter() - t0
+        inc_nodes = timer.total_propagations
+
+        # full: recompute after every edit
+        delays = tg.arc_delay.copy()
+        t0 = time.perf_counter()
+        for arc, factor in edits:
+            delays[arc] *= factor
+            edited = TimingGraph(
+                num_nodes=tg.num_nodes,
+                num_inputs=tg.num_inputs,
+                arc_src=tg.arc_src,
+                arc_dst=tg.arc_dst,
+                arc_delay=delays,
+                level_of=tg.level_of,
+                level_arcs=tg.level_arcs,
+                outputs=tg.outputs,
+            )
+            full = run_sta(edited, clock_period=timer.clock_period)
+        full_s = time.perf_counter() - t0
+        full_nodes = N_EDITS * tg.num_nodes
+
+        # consistency: final states agree
+        assert np.allclose(timer.arrival, full.arrival)
+        assert np.allclose(timer.required, full.required)
+        return inc_s, inc_nodes, full_s, full_nodes
+
+    inc_s, inc_nodes, full_s, full_nodes = benchmark.pedantic(
+        measure, rounds=1, iterations=1
+    )
+    record_table(
+        f"EXT-INC: incremental vs full STA ({N_GATES} gates, {N_EDITS} edits)",
+        ["method", "node_evals", "seconds"],
+        [
+            ("incremental", inc_nodes, inc_s),
+            ("full-recompute", full_nodes, full_s),
+        ],
+        notes=f"node-evaluation savings {full_nodes / max(inc_nodes, 1):.1f}x; "
+        "cone repropagation is the OpenTimer-2.0 capability the paper's "
+        "timing experiment builds on",
+    )
+    assert inc_nodes < full_nodes / 3  # cone << graph
+
+
+def test_ext_incremental_query_latency(tg, benchmark):
+    """Single edit + query latency on a warm timer."""
+    timer = IncrementalTimer(tg)
+    timer.update_timing()
+    arc = tg.num_arcs // 2
+    state = {"flip": False}
+
+    def edit_and_query():
+        state["flip"] = not state["flip"]
+        timer.scale_arc_delay(arc, 2.0 if state["flip"] else 0.5)
+        return timer.wns
+
+    benchmark(edit_and_query)

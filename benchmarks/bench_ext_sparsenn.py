@@ -1,0 +1,70 @@
+"""EXT-SNN — sparse-DNN inference scaling (future-work extension).
+
+Not a paper figure: §VI names sparse-NN inference ([47]/[48]) as the
+next workload for the runtime, so this bench records its scaling
+behaviour on the same virtual-time machine used for Fig. 6/9.  The
+expected shape (from ref [48]): throughput scales with GPUs (weight
+shards are independent), CPUs contribute only dispatch, and block
+pipelining hides the layer-chain latency.
+"""
+
+import numpy as np
+import pytest
+
+from repro.apps.sparsenn import build_inference_flow
+from repro.apps.sparsenn.flow import reference_categories
+from repro.core import Executor
+from repro.sim import SimExecutor, paper_testbed
+
+from conftest import record_table
+
+
+@pytest.fixture(scope="module")
+def flow():
+    return build_inference_flow(
+        width=64,
+        num_layers=24,
+        batch_size=64,
+        num_blocks=16,
+        num_shards=4,
+        paper_nnz_scale=2e4,
+    )
+
+
+def test_ext_snn_scaling(flow, benchmark):
+    def sweep():
+        out = {}
+        for cores, gpus in [(1, 1), (4, 1), (8, 1), (4, 2), (4, 4), (8, 4), (40, 4)]:
+            out[(cores, gpus)] = (
+                SimExecutor(paper_testbed(cores, gpus), flow.cost_model)
+                .run(flow.graph)
+                .makespan
+            )
+        return out
+
+    res = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    rows = [(c, g, res[(c, g)]) for (c, g) in sorted(res)]
+    record_table(
+        "EXT-SNN: sparse-DNN inference runtime (seconds) vs cores x GPUs",
+        ["cores", "gpus", "sim_s"],
+        rows,
+        notes="extension of paper SVI future work; shards scale with GPUs, "
+        "CPUs only dispatch",
+    )
+    # GPU-bound scaling: GPUs help superlinearly vs CPUs
+    assert res[(4, 4)] < res[(4, 2)] < res[(4, 1)]
+    assert res[(4, 2)] / res[(4, 4)] > 1.5
+    # extra CPUs beyond dispatch needs buy ~nothing
+    assert res[(8, 4)] / res[(40, 4)] < 1.15
+
+
+def test_ext_snn_functional_latency(benchmark):
+    """Wall-clock latency of a real inference on the threaded runtime."""
+    flow = build_inference_flow(
+        width=48, num_layers=6, batch_size=24, num_blocks=4, num_shards=2
+    )
+    with Executor(2, 2) as ex:
+        benchmark.pedantic(
+            lambda: ex.run(flow.graph).result(), rounds=3, iterations=1
+        )
+    assert np.array_equal(flow.categories, reference_categories(flow))

@@ -1,0 +1,63 @@
+"""FIG6b — timing-analysis runtime vs problem size (number of views).
+
+The lower half of Fig. 6: runtime against 32/64/128/256/512/1024
+views at fixed hardware points.  The paper's claim: "at any point,
+increasing the number of CPUs or GPUs can all reduce the runtime",
+and runtime grows with the view count.
+"""
+
+import pytest
+
+from repro.apps.timing import build_timing_flow
+from repro.sim import SimExecutor, paper_testbed
+
+from conftest import record_table
+
+VIEW_COUNTS = (32, 64, 128, 256, 512, 1024)
+HW_POINTS = ((8, 1), (8, 4), (40, 1), (40, 4))
+
+
+@pytest.fixture(scope="module")
+def flows():
+    return {
+        v: build_timing_flow(num_views=v, num_gates=60, paths_per_view=8)
+        for v in VIEW_COUNTS
+    }
+
+
+def test_fig6_views_sweep(flows, benchmark):
+    def sweep():
+        out = {}
+        for v, flow in flows.items():
+            for c, g in HW_POINTS:
+                out[(v, c, g)] = (
+                    SimExecutor(paper_testbed(c, g), flow.cost_model)
+                    .run(flow.graph)
+                    .makespan_minutes
+                )
+        return out
+
+    res = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    rows = [
+        (v, c, g, res[(v, c, g)]) for v in VIEW_COUNTS for (c, g) in HW_POINTS
+    ]
+    record_table(
+        "FIG6b: timing runtime (minutes) vs number of views",
+        ["views", "cores", "gpus", "sim_min"],
+        rows,
+        notes="paper claim: runtime grows with views; at any size, more CPUs "
+        "or GPUs reduce runtime",
+    )
+
+    # runtime grows with the view count at every hardware point
+    for c, g in HW_POINTS:
+        series = [res[(v, c, g)] for v in VIEW_COUNTS]
+        assert all(b > a for a, b in zip(series, series[1:]))
+    # near-linear growth at the largest machine (pipelined throughput)
+    big = [res[(v, 40, 4)] for v in VIEW_COUNTS]
+    assert 20 < big[-1] / big[0] < 40  # 32x more views -> ~32x time
+    # more hardware helps at every size
+    for v in VIEW_COUNTS:
+        assert res[(v, 40, 4)] <= res[(v, 8, 4)] + 1e-9
+        assert res[(v, 8, 4)] <= res[(v, 8, 1)] + 1e-9

@@ -1,0 +1,77 @@
+"""TAB-OVERHEAD — per-task scheduling overhead of the real runtime.
+
+The classic tasking-library microbenchmarks (Taskflow reports these):
+tasks-per-second throughput on empty host tasks across graph shapes,
+and the per-GPU-op overhead of the simulated substrate.  Run on real
+threads — on this 1-core/GIL box the absolute numbers characterize the
+Python runtime, not the paper's C++ one; the point is tracking
+regressions and documenting honest overheads.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import Executor, Heteroflow
+
+N_TASKS = 2000
+
+
+def build_wide():
+    hf = Heteroflow("wide")
+    for _ in range(N_TASKS):
+        hf.host(lambda: None)
+    return hf
+
+
+def build_chain():
+    hf = Heteroflow("chain")
+    prev = None
+    for _ in range(N_TASKS):
+        t = hf.host(lambda: None)
+        if prev is not None:
+            prev.precede(t)
+        prev = t
+    return hf
+
+
+def build_diamonds():
+    hf = Heteroflow("diamonds")
+    for _ in range(N_TASKS // 4):
+        a = hf.host(lambda: None)
+        b = hf.host(lambda: None)
+        c = hf.host(lambda: None)
+        d = hf.host(lambda: None)
+        a.precede(b, c)
+        d.succeed(b, c)
+    return hf
+
+
+@pytest.mark.parametrize(
+    "builder", [build_wide, build_chain, build_diamonds], ids=["wide", "chain", "diamond"]
+)
+def test_overhead_host_tasks(builder, benchmark):
+    hf = builder()
+    with Executor(2, 0) as ex:
+        result = benchmark.pedantic(
+            lambda: ex.run(hf).result(), rounds=3, iterations=1
+        )
+    assert result == 1
+
+
+def test_overhead_gpu_roundtrip(benchmark):
+    """Pull + kernel + push round-trip cost for a tiny payload."""
+    hf = Heteroflow()
+    data = np.zeros(16)
+    p = hf.pull(data)
+    k = hf.kernel(lambda a: None, p)
+    s = hf.push(p, data)
+    p.precede(k)
+    k.precede(s)
+    with Executor(1, 1) as ex:
+        benchmark.pedantic(lambda: ex.run(hf).result(), rounds=5, iterations=1)
+
+
+def test_overhead_graph_construction(benchmark):
+    """Task-creation throughput (nodes + edges per second)."""
+    hf = benchmark(build_diamonds)
+    assert hf.num_nodes == N_TASKS

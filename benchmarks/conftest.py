@@ -1,0 +1,62 @@
+"""Benchmark harness plumbing.
+
+Each bench module regenerates one paper artifact (table/figure series)
+and registers a human-readable table via :func:`record_table`; a
+``pytest_terminal_summary`` hook prints every table after the
+benchmark run (so the series survive pytest's output capture) and
+mirrors them into ``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, List, Sequence
+
+_TABLES: List[str] = []
+_RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def record_table(
+    title: str,
+    headers: Sequence[str],
+    rows: Sequence[Sequence],
+    notes: str = "",
+) -> str:
+    """Format and register one paper-vs-measured table."""
+    widths = [
+        max(len(str(h)), *(len(_fmt(r[i])) for r in rows)) if rows else len(str(h))
+        for i, h in enumerate(headers)
+    ]
+    lines = [f"== {title} =="]
+    lines.append("  ".join(str(h).rjust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for r in rows:
+        lines.append("  ".join(_fmt(v).rjust(w) for v, w in zip(r, widths)))
+    if notes:
+        lines.append(notes)
+    text = "\n".join(lines)
+    _TABLES.append(text)
+    os.makedirs(_RESULTS_DIR, exist_ok=True)
+    fname = title.split(":")[0].strip().lower().replace(" ", "_").replace("/", "-")
+    with open(os.path.join(_RESULTS_DIR, f"{fname}.txt"), "w") as fh:
+        fh.write(text + "\n")
+    return text
+
+
+def _fmt(v) -> str:
+    if isinstance(v, float):
+        return f"{v:.2f}"
+    return str(v)
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if not _TABLES:
+        return
+    terminalreporter.write_line("")
+    terminalreporter.write_line("#" * 72)
+    terminalreporter.write_line("# Reproduction tables (paper vs measured)")
+    terminalreporter.write_line("#" * 72)
+    for t in _TABLES:
+        terminalreporter.write_line("")
+        for line in t.splitlines():
+            terminalreporter.write_line(line)

@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""Matching-based detailed placement (the paper's second experiment).
+
+Runs K flattened iterations of the MIS -> partition -> bipartite-
+matching pipeline (Fig. 7/8) on the threaded runtime: the maximal
+independent set is computed by a GPU kernel, partitioning runs as a
+sequential host task, and the per-window matchings run as parallel
+host tasks.  HPWL decreases monotonically — printed per iteration.
+
+Run:  python examples/detailed_placement.py [cells] [iterations]
+"""
+
+import sys
+
+from repro.apps.placement import build_placement_flow
+from repro.core import Executor
+from repro.sim import SimExecutor, paper_testbed
+
+
+def main() -> int:
+    cells = int(sys.argv[1]) if len(sys.argv) > 1 else 300
+    iterations = int(sys.argv[2]) if len(sys.argv) > 2 else 6
+
+    print(f"building placement flow: {cells} cells, {iterations} iterations")
+    flow = build_placement_flow(num_cells=cells, iterations=iterations, window_size=8)
+    print(f"  nets: {flow.db.num_nets}, grid: {flow.db.num_sites}x{flow.db.num_rows}")
+    print(f"  task graph: {flow.graph.num_nodes} tasks")
+
+    with Executor(num_workers=4, num_gpus=2) as executor:
+        executor.run(flow.graph).result()
+
+    print("\n--- functional results ---")
+    print(f"{'iter':>5} {'HPWL':>12} {'MIS size':>9} {'gain':>9}")
+    print(f"{0:>5} {flow.hpwl_trace[0]:>12.1f} {'-':>9} {'-':>9}")
+    for i in range(iterations):
+        print(
+            f"{i + 1:>5} {flow.hpwl_trace[i + 1]:>12.1f} "
+            f"{flow.mis_sizes[i]:>9} {flow.improvements[i]:>9.1f}"
+        )
+    pct = 100 * flow.total_improvement() / flow.initial_hpwl
+    print(f"total wirelength recovered: {flow.total_improvement():.1f} ({pct:.1f}%)")
+
+    print("\n--- Fig. 9 shape at bigblue4 scale (virtual-time model) ---")
+    big = build_placement_flow(num_cells=40, iterations=50, num_matchers=32, window_size=1)
+    print(f"{'cores':>6} {'gpus':>5} {'seconds':>9}")
+    for cores, gpus in [(1, 1), (8, 1), (20, 1), (40, 1), (40, 4)]:
+        rep = SimExecutor(paper_testbed(cores, gpus), big.cost_model).run(big.graph)
+        print(f"{cores:>6} {gpus:>5} {rep.makespan:>9.2f}")
+    print("(note: 4 GPUs buy almost nothing — every MIS kernel groups")
+    print(" with the shared adjacency pull, landing the flow on one GPU)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,7 @@
+"""Application substrates used by the paper's evaluation.
+
+- :mod:`repro.apps.timing` — VLSI static timing analysis and
+  multi-view correlation (the OpenTimer-derived experiment, Fig. 5/6);
+- :mod:`repro.apps.placement` — matching-based detailed placement
+  (the DREAMPlace-derived experiment, Fig. 7/8/9).
+"""

@@ -1,0 +1,39 @@
+"""VLSI detailed placement substrate (DREAMPlace-like).
+
+Implements the matching-based detailed placement algorithm of the
+paper's second experiment (Fig. 7): iterate
+
+1. **maximal independent set** — Blelloch-style random-priority MIS
+   over the cell conflict graph (cells sharing a net conflict); the
+   step DREAMPlace offloads to GPU;
+2. **partitioning** — sequential clustering of independent cells into
+   local windows;
+3. **bipartite matching** — per-window optimal re-assignment of cells
+   to locations minimizing half-perimeter wirelength (HPWL), parallel
+   across windows on CPUs.
+
+:mod:`~repro.apps.placement.flow` flattens K iterations into one
+Heteroflow graph (Fig. 8) and attaches bigblue4-scale cost annotations
+for the Fig.-9 benchmarks.
+"""
+
+from repro.apps.placement.db import PlacementDB, generate_placement
+from repro.apps.placement.wirelength import hpwl, net_hpwl
+from repro.apps.placement.mis import mis_kernel, mis_reference, verify_independent
+from repro.apps.placement.partition import partition_windows
+from repro.apps.placement.matching import match_window
+from repro.apps.placement.flow import DetailedPlacementFlow, build_placement_flow
+
+__all__ = [
+    "DetailedPlacementFlow",
+    "PlacementDB",
+    "build_placement_flow",
+    "generate_placement",
+    "hpwl",
+    "match_window",
+    "mis_kernel",
+    "mis_reference",
+    "net_hpwl",
+    "partition_windows",
+    "verify_independent",
+]

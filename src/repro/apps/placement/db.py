@@ -1,0 +1,187 @@
+"""Placement database: cells, nets, rows — and a bigblue4-like generator.
+
+Cells are unit-size and sit on a sites × rows grid (one cell per site —
+matching-based detailed placement permutes same-footprint cells, so the
+unit-size abstraction preserves the algorithm exactly).  Nets are
+stored in CSR form (``net_ptr``/``net_cells``) for vectorized HPWL.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+import numpy as np
+
+from repro.utils.rng import SeedLike, seeded_rng
+
+
+@dataclass
+class PlacementDB:
+    """One placement instance.
+
+    ``x``/``y`` hold per-cell site and row coordinates (int64); every
+    (x, y) pair is unique (legality).  ``net_ptr``/``net_cells`` is the
+    CSR net->cells incidence; ``cell_ptr``/``cell_nets`` is its
+    transpose (cell->nets).
+    """
+
+    name: str
+    num_sites: int
+    num_rows: int
+    x: np.ndarray
+    y: np.ndarray
+    net_ptr: np.ndarray
+    net_cells: np.ndarray
+    cell_ptr: np.ndarray = field(default=None)  # type: ignore[assignment]
+    cell_nets: np.ndarray = field(default=None)  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self.cell_ptr is None:
+            self._build_transpose()
+
+    @property
+    def num_cells(self) -> int:
+        return int(self.x.size)
+
+    @property
+    def num_nets(self) -> int:
+        return int(self.net_ptr.size - 1)
+
+    def _build_transpose(self) -> None:
+        num_cells = self.num_cells
+        counts = np.zeros(num_cells + 1, dtype=np.int64)
+        np.add.at(counts[1:], self.net_cells, 1)
+        self.cell_ptr = np.cumsum(counts)
+        self.cell_nets = np.empty(self.net_cells.size, dtype=np.int64)
+        cursor = self.cell_ptr[:-1].copy()
+        net_of_pin = np.repeat(
+            np.arange(self.num_nets), np.diff(self.net_ptr)
+        )
+        for pin, cell in enumerate(self.net_cells):
+            self.cell_nets[cursor[cell]] = net_of_pin[pin]
+            cursor[cell] += 1
+
+    def nets_of(self, cell: int) -> np.ndarray:
+        return self.cell_nets[self.cell_ptr[cell] : self.cell_ptr[cell + 1]]
+
+    def cells_of(self, net: int) -> np.ndarray:
+        return self.net_cells[self.net_ptr[net] : self.net_ptr[net + 1]]
+
+    def neighbors_csr(self) -> tuple:
+        """Conflict-graph adjacency in CSR form.
+
+        Two cells conflict iff they share a net.  Returned as
+        ``(adj_ptr, adj_idx)`` with duplicate edges removed.
+        """
+        neighbor_sets: List[set] = [set() for _ in range(self.num_cells)]
+        for net in range(self.num_nets):
+            cells = self.cells_of(net)
+            if cells.size > 16:
+                # clip giant nets like real DP does: they would make
+                # the conflict graph a clique and kill the MIS
+                cells = cells[:16]
+            for i, a in enumerate(cells):
+                for b in cells[i + 1 :]:
+                    neighbor_sets[a].add(int(b))
+                    neighbor_sets[b].add(int(a))
+        ptr = np.zeros(self.num_cells + 1, dtype=np.int64)
+        for c, s in enumerate(neighbor_sets):
+            ptr[c + 1] = ptr[c] + len(s)
+        idx = np.empty(int(ptr[-1]), dtype=np.int64)
+        for c, s in enumerate(neighbor_sets):
+            idx[ptr[c] : ptr[c + 1]] = sorted(s)
+        return ptr, idx
+
+    def check_legal(self) -> None:
+        """Every cell on the grid, one cell per site."""
+        if np.any(self.x < 0) or np.any(self.x >= self.num_sites):
+            raise ValueError("cell x outside row")
+        if np.any(self.y < 0) or np.any(self.y >= self.num_rows):
+            raise ValueError("cell y outside grid")
+        occupancy = set(zip(self.x.tolist(), self.y.tolist()))
+        if len(occupancy) != self.num_cells:
+            raise ValueError("overlapping cells")
+
+    def copy(self) -> "PlacementDB":
+        return PlacementDB(
+            name=self.name,
+            num_sites=self.num_sites,
+            num_rows=self.num_rows,
+            x=self.x.copy(),
+            y=self.y.copy(),
+            net_ptr=self.net_ptr,
+            net_cells=self.net_cells,
+            cell_ptr=self.cell_ptr,
+            cell_nets=self.cell_nets,
+        )
+
+
+def generate_placement(
+    num_cells: int,
+    num_nets: int = 0,
+    *,
+    name: str = "synth",
+    seed: SeedLike = 0,
+    pins_per_net: tuple = (2, 5),
+    locality: float = 0.15,
+    fill: float = 0.5,
+) -> PlacementDB:
+    """Generate a legal random placement with local nets.
+
+    *locality* controls how spatially clustered each net's cells are
+    (fraction of the die span); real netlists are local, and locality
+    is what gives detailed placement wirelength to recover.
+    *fill* is the site occupancy (0.5 = half the grid is free).
+    """
+    if num_cells < 2:
+        raise ValueError("need at least two cells")
+    rng = seeded_rng(seed)
+    if num_nets <= 0:
+        num_nets = int(num_cells * 1.0)
+    grid = int(np.ceil(np.sqrt(num_cells / fill)))
+    num_sites = num_rows = grid
+
+    # choose distinct sites
+    total = num_sites * num_rows
+    flat = rng.choice(total, size=num_cells, replace=False)
+    x = (flat % num_sites).astype(np.int64)
+    y = (flat // num_sites).astype(np.int64)
+
+    # nets: anchor cell + nearby cells
+    lo, hi = pins_per_net
+    ptr = [0]
+    cells_acc: List[int] = []
+    span = max(int(grid * locality), 2)
+    for _ in range(num_nets):
+        k = int(rng.integers(lo, hi + 1))
+        anchor = int(rng.integers(num_cells))
+        ax, ay = x[anchor], y[anchor]
+        near = np.nonzero(
+            (np.abs(x - ax) <= span) & (np.abs(y - ay) <= span)
+        )[0]
+        if near.size < k:
+            near = np.arange(num_cells)
+        members = rng.choice(near, size=min(k, near.size), replace=False).tolist()
+        if anchor not in members:
+            members[0] = anchor
+        cells_acc.extend(int(m) for m in members)
+        ptr.append(len(cells_acc))
+
+    db = PlacementDB(
+        name=name,
+        num_sites=num_sites,
+        num_rows=num_rows,
+        x=x,
+        y=y,
+        net_ptr=np.asarray(ptr, dtype=np.int64),
+        net_cells=np.asarray(cells_acc, dtype=np.int64),
+    )
+    db.check_legal()
+    return db
+
+
+def bigblue4_like(scale: float = 1.0, seed: SeedLike = 11) -> PlacementDB:
+    """A scaled stand-in for bigblue4 (2.2M cells / 2.2M nets at 1.0)."""
+    cells = max(int(2_200_000 * scale), 16)
+    return generate_placement(cells, cells, name=f"bigblue4@{scale:g}", seed=seed)

@@ -1,0 +1,243 @@
+"""The Figure-8 task graph: K flattened detailed-placement iterations.
+
+Per iteration ``i`` (matching the paper's Fig. 8 structure):
+
+- ``prio_i``   (host)   — draw random MIS priorities, reset the state;
+- ``pull_prio_i`` / ``pull_state_i`` (pull) — ship to the GPU
+  (the adjacency CSR is pulled **once**, before iteration 0, and
+  reused by every MIS kernel through transitive dependencies — the
+  data-reuse pattern of the paper's Fig. 3);
+- ``mis_i``    (kernel) — Blelloch random-priority MIS on the GPU
+  (the step DREAMPlace accelerates);
+- ``push_state_i`` (push) — verdict vector back to the host;
+- ``part_i``   (host)   — **sequential** partitioning into windows;
+- ``match_i_p`` (host × P) — parallel bipartite matching tasks;
+- ``apply_i``  (host)   — write matched positions, record HPWL.
+
+``apply_i`` precedes ``prio_{i+1}``; everything else overlaps across
+iterations as dependencies allow.  Because every MIS kernel groups
+with the single shared adjacency pull, Algorithm 1 places the whole
+graph on **one** GPU — which is exactly why Fig. 9 shows no benefit
+from additional GPUs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.apps.placement.db import PlacementDB, generate_placement
+from repro.apps.placement.matching import apply_matches, match_window
+from repro.apps.placement.mis import IN_SET, mis_kernel
+from repro.apps.placement.partition import partition_windows
+from repro.apps.placement.wirelength import hpwl
+from repro.core.heteroflow import Heteroflow
+from repro.sim.cost import CostModel
+from repro.utils.rng import derive_seed, seeded_rng
+from repro.utils.span import Late
+
+#: bigblue4-scale per-iteration virtual costs (seconds / bytes),
+#: calibrated against the Fig.-9 anchors; see EXPERIMENTS.md.
+PAPER_COSTS = {
+    "prio": 0.01,
+    "mis": 0.05,
+    "partition": 0.2,
+    "match_total": 0.95,
+    "apply": 0.02,
+    "adj_bytes": 35.0e6,
+    "prio_bytes": 17.6e6,
+    "state_bytes": 2.2e6,
+    "num_matchers": 32,
+}
+
+
+@dataclass
+class DetailedPlacementFlow:
+    """A built K-iteration placement flow plus its runtime state."""
+
+    graph: Heteroflow
+    cost_model: CostModel
+    db: PlacementDB
+    iterations: int
+    num_matchers: int
+    window_size: int
+    seed: int = 0
+    #: positions being refined in place (copies of the db's)
+    x: np.ndarray = field(default=None)  # type: ignore[assignment]
+    y: np.ndarray = field(default=None)  # type: ignore[assignment]
+    #: HPWL after each iteration's apply (index 0 = initial)
+    hpwl_trace: List[float] = field(default_factory=list)
+    #: per-iteration independent-set sizes
+    mis_sizes: List[int] = field(default_factory=list)
+    #: per-iteration claimed improvements
+    improvements: List[float] = field(default_factory=list)
+
+    @property
+    def initial_hpwl(self) -> float:
+        return self.hpwl_trace[0]
+
+    @property
+    def final_hpwl(self) -> float:
+        return self.hpwl_trace[-1]
+
+    def total_improvement(self) -> float:
+        return self.initial_hpwl - self.final_hpwl
+
+
+def build_placement_flow(
+    num_cells: int = 200,
+    iterations: int = 4,
+    *,
+    window_size: int = 6,
+    num_matchers: int = 4,
+    seed: int = 0,
+    db: Optional[PlacementDB] = None,
+) -> DetailedPlacementFlow:
+    """Construct the Fig.-8 flow over *iterations* flattened iterations."""
+    if iterations < 1:
+        raise ValueError("need at least one iteration")
+    if num_matchers < 1:
+        raise ValueError("need at least one matching task")
+    pdb = db if db is not None else generate_placement(num_cells, seed=derive_seed(seed, "db"))
+    adj_ptr, adj_idx = pdb.neighbors_csr()
+    n = pdb.num_cells
+
+    hf = Heteroflow(f"detailed-placement-{pdb.name}")
+    cm = CostModel()
+    flow = DetailedPlacementFlow(
+        graph=hf,
+        cost_model=cm,
+        db=pdb,
+        iterations=iterations,
+        num_matchers=num_matchers,
+        window_size=window_size,
+        seed=seed,
+        x=pdb.x.copy(),
+        y=pdb.y.copy(),
+    )
+    flow.hpwl_trace.append(hpwl(pdb, flow.x, flow.y))
+
+    # mutable per-iteration scratch shared between tasks
+    priorities = np.zeros(n, dtype=np.float64)
+    state = np.zeros(n, dtype=np.int64)
+    windows: List[np.ndarray] = []
+    results: List[Optional[tuple]] = []
+
+    # adjacency pulled once, reused by every iteration's kernel
+    pull_adj_ptr = hf.pull(adj_ptr, name="pull_adj_ptr")
+    pull_adj_idx = hf.pull(adj_idx, name="pull_adj_idx")
+    cm.annotate_copy(pull_adj_ptr, PAPER_COSTS["adj_bytes"] * 0.2)
+    cm.annotate_copy(pull_adj_idx, PAPER_COSTS["adj_bytes"] * 0.8)
+
+    def make_prio(i: int):
+        rng = seeded_rng(derive_seed(seed, "prio", i))
+
+        def prio() -> None:
+            priorities[:] = rng.permutation(n).astype(np.float64)
+            state[:] = 0
+
+        return prio
+
+    def make_partition(i: int):
+        def part() -> None:
+            mis_cells = np.nonzero(state == IN_SET)[0]
+            flow.mis_sizes.append(int(mis_cells.size))
+            windows[:] = partition_windows(mis_cells, flow.x, flow.y, window_size)
+            results[:] = [None] * len(windows)
+
+        return part
+
+    def make_matcher(i: int, p: int):
+        def match() -> None:
+            for widx in range(p, len(windows), num_matchers):
+                results[widx] = match_window(pdb, windows[widx], flow.x, flow.y)
+
+        return match
+
+    def make_apply(i: int):
+        def apply_() -> None:
+            done = [r for r in results if r is not None]
+            if len(done) != len(windows):
+                raise RuntimeError("matching tasks incomplete before apply")
+            gained = apply_matches(flow.x, flow.y, windows, results)
+            flow.improvements.append(gained)
+            flow.hpwl_trace.append(hpwl(pdb, flow.x, flow.y))
+
+        return apply_
+
+    prev_apply = None
+    for i in range(iterations):
+        prio = hf.host(make_prio(i), name=f"prio_{i}")
+        pull_prio = hf.pull(priorities, name=f"pull_prio_{i}")
+        pull_state = hf.pull(state, name=f"pull_state_{i}")
+        mis = hf.kernel(
+            mis_kernel,
+            Late(lambda: n),
+            pull_adj_ptr,
+            pull_adj_idx,
+            pull_prio,
+            pull_state,
+            name=f"mis_{i}",
+        ).block_x(256).grid_x(max((n + 255) // 256, 1))
+        push_state = hf.push(pull_state, state, name=f"push_state_{i}")
+        part = hf.host(make_partition(i), name=f"part_{i}")
+        matchers = [
+            hf.host(make_matcher(i, p), name=f"match_{i}_{p}") for p in range(num_matchers)
+        ]
+        apply_ = hf.host(make_apply(i), name=f"apply_{i}")
+
+        prio.precede(pull_prio, pull_state)
+        mis.succeed(pull_prio, pull_state)
+        if i == 0:
+            mis.succeed(pull_adj_ptr, pull_adj_idx)
+        mis.precede(push_state)
+        push_state.precede(part)
+        for mt in matchers:
+            part.precede(mt)
+            mt.precede(apply_)
+        if prev_apply is not None:
+            prev_apply.precede(prio)
+        prev_apply = apply_
+
+        cm.annotate_host(prio, PAPER_COSTS["prio"])
+        cm.annotate_kernel(mis, PAPER_COSTS["mis"])
+        cm.annotate_host(part, PAPER_COSTS["partition"])
+        for mt in matchers:
+            cm.annotate_host(mt, PAPER_COSTS["match_total"] / num_matchers)
+        cm.annotate_host(apply_, PAPER_COSTS["apply"])
+        cm.annotate_copy(pull_prio, PAPER_COSTS["prio_bytes"])
+        cm.annotate_copy(pull_state, PAPER_COSTS["state_bytes"])
+        cm.annotate_copy(push_state, PAPER_COSTS["state_bytes"])
+
+    return flow
+
+
+def run_reference(flow: DetailedPlacementFlow) -> Dict[str, List[float]]:
+    """Host-only oracle: the same K iterations without the runtime.
+
+    Returns the HPWL trace; differential tests compare it against the
+    trace produced by executing the flow on an executor (fresh build,
+    same seed — the iteration math is deterministic).
+    """
+    from repro.apps.placement.mis import mis_reference
+
+    pdb = flow.db
+    adj_ptr, adj_idx = pdb.neighbors_csr()
+    n = pdb.num_cells
+    x, y = pdb.x.copy(), pdb.y.copy()
+    trace = [hpwl(pdb, x, y)]
+    sizes: List[int] = []
+    # note: seed derivation must mirror build_placement_flow
+    for i in range(flow.iterations):
+        rng = seeded_rng(derive_seed(flow.seed, "prio", i))
+        priorities = rng.permutation(n).astype(np.float64)
+        state = mis_reference(adj_ptr, adj_idx, priorities)
+        mis_cells = np.nonzero(state == IN_SET)[0]
+        sizes.append(int(mis_cells.size))
+        windows = partition_windows(mis_cells, x, y, flow.window_size)
+        results = [match_window(pdb, w, x, y) for w in windows]
+        apply_matches(x, y, windows, results)
+        trace.append(hpwl(pdb, x, y))
+    return {"hpwl": trace, "mis_sizes": [float(s) for s in sizes]}

@@ -1,0 +1,31 @@
+"""Sparse neural-network inference via task graph parallelism.
+
+The paper's future-work section names "a broader range of workloads,
+including machine learning [47]" — ref [47/48] is the authors' sparse
+DNN inference engine built on the same task-graph model (large sparse
+MLPs in the style of the MIT/IEEE Sparse DNN Graph Challenge).  This
+package implements that extension:
+
+- :mod:`~repro.apps.sparsenn.model` — random sparse-MLP generation and
+  a CSR representation flattenable into device pulls;
+- :mod:`~repro.apps.sparsenn.kernels` — SpMM + bias + ReLU as a fused
+  GPU kernel, plus the CPU reference;
+- :mod:`~repro.apps.sparsenn.flow` — the inference task graph: the
+  input batch splits into column blocks, each block pipelines through
+  the layers (block b at layer l+1 depends on block b at layer l);
+  per-layer weights are pulled **once** and reused by every block's
+  kernel through transitive dependencies (the paper's Fig.-3 pattern
+  at scale).
+"""
+
+from repro.apps.sparsenn.model import SparseMlp, generate_sparse_mlp
+from repro.apps.sparsenn.kernels import spmm_bias_relu_kernel
+from repro.apps.sparsenn.flow import SparseInferenceFlow, build_inference_flow
+
+__all__ = [
+    "SparseInferenceFlow",
+    "SparseMlp",
+    "build_inference_flow",
+    "generate_sparse_mlp",
+    "spmm_bias_relu_kernel",
+]

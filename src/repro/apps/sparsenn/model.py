@@ -1,0 +1,106 @@
+"""Sparse MLP models (Sparse DNN Graph Challenge style).
+
+Networks are L layers of constant width n with uniformly sparse
+weights (a fixed number of nonzeros per output neuron), biases, and
+ReLU activations — the structure of the challenge networks ref [47]
+accelerates.  Weights are stored in CSR; :meth:`SparseMlp.layer_arrays`
+exposes the flat (data, indices, indptr, bias) arrays a pull task can
+ship to a device.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+from scipy import sparse
+
+from repro.utils.rng import SeedLike, derive_seed, seeded_rng
+
+
+#: Graph-Challenge-standard activation cap: Y = min(max(WY+b, 0), 32)
+ACTIVATION_CLIP = 32.0
+
+
+@dataclass
+class SparseMlp:
+    """An L-layer constant-width sparse MLP with clipped-ReLU
+    activations (the Sparse DNN Graph Challenge nonlinearity)."""
+
+    width: int
+    layers: List[sparse.csr_matrix]
+    biases: List[np.ndarray]
+
+    @property
+    def num_layers(self) -> int:
+        return len(self.layers)
+
+    @property
+    def nnz(self) -> int:
+        return int(sum(w.nnz for w in self.layers))
+
+    def layer_arrays(self, l: int) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Flat device-shippable arrays of layer *l*: (data, indices,
+        indptr, bias)."""
+        w = self.layers[l]
+        return (
+            np.ascontiguousarray(w.data, dtype=np.float64),
+            np.ascontiguousarray(w.indices, dtype=np.int64),
+            np.ascontiguousarray(w.indptr, dtype=np.int64),
+            np.ascontiguousarray(self.biases[l], dtype=np.float64),
+        )
+
+    def infer(self, x: np.ndarray) -> np.ndarray:
+        """CPU reference inference over batch *x* (width × batch)."""
+        a = x
+        for w, b in zip(self.layers, self.biases):
+            a = np.clip(w @ a + b[:, None], 0.0, ACTIVATION_CLIP)
+        return a
+
+    def category_of(self, x: np.ndarray) -> np.ndarray:
+        """Challenge-style readout: argmax neuron per batch column."""
+        return np.argmax(self.infer(x), axis=0)
+
+
+def generate_sparse_mlp(
+    width: int,
+    num_layers: int,
+    nnz_per_row: int = 8,
+    *,
+    seed: SeedLike = 0,
+    bias: float = -0.05,
+) -> SparseMlp:
+    """Generate a challenge-style random sparse MLP.
+
+    Each output neuron connects to exactly *nnz_per_row* random inputs
+    with positive-mean weights; a constant negative bias (the
+    challenge uses one) keeps activations sparse through depth.
+    """
+    if width < 1 or num_layers < 1:
+        raise ValueError("network needs positive width and depth")
+    nnz_per_row = min(nnz_per_row, width)
+    layers: List[sparse.csr_matrix] = []
+    biases: List[np.ndarray] = []
+    for l in range(num_layers):
+        rng = seeded_rng(derive_seed(int(seed) if not isinstance(seed, np.random.Generator) else 0, "layer", l))
+        indptr = np.arange(width + 1, dtype=np.int64) * nnz_per_row
+        indices = np.empty(width * nnz_per_row, dtype=np.int64)
+        for r in range(width):
+            indices[r * nnz_per_row : (r + 1) * nnz_per_row] = rng.choice(
+                width, size=nnz_per_row, replace=False
+            )
+        # scale weights so the expected pre-activation roughly preserves
+        # the input magnitude through depth (keeps deep nets alive)
+        data = rng.uniform(0.5, 1.5, size=width * nnz_per_row) * (1.3 / nnz_per_row)
+        layers.append(sparse.csr_matrix((data, indices, indptr), shape=(width, width)))
+        biases.append(np.full(width, bias))
+    return SparseMlp(width=width, layers=layers, biases=biases)
+
+
+def generate_batch(width: int, batch: int, *, seed: SeedLike = 0, density: float = 0.3) -> np.ndarray:
+    """A sparse nonnegative input batch (width × batch)."""
+    rng = seeded_rng(seed)
+    x = rng.uniform(0.0, 1.0, size=(width, batch))
+    mask = rng.uniform(size=(width, batch)) < density
+    return np.where(mask, x, 0.0)

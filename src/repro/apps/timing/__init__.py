@@ -1,0 +1,71 @@
+"""VLSI timing analysis substrate (OpenTimer-like).
+
+The paper's first experiment runs multi-view timing correlation on the
+``netcard`` circuit: a timer generates per-view analysis data, a hybrid
+CPU-GPU layer extracts graph statistics (critical paths, CPPR) on CPUs
+and fits logistic-regression models on GPUs, and a final step combines
+everything into a report (Fig. 5).
+
+This package implements the whole stack from scratch:
+
+- :mod:`~repro.apps.timing.netlist` — synthetic levelized gate-level
+  netlist generation at configurable scale;
+- :mod:`~repro.apps.timing.graph` — the timing graph (pins and arcs);
+- :mod:`~repro.apps.timing.sta` — arrival/required/slack propagation;
+- :mod:`~repro.apps.timing.views` — analysis views (corner × mode) and
+  the Fig.-4 view-count model;
+- :mod:`~repro.apps.timing.paths` — k-worst critical path extraction;
+- :mod:`~repro.apps.timing.cppr` — common path pessimism removal;
+- :mod:`~repro.apps.timing.regression` — logistic regression with
+  gradient descent, written as GPU kernels;
+- :mod:`~repro.apps.timing.flow` — the Heteroflow graph of Fig. 5 plus
+  the paper-scale cost annotations for the simulator.
+"""
+
+from repro.apps.timing.netlist import Netlist, generate_netlist
+from repro.apps.timing.graph import TimingGraph
+from repro.apps.timing.sta import StaResult, run_sta
+from repro.apps.timing.views import View, enumerate_views, views_for_node
+from repro.apps.timing.paths import Path, k_worst_paths
+from repro.apps.timing.cppr import ClockTree, cppr_credit, generate_clock_tree
+from repro.apps.timing.regression import (
+    logreg_gd_kernel,
+    logreg_predict,
+    train_logreg_host,
+)
+from repro.apps.timing.flow import TimingCorrelationFlow, build_timing_flow
+from repro.apps.timing.incremental import IncrementalTimer
+from repro.apps.timing.report import report_timing
+from repro.apps.timing.sequential import (
+    SequentialDesign,
+    analyze_sequential,
+    build_sequential_design,
+    min_feasible_period,
+)
+
+__all__ = [
+    "ClockTree",
+    "IncrementalTimer",
+    "Netlist",
+    "SequentialDesign",
+    "analyze_sequential",
+    "build_sequential_design",
+    "min_feasible_period",
+    "report_timing",
+    "Path",
+    "StaResult",
+    "TimingCorrelationFlow",
+    "TimingGraph",
+    "View",
+    "build_timing_flow",
+    "cppr_credit",
+    "enumerate_views",
+    "generate_clock_tree",
+    "generate_netlist",
+    "k_worst_paths",
+    "logreg_gd_kernel",
+    "logreg_predict",
+    "run_sta",
+    "train_logreg_host",
+    "views_for_node",
+]

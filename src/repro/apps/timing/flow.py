@@ -1,0 +1,282 @@
+"""The Figure-5 task graph: multi-view timing correlation as a Heteroflow.
+
+Per view ``v`` the flow contains (matching the paper's three-step
+description in §IV-A):
+
+1. ``gen_v``    (host)   — run the view's STA pass (the "timer
+   generates analysis datasets" stage);
+2. ``extract_v`` (host)  — CPU statistics extraction: k-worst critical
+   paths, CPPR credits, feature matrix + violation labels;
+3. ``pull_x_v`` / ``pull_y_v`` / ``pull_w_v`` (pull) — ship the
+   regression problem to a GPU;
+4. ``gd_v``     (kernel) — logistic-regression gradient descent;
+5. ``push_w_v`` (push)   — model weights back to the host;
+6. ``assess_v`` (host)   — score the fitted model;
+7. one final ``report`` (host) task synchronizes all views into the
+   correlation report.
+
+The builder attaches paper-scale cost annotations (calibrated against
+the Fig.-6 anchors) so the same graph object drives both the threaded
+runtime (functional, small circuits) and the virtual-time simulator
+(netcard scale).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.apps.timing.cppr import ClockTree, generate_clock_tree
+from repro.apps.timing.graph import TimingGraph
+from repro.apps.timing.netlist import Netlist, generate_netlist
+from repro.apps.timing.paths import k_worst_paths
+from repro.apps.timing.regression import accuracy, standardize, train_logreg_host
+from repro.apps.timing.sta import run_sta
+from repro.apps.timing.views import View, enumerate_views
+from repro.core.heteroflow import Heteroflow
+from repro.sim.cost import CostModel
+from repro.utils.rng import derive_seed
+from repro.utils.span import Late
+
+#: paper-scale per-view virtual costs (seconds / bytes), calibrated so
+#: the netcard 1024-view sweep reproduces the Fig.-6 anchors; see
+#: EXPERIMENTS.md for the calibration table.
+PAPER_COSTS = {
+    "gen": 1.2,
+    "extract": 1.5,
+    "assess": 0.3,
+    "gd": 5.8,
+    "pull_bytes": 2.0e6,
+    "push_bytes": 0.5e6,
+    "report": 1.0,
+}
+
+#: number of regression features (bias, arrival, slack, stages,
+#: insertion delay, cppr credit)
+NUM_FEATURES = 6
+
+
+@dataclass
+class _ViewState:
+    """Mutable per-view data threaded between tasks (stateful spans)."""
+
+    view: View
+    sta: object = None
+    x_flat: np.ndarray = field(default_factory=lambda: np.zeros(1))
+    y: np.ndarray = field(default_factory=lambda: np.zeros(1))
+    w: np.ndarray = field(default_factory=lambda: np.zeros(NUM_FEATURES))
+    n: int = 0
+    accuracy: float = 0.0
+
+
+@dataclass
+class TimingCorrelationFlow:
+    """A built correlation flow plus everything needed to run/score it."""
+
+    graph: Heteroflow
+    cost_model: CostModel
+    netlist: Netlist
+    timing_graph: TimingGraph
+    clock_tree: ClockTree
+    views: List[View]
+    #: per-view states (inspection after a run)
+    states: List[_ViewState]
+    #: build parameters (used by the host-only reference)
+    paths_per_view: int = 64
+    gd_epochs: int = 60
+    learning_rate: float = 0.5
+    #: filled by the final report task
+    report: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def num_views(self) -> int:
+        return len(self.views)
+
+    def mean_accuracy(self) -> float:
+        return float(np.mean([s.accuracy for s in self.states]))
+
+    def weight_matrix(self) -> np.ndarray:
+        """Fitted weights per view (views × features)."""
+        return np.stack([s.w for s in self.states])
+
+    def view_correlation(self) -> np.ndarray:
+        """Pairwise cosine similarity between per-view weight vectors —
+        the "correlation between different timing views" artifact."""
+        W = self.weight_matrix()
+        norms = np.linalg.norm(W, axis=1, keepdims=True)
+        norms[norms < 1e-12] = 1.0
+        U = W / norms
+        return U @ U.T
+
+
+def build_timing_flow(
+    num_views: int = 8,
+    num_gates: int = 300,
+    *,
+    paths_per_view: int = 64,
+    gd_epochs: int = 60,
+    learning_rate: float = 0.5,
+    seed: int = 0,
+    netlist: Optional[Netlist] = None,
+) -> TimingCorrelationFlow:
+    """Construct the Fig.-5 correlation flow over *num_views* views."""
+    if num_views < 1:
+        raise ValueError("need at least one view")
+    nl = netlist if netlist is not None else generate_netlist(num_gates, seed=derive_seed(seed, "netlist"))
+    tg = TimingGraph.from_netlist(nl)
+    tree = generate_clock_tree(tg.outputs.tolist(), seed=derive_seed(seed, "clock"))
+    views = enumerate_views(num_views, seed=derive_seed(seed, "views"))
+
+    # base (typical) analysis shared by every view's feature extraction
+    base_sta = run_sta(tg)
+    clock_period = base_sta.clock_period
+
+    hf = Heteroflow(f"timing-correlation-{nl.name}")
+    cm = CostModel()
+    states = [_ViewState(view=v) for v in views]
+    flow = TimingCorrelationFlow(
+        graph=hf,
+        cost_model=cm,
+        netlist=nl,
+        timing_graph=tg,
+        clock_tree=tree,
+        views=views,
+        states=states,
+        paths_per_view=paths_per_view,
+        gd_epochs=gd_epochs,
+        learning_rate=learning_rate,
+    )
+
+    def make_gen(state: _ViewState):
+        def gen() -> None:
+            state.sta = run_sta(tg, state.view, clock_period=clock_period)
+
+        return gen
+
+    def make_extract(state: _ViewState):
+        def extract() -> None:
+            sta = state.sta
+            assert sta is not None, "gen must precede extract"
+            paths = k_worst_paths(tg, base_sta, paths_per_view)
+            n = len(paths)
+            X = np.zeros((n, NUM_FEATURES), dtype=np.float64)
+            y = np.zeros(n, dtype=np.float64)
+            root = tree.leaf_of[int(tg.outputs[0])]  # any sink; used for pairing
+            launch = int(tg.outputs[0])
+            for i, p in enumerate(paths):
+                ep = p.endpoint
+                X[i, 0] = 1.0
+                X[i, 1] = base_sta.arrival[ep]
+                X[i, 2] = base_sta.slack[ep]
+                X[i, 3] = p.num_stages
+                X[i, 4] = tree.insertion_delay(ep)
+                X[i, 5] = tree.common_path_delay(launch, ep)
+                y[i] = 1.0 if sta.slack[ep] < 0 else 0.0
+            Xs, _, _ = standardize(X[:, 1:])
+            X[:, 1:] = Xs
+            state.x_flat = np.ascontiguousarray(X.reshape(-1))
+            state.y = y
+            state.w = np.zeros(NUM_FEATURES, dtype=np.float64)
+            state.n = n
+            _ = root
+
+        return extract
+
+    def gd_kernel(ctx, n, d, epochs, lr, x_dev, y_dev, w_dev):
+        from repro.apps.timing.regression import logreg_gd_kernel
+
+        logreg_gd_kernel(ctx, n, d, epochs, lr, x_dev, y_dev, w_dev)
+
+    def make_assess(state: _ViewState):
+        def assess() -> None:
+            X = state.x_flat.reshape(state.n, NUM_FEATURES)
+            state.accuracy = accuracy(X, state.y, state.w)
+
+        return assess
+
+    def make_report():
+        def report() -> None:
+            flow.report = {
+                "mean_accuracy": flow.mean_accuracy(),
+                "num_views": float(len(views)),
+                "clock_period": clock_period,
+            }
+
+        return report
+
+    report_task = hf.host(make_report(), name="report")
+    cm.annotate_host(report_task, PAPER_COSTS["report"])
+
+    for state in states:
+        v = state.view.index
+        gen = hf.host(make_gen(state), name=f"gen_{v}")
+        extract = hf.host(make_extract(state), name=f"extract_{v}")
+        pull_x = hf.pull(lambda s=state: s.x_flat, name=f"pull_x_{v}")
+        pull_y = hf.pull(lambda s=state: s.y, name=f"pull_y_{v}")
+        pull_w = hf.pull(lambda s=state: s.w, name=f"pull_w_{v}")
+        gd = hf.kernel(
+            gd_kernel,
+            Late(lambda s=state: s.n),
+            NUM_FEATURES,
+            gd_epochs,
+            learning_rate,
+            pull_x,
+            pull_y,
+            pull_w,
+            name=f"gd_{v}",
+        ).block_x(256).grid_x(max((paths_per_view + 255) // 256, 1))
+        push_w = hf.push(pull_w, lambda s=state: s.w, name=f"push_w_{v}")
+        assess = hf.host(make_assess(state), name=f"assess_{v}")
+
+        gen.precede(extract)
+        extract.precede(pull_x, pull_y, pull_w)
+        gd.succeed(pull_x, pull_y, pull_w)
+        gd.precede(push_w)
+        push_w.precede(assess)
+        assess.precede(report_task)
+
+        cm.annotate_host(gen, PAPER_COSTS["gen"])
+        cm.annotate_host(extract, PAPER_COSTS["extract"])
+        cm.annotate_host(assess, PAPER_COSTS["assess"])
+        cm.annotate_kernel(gd, PAPER_COSTS["gd"])
+        cm.annotate_copy(pull_x, PAPER_COSTS["pull_bytes"])
+        cm.annotate_copy(pull_y, PAPER_COSTS["pull_bytes"] * 0.25)
+        cm.annotate_copy(pull_w, 4096)
+        cm.annotate_copy(push_w, PAPER_COSTS["push_bytes"])
+
+    return flow
+
+
+def reference_correlation(flow: TimingCorrelationFlow) -> Dict[int, np.ndarray]:
+    """Host-only reference: per-view weights trained without the runtime.
+
+    Used by differential tests: running the flow through any executor
+    must reproduce these weights exactly (the kernels run the same
+    numpy math on the same inputs).
+    """
+    out: Dict[int, np.ndarray] = {}
+    tg = flow.timing_graph
+    base_sta = run_sta(tg)
+    paths = k_worst_paths(tg, base_sta, flow.paths_per_view)
+    n = len(paths)
+    launch = int(tg.outputs[0])
+    X = np.zeros((n, NUM_FEATURES))
+    for i, p in enumerate(paths):
+        ep = p.endpoint
+        X[i, 0] = 1.0
+        X[i, 1] = base_sta.arrival[ep]
+        X[i, 2] = base_sta.slack[ep]
+        X[i, 3] = p.num_stages
+        X[i, 4] = flow.clock_tree.insertion_delay(ep)
+        X[i, 5] = flow.clock_tree.common_path_delay(launch, ep)
+    Xs, _, _ = standardize(X[:, 1:])
+    X[:, 1:] = Xs
+    for state in flow.states:
+        sta = run_sta(tg, state.view, clock_period=base_sta.clock_period)
+        y = (sta.slack[[p.endpoint for p in paths]] < 0).astype(np.float64)
+        out[state.view.index] = train_logreg_host(
+            X, y, epochs=flow.gd_epochs, lr=flow.learning_rate
+        )
+    return out

@@ -1,0 +1,172 @@
+"""Synthetic gate-level netlist generation.
+
+The paper analyzes ``netcard`` (1.5M gates, 1.5M nets).  We cannot ship
+proprietary benchmark circuits, so this generator produces levelized
+combinational netlists with the structural properties STA cares about:
+bounded fanin, long reconvergent paths, heavy-tailed fanout, and a mix
+of gate types with distinct intrinsic delays.  Size is a parameter, so
+tests run at hundreds of gates while benchmarks describe million-gate
+instances through the cost model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.utils.rng import SeedLike, seeded_rng
+
+#: gate types with (intrinsic delay ps, max fanin)
+GATE_LIBRARY: Tuple[Tuple[str, float, int], ...] = (
+    ("INV", 9.0, 1),
+    ("BUF", 7.0, 1),
+    ("NAND2", 12.0, 2),
+    ("NOR2", 14.0, 2),
+    ("AND2", 15.0, 2),
+    ("OR2", 16.0, 2),
+    ("XOR2", 22.0, 2),
+    ("AOI21", 19.0, 3),
+    ("OAI21", 20.0, 3),
+)
+
+
+@dataclass
+class Gate:
+    """One logic gate instance."""
+
+    gid: int
+    cell: str
+    delay: float
+    fanin: List[int] = field(default_factory=list)  # gate ids / PI ids
+    level: int = 0
+
+
+@dataclass
+class Netlist:
+    """A levelized combinational netlist.
+
+    Node numbering: primary inputs occupy ids ``0..num_inputs-1``;
+    gates occupy ``num_inputs..num_inputs+num_gates-1``.  Every gate's
+    fanins have strictly smaller levels, so the gate order is already
+    topological.
+    """
+
+    name: str
+    num_inputs: int
+    gates: List[Gate]
+    outputs: List[int]
+    seed: int
+
+    @property
+    def num_gates(self) -> int:
+        return len(self.gates)
+
+    @property
+    def num_nodes(self) -> int:
+        return self.num_inputs + len(self.gates)
+
+    @property
+    def num_nets(self) -> int:
+        """One net per driver (PI or gate) that has at least one sink."""
+        drivers = set()
+        for g in self.gates:
+            drivers.update(g.fanin)
+        return len(drivers)
+
+    @property
+    def depth(self) -> int:
+        return max((g.level for g in self.gates), default=0)
+
+    def node_level(self, node: int) -> int:
+        if node < self.num_inputs:
+            return 0
+        return self.gates[node - self.num_inputs].level
+
+    def validate(self) -> None:
+        """Structural sanity: topological fanins, outputs in range."""
+        for g in self.gates:
+            gid_abs = self.num_inputs + g.gid
+            for f in g.fanin:
+                if not 0 <= f < gid_abs:
+                    raise ValueError(f"gate {g.gid} has non-topological fanin {f}")
+        for o in self.outputs:
+            if not 0 <= o < self.num_nodes:
+                raise ValueError(f"output {o} out of range")
+
+
+def generate_netlist(
+    num_gates: int,
+    num_inputs: int = 0,
+    *,
+    name: str = "synth",
+    seed: SeedLike = 0,
+    output_fraction: float = 0.1,
+) -> Netlist:
+    """Generate a levelized netlist of *num_gates* gates.
+
+    Fanins are drawn with a locality bias (recent gates are likelier
+    drivers), which yields logarithmic depth growth and heavy-tailed
+    fanout — the structure real netlists exhibit.
+    """
+    if num_gates < 1:
+        raise ValueError("need at least one gate")
+    rng = seeded_rng(seed)
+    if num_inputs <= 0:
+        num_inputs = max(4, num_gates // 8)
+
+    lib_delays = np.array([g[1] for g in GATE_LIBRARY])
+    lib_fanin = np.array([g[2] for g in GATE_LIBRARY])
+    cell_choices = rng.integers(0, len(GATE_LIBRARY), size=num_gates)
+
+    gates: List[Gate] = []
+    levels = np.zeros(num_inputs + num_gates, dtype=np.int64)
+    fanout_count = np.zeros(num_inputs + num_gates, dtype=np.int64)
+
+    for gid in range(num_gates):
+        cell_idx = int(cell_choices[gid])
+        cell, delay, max_fanin = GATE_LIBRARY[cell_idx]
+        nid = num_inputs + gid
+        n_avail = nid
+        k = int(min(max_fanin, n_avail))
+        # locality bias: candidates drawn from an exponential window
+        # ending at the newest node, so paths lengthen steadily
+        window = max(8, int(n_avail * 0.25))
+        lo = max(0, n_avail - window)
+        fanin = rng.choice(np.arange(lo, n_avail), size=k, replace=False)
+        # jitter the intrinsic delay per instance (process spread)
+        inst_delay = float(delay * rng.uniform(0.9, 1.1))
+        g = Gate(gid=gid, cell=cell, delay=inst_delay, fanin=[int(f) for f in fanin])
+        g.level = int(levels[list(fanin)].max(initial=0)) + 1 if len(fanin) else 1
+        levels[nid] = g.level
+        fanout_count[list(fanin)] += 1
+        gates.append(g)
+
+    # outputs: dead-end gates plus a random sample of deep gates
+    sinks = [num_inputs + g.gid for g in gates if fanout_count[num_inputs + g.gid] == 0]
+    extra = max(1, int(num_gates * output_fraction) - len(sinks))
+    if extra > 0:
+        deep = sorted(gates, key=lambda g: -g.level)[:extra]
+        sinks.extend(num_inputs + g.gid for g in deep)
+    outputs = sorted(set(sinks))
+
+    nl = Netlist(
+        name=name,
+        num_inputs=num_inputs,
+        gates=gates,
+        outputs=outputs,
+        seed=int(seed) if isinstance(seed, (int, np.integer)) else 0,
+    )
+    nl.validate()
+    return nl
+
+
+def netcard_like(scale: float = 1.0, seed: SeedLike = 7) -> Netlist:
+    """A scaled stand-in for the paper's netcard (1.5M gates at 1.0).
+
+    ``scale`` shrinks the instance for functional runs; the cost model
+    covers the extrapolation to full size.
+    """
+    gates = max(int(1_500_000 * scale), 16)
+    return generate_netlist(gates, name=f"netcard@{scale:g}", seed=seed)

@@ -1,0 +1,73 @@
+"""Critical path extraction.
+
+The correlation layer's CPU stage extracts the k worst paths per view
+(paper cites [27], [28]).  We trace each endpoint's critical path
+through the ``critical_arc`` tree recorded by the forward STA pass and
+return the *k* endpoints with the worst slack — the practical
+single-path-per-endpoint variant used in regression feature pipelines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from repro.apps.timing.graph import TimingGraph
+from repro.apps.timing.sta import StaResult
+
+
+@dataclass
+class Path:
+    """One timing path from a startpoint to an endpoint."""
+
+    endpoint: int
+    slack: float
+    arrival: float
+    nodes: List[int]
+
+    @property
+    def num_stages(self) -> int:
+        return len(self.nodes) - 1
+
+    @property
+    def startpoint(self) -> int:
+        return self.nodes[0]
+
+
+def trace_critical_path(graph: TimingGraph, sta: StaResult, endpoint: int) -> Path:
+    """Walk the critical-arc tree from *endpoint* back to a startpoint."""
+    nodes = [int(endpoint)]
+    cur = int(endpoint)
+    guard = 0
+    while True:
+        arc = int(sta.critical_arc[cur])
+        if arc < 0:
+            break
+        cur = int(graph.arc_src[arc])
+        nodes.append(cur)
+        guard += 1
+        if guard > graph.num_nodes:
+            raise RuntimeError("critical-arc tree contains a cycle")
+    nodes.reverse()
+    return Path(
+        endpoint=int(endpoint),
+        slack=float(sta.slack[endpoint]),
+        arrival=float(sta.arrival[endpoint]),
+        nodes=nodes,
+    )
+
+
+def k_worst_paths(graph: TimingGraph, sta: StaResult, k: int) -> List[Path]:
+    """The *k* endpoints with the worst slack, each with its critical path.
+
+    Sorted ascending by slack (worst first); ties broken by endpoint id
+    for determinism.
+    """
+    if k < 1:
+        return []
+    slacks = sta.endpoint_slacks(graph)
+    order = np.lexsort((graph.outputs, slacks))
+    picked = graph.outputs[order[: min(k, order.size)]]
+    return [trace_critical_path(graph, sta, int(e)) for e in picked]

@@ -1,0 +1,95 @@
+"""Logistic regression with gradient descent, as GPU kernels.
+
+The correlation layer fits, per view, a logistic model predicting
+whether an endpoint violates timing in that view from path statistics
+(arrival, stage count, CPPR credit, ...) extracted by the CPU stage
+(paper §IV-A: "a GPU-based algorithm to perform logistic regression
+with gradient descent").
+
+``logreg_gd_kernel`` is written in the simulated-CUDA style: it
+receives device-memory views and runs a fixed number of full-batch GD
+epochs entirely on the "device".  ``train_logreg_host`` is the CPU
+reference implementation used for differential testing.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+
+def sigmoid(z: np.ndarray) -> np.ndarray:
+    """Numerically stable logistic function."""
+    out = np.empty_like(z, dtype=np.float64)
+    pos = z >= 0
+    out[pos] = 1.0 / (1.0 + np.exp(-z[pos]))
+    ez = np.exp(z[~pos])
+    out[~pos] = ez / (1.0 + ez)
+    return out
+
+
+def logreg_loss(X: np.ndarray, y: np.ndarray, w: np.ndarray) -> float:
+    """Mean cross-entropy loss."""
+    p = sigmoid(X @ w)
+    eps = 1e-12
+    return float(-np.mean(y * np.log(p + eps) + (1 - y) * np.log(1 - p + eps)))
+
+
+def gd_step(X: np.ndarray, y: np.ndarray, w: np.ndarray, lr: float) -> np.ndarray:
+    """One full-batch gradient-descent step (returns the new weights)."""
+    grad = X.T @ (sigmoid(X @ w) - y) / X.shape[0]
+    return w - lr * grad
+
+
+def logreg_gd_kernel(ctx, n: int, d: int, epochs: int, lr: float, x_dev, y_dev, w_dev) -> None:
+    """GPU kernel: *epochs* of full-batch GD on device memory.
+
+    ``x_dev`` holds the row-major n×d feature matrix, ``y_dev`` the n
+    labels, ``w_dev`` the d weights (updated in place).  The launch
+    geometry (``ctx``) is cost-model metadata; the math is
+    numpy-vectorized over the whole batch, the Python analogue of a
+    grid covering all samples.
+    """
+    X = x_dev[: n * d].reshape(n, d)
+    y = y_dev[:n]
+    w = w_dev[:d].astype(np.float64)
+    for _ in range(int(epochs)):
+        w = gd_step(X, y, w, lr)
+    w_dev[:d] = w
+
+
+def train_logreg_host(
+    X: np.ndarray,
+    y: np.ndarray,
+    epochs: int = 100,
+    lr: float = 0.5,
+    w0: np.ndarray | None = None,
+) -> np.ndarray:
+    """CPU reference: identical math to :func:`logreg_gd_kernel`."""
+    w = np.zeros(X.shape[1], dtype=np.float64) if w0 is None else w0.astype(np.float64)
+    for _ in range(int(epochs)):
+        w = gd_step(X, y, w, lr)
+    return w
+
+
+def logreg_predict(X: np.ndarray, w: np.ndarray) -> np.ndarray:
+    """Class probabilities under the fitted model."""
+    return sigmoid(X @ w)
+
+
+def accuracy(X: np.ndarray, y: np.ndarray, w: np.ndarray) -> float:
+    """Fraction of samples classified correctly at threshold 0.5."""
+    return float(np.mean((logreg_predict(X, w) >= 0.5).astype(np.float64) == y))
+
+
+def standardize(X: np.ndarray) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Column-standardize features; returns (Xs, mean, std).
+
+    Constant columns get std 1 so they pass through unchanged — the
+    bias column survives standardization.
+    """
+    mean = X.mean(axis=0)
+    std = X.std(axis=0)
+    std[std < 1e-12] = 1.0
+    return (X - mean) / std, mean, std

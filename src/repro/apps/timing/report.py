@@ -1,0 +1,79 @@
+"""Human-readable timing reports (OpenTimer ``report_timing`` style).
+
+Produces the per-path text reports timing engineers read: endpoint,
+slack, required/arrival, and the stage-by-stage path walk with
+per-stage delay and cumulative arrival — one block per reported path.
+"""
+
+from __future__ import annotations
+
+import io
+from typing import List, Optional
+
+import numpy as np
+
+from repro.apps.timing.graph import TimingGraph
+from repro.apps.timing.paths import Path, k_worst_paths
+from repro.apps.timing.sta import StaResult
+
+
+def _stage_rows(graph: TimingGraph, sta: StaResult, path: Path) -> List[tuple]:
+    rows = []
+    cumulative = 0.0
+    for i, node in enumerate(path.nodes):
+        if i == 0:
+            delay = 0.0
+        else:
+            prev = path.nodes[i - 1]
+            arcs = np.nonzero((graph.arc_src == prev) & (graph.arc_dst == node))[0]
+            delay = float(graph.arc_delay[arcs].max()) if arcs.size else 0.0
+            if sta.view is not None:
+                derates = sta.view.derates(graph.num_arcs)
+                delay = float((graph.arc_delay[arcs] * derates[arcs]).max())
+        cumulative += delay
+        kind = "PI" if node < graph.num_inputs else "gate"
+        rows.append((node, kind, delay, cumulative))
+    return rows
+
+
+def report_path(graph: TimingGraph, sta: StaResult, path: Path) -> str:
+    """One path block: header plus the stage walk."""
+    out = io.StringIO()
+    status = "VIOLATED" if path.slack < 0 else "MET"
+    out.write(f"Endpoint    : node {path.endpoint}\n")
+    out.write(f"Startpoint  : node {path.startpoint}\n")
+    view = sta.view.name if sta.view is not None else "(base)"
+    out.write(f"View        : {view}\n")
+    out.write(f"Required    : {sta.required[path.endpoint]:12.3f}\n")
+    out.write(f"Arrival     : {path.arrival:12.3f}\n")
+    out.write(f"Slack       : {path.slack:12.3f}  {status}\n")
+    out.write(f"{'node':>8} {'type':>6} {'delay':>10} {'arrival':>10}\n")
+    for node, kind, delay, cumulative in _stage_rows(graph, sta, path):
+        out.write(f"{node:>8} {kind:>6} {delay:>10.3f} {cumulative:>10.3f}\n")
+    return out.getvalue()
+
+
+def report_timing(
+    graph: TimingGraph,
+    sta: StaResult,
+    k: int = 1,
+    stream: Optional[io.TextIOBase] = None,
+) -> str:
+    """Report the *k* worst paths (OpenTimer's ``report_timing -num``).
+
+    Returns the text; also writes to *stream* when given.
+    """
+    paths = k_worst_paths(graph, sta, k)
+    out = io.StringIO()
+    out.write(f"---- timing report: {len(paths)} path(s), clock {sta.clock_period:.3f} ----\n")
+    wns = min((p.slack for p in paths), default=0.0)
+    tns = sum(p.slack for p in paths if p.slack < 0)
+    out.write(f"WNS {wns:.3f}  TNS {tns:.3f}\n\n")
+    for i, p in enumerate(paths, 1):
+        out.write(f"# Path {i}\n")
+        out.write(report_path(graph, sta, p))
+        out.write("\n")
+    text = out.getvalue()
+    if stream is not None:
+        stream.write(text)
+    return text

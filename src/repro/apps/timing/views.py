@@ -1,0 +1,102 @@
+"""Analysis views: process corners × analysis modes, and the Fig-4 model.
+
+A *view* is one combination of a process-variation corner (voltage,
+temperature, process skew) and an analysis mode (functional, test, ...)
+— §IV-A.  Each view derates arc delays multiplicatively; the per-view
+derate vector is what makes views differ and is the raw material for
+the correlation study.
+
+Figure 4 of the paper shows the required number of views growing
+exponentially as the technology node shrinks; :func:`views_for_node`
+reproduces that curve.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+import numpy as np
+
+from repro.utils.rng import derive_seed, seeded_rng
+
+#: canonical corner axes: (voltage scaling, temperature scaling)
+_CORNER_KINDS = ("ss", "tt", "ff")
+_MODE_KINDS = ("func", "test", "scan", "sleep")
+
+#: Fig. 4: technology node (nm) -> required corners, modes.  The
+#: product (views) grows roughly 2x per node — "exponentially as the
+#: technology node advances".
+FIG4_NODES: Dict[int, Dict[str, int]] = {
+    180: {"corners": 2, "modes": 2},
+    130: {"corners": 4, "modes": 2},
+    90: {"corners": 4, "modes": 4},
+    65: {"corners": 8, "modes": 4},
+    40: {"corners": 16, "modes": 6},
+    28: {"corners": 32, "modes": 8},
+    20: {"corners": 64, "modes": 12},
+    14: {"corners": 96, "modes": 16},
+    10: {"corners": 128, "modes": 24},
+    7: {"corners": 192, "modes": 32},
+}
+
+
+def views_for_node(node_nm: int) -> int:
+    """Required analysis views for a technology node (Fig. 4 model)."""
+    if node_nm not in FIG4_NODES:
+        raise ValueError(f"unknown technology node {node_nm}nm")
+    spec = FIG4_NODES[node_nm]
+    return spec["corners"] * spec["modes"]
+
+
+@dataclass(frozen=True)
+class View:
+    """One (corner, mode) analysis view."""
+
+    index: int
+    corner: str
+    mode: str
+    #: global delay scale for the view (slow corners > 1)
+    delay_scale: float
+    #: seed for per-arc random derates
+    seed: int
+
+    @property
+    def name(self) -> str:
+        return f"{self.corner}_{self.mode}_{self.index}"
+
+    def derates(self, num_arcs: int, spread: float = 0.08) -> np.ndarray:
+        """Per-arc multiplicative derate vector for this view.
+
+        Deterministic in the view seed; correlated across views through
+        the shared base (same arcs are slow everywhere) plus a
+        view-specific random component — this is what gives the
+        correlation layer something real to learn.
+        """
+        base = seeded_rng(derive_seed(self.seed, "base")).uniform(
+            1.0 - spread, 1.0 + spread, size=num_arcs
+        )
+        local = seeded_rng(self.seed).uniform(1.0 - spread / 2, 1.0 + spread / 2, size=num_arcs)
+        return self.delay_scale * base * local
+
+
+def enumerate_views(num_views: int, seed: int = 0) -> List[View]:
+    """Generate *num_views* distinct views cycling corners × modes."""
+    if num_views < 1:
+        raise ValueError("need at least one view")
+    views: List[View] = []
+    rng = seeded_rng(seed)
+    for i in range(num_views):
+        corner = _CORNER_KINDS[i % len(_CORNER_KINDS)]
+        mode = _MODE_KINDS[(i // len(_CORNER_KINDS)) % len(_MODE_KINDS)]
+        scale = {"ss": 1.15, "tt": 1.0, "ff": 0.88}[corner] * float(rng.uniform(0.97, 1.03))
+        views.append(
+            View(
+                index=i,
+                corner=corner,
+                mode=mode,
+                delay_scale=scale,
+                seed=derive_seed(seed, "view", i),
+            )
+        )
+    return views

@@ -1,0 +1,27 @@
+"""Central-queue (breadth-first) scheduling (ablation baseline).
+
+The work-stealing executor's owner-side LIFO pop makes progress
+depth-first: a worker finishing a task immediately runs the successor
+it just spawned, pushing each view/iteration pipeline toward its GPU
+stage quickly.  A single central FIFO queue instead drains whole graph
+levels breadth-first, delaying GPU occupancy and inflating memory
+residency.  The simulator exposes both disciplines; this module
+provides the FIFO-configured baseline (ABL-STEAL).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.sim.cost import CostModel
+from repro.sim.machine import MachineSpec
+from repro.sim.simulator import SimExecutor
+
+
+def central_queue_sim_executor(
+    machine: MachineSpec,
+    cost_model: Optional[CostModel] = None,
+    **kw,
+) -> SimExecutor:
+    """A simulator serving ready tasks in global FIFO (level) order."""
+    return SimExecutor(machine, cost_model, ready_policy="fifo", **kw)

@@ -1,0 +1,56 @@
+"""Round-robin device placement (ablation baseline).
+
+Keeps the union-find grouping (required for correctness — a kernel and
+its pull tasks must share a device) but assigns groups to GPUs in
+creation order round-robin, ignoring group cost.  Against Algorithm
+1's balanced-load bin packing this shows how skewed group sizes
+translate directly into GPU load imbalance (ABL-PLACE).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.node import Node, TaskType
+from repro.core.placement import PlacementResult, default_cost_metric
+from repro.errors import ExecutorError
+from repro.utils.union_find import UnionFind
+
+
+class RoundRobinPlacement:
+    """Group like Algorithm 1, pack by counter instead of by load."""
+
+    def place(self, nodes: Sequence[Node], num_gpus: int) -> PlacementResult:
+        gpu_nodes = [n for n in nodes if n.type.is_gpu]
+        result = PlacementResult(loads=[0.0] * num_gpus)
+        if not gpu_nodes:
+            return result
+        if num_gpus <= 0:
+            raise ExecutorError("graph contains GPU tasks but no GPUs available")
+
+        uf: UnionFind = UnionFind()
+        for n in gpu_nodes:
+            if n.type in (TaskType.PULL, TaskType.KERNEL):
+                uf.add(n)
+            if n.type is TaskType.KERNEL:
+                for p in n.kernel_sources:
+                    uf.union(n, p)
+
+        counter = 0
+        # creation order (node id) — what a naive implementation does
+        for root, members in sorted(uf.groups().items(), key=lambda kv: kv[0].nid):
+            bin_ = counter % num_gpus
+            counter += 1
+            result.loads[bin_] += default_cost_metric(members)
+            result.groups[root.nid] = [m.nid for m in members]
+            for m in members:
+                m.device = bin_
+                result.assignment[m.nid] = bin_
+
+        for n in gpu_nodes:
+            if n.type is TaskType.PUSH:
+                if n.source is None or n.source.device is None:
+                    raise ExecutorError(f"push task {n.name!r} has no placed source")
+                n.device = n.source.device
+                result.assignment[n.nid] = n.source.device
+        return result

@@ -1,0 +1,221 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+- ``info`` — library version and system inventory;
+- ``figures [names...] [--views N]`` — regenerate the paper's
+  evaluation tables on the virtual-time model (all by default);
+- ``saxpy`` — run the Listing-1 program on the threaded runtime;
+- ``dot {saxpy,timing,placement,sparsenn}`` — print a workload's task
+  graph in GraphViz DOT;
+- ``trace OUTPUT.json`` — run saxpy under a trace observer and write a
+  chrome://tracing / Perfetto JSON file.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro import __version__
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    print(f"repro {__version__} — Heteroflow reproduction (Huang & Lin)")
+    print("subsystems:")
+    print("  repro.core        task graphs + work-stealing CPU-GPU executor")
+    print("  repro.gpu         simulated multi-GPU runtime (streams/events/pools)")
+    print("  repro.sim         virtual-time machine model (scaling figures)")
+    print("  repro.apps        timing correlation, detailed placement, sparse-NN")
+    print("  repro.dist        distributed scheduling extension")
+    print("  repro.baselines   sequential oracle + ablation schedulers")
+    return 0
+
+
+def _cmd_figures(args: argparse.Namespace) -> int:
+    from repro.figures import ALL_FIGURES, fig6a_table, format_table
+
+    names = args.names or list(ALL_FIGURES)
+    unknown = [n for n in names if n not in ALL_FIGURES]
+    if unknown:
+        print(f"unknown figures: {', '.join(unknown)}", file=sys.stderr)
+        print(f"available: {', '.join(ALL_FIGURES)}", file=sys.stderr)
+        return 2
+    for name in names:
+        if name == "fig6a" and args.views:
+            table = fig6a_table(num_views=args.views)
+        else:
+            table = ALL_FIGURES[name]()
+        print(format_table(name.upper(), table))
+        print()
+    return 0
+
+
+def _build_saxpy():
+    from repro.core import Heteroflow
+
+    n = 65536
+    x: List[int] = []
+    y: List[int] = []
+
+    def saxpy(ctx, n, a, xv, yv):
+        i = ctx.flat_indices()
+        i = i[i < n]
+        yv[i] = a * xv[i] + yv[i]
+
+    hf = Heteroflow("saxpy")
+    host_x = hf.host(lambda: x.extend([1] * n), name="host_x")
+    host_y = hf.host(lambda: y.extend([2] * n), name="host_y")
+    pull_x = hf.pull(x, name="pull_x")
+    pull_y = hf.pull(y, name="pull_y")
+    kernel = (
+        hf.kernel(saxpy, n, 2, pull_x, pull_y, name="saxpy")
+        .block_x(256)
+        .grid_x((n + 255) // 256)
+    )
+    push_x = hf.push(pull_x, x, name="push_x")
+    push_y = hf.push(pull_y, y, name="push_y")
+    host_x.precede(pull_x)
+    host_y.precede(pull_y)
+    kernel.succeed(pull_x, pull_y).precede(push_x, push_y)
+    return hf, x, y, n
+
+
+def _cmd_saxpy(args: argparse.Namespace) -> int:
+    from repro.core import Executor
+
+    hf, x, y, n = _build_saxpy()
+    with Executor(num_workers=args.workers, num_gpus=args.gpus) as ex:
+        ex.run(hf).result()
+    ok = y == [4] * n
+    print(f"saxpy over {n} elements on {args.workers} workers / {args.gpus} GPUs: "
+          f"{'OK' if ok else 'MISMATCH'}")
+    return 0 if ok else 1
+
+
+def _cmd_dot(args: argparse.Namespace) -> int:
+    if args.workload == "saxpy":
+        hf, *_ = _build_saxpy()
+    elif args.workload == "timing":
+        from repro.apps.timing import build_timing_flow
+
+        hf = build_timing_flow(num_views=2, num_gates=60, paths_per_view=8).graph
+    elif args.workload == "placement":
+        from repro.apps.placement import build_placement_flow
+
+        hf = build_placement_flow(num_cells=40, iterations=2).graph
+    else:
+        from repro.apps.sparsenn import build_inference_flow
+
+        hf = build_inference_flow(
+            width=16, num_layers=2, batch_size=8, num_blocks=2, num_shards=2
+        ).graph
+    sys.stdout.write(hf.dump())
+    return 0
+
+
+def _cmd_gantt(args: argparse.Namespace) -> int:
+    from repro.sim import SimExecutor, paper_testbed
+    from repro.sim.trace import render_gantt, summarize
+
+    if args.workload == "timing":
+        from repro.apps.timing import build_timing_flow
+
+        flow = build_timing_flow(num_views=args.size or 8, num_gates=60, paths_per_view=8)
+    elif args.workload == "placement":
+        from repro.apps.placement import build_placement_flow
+
+        flow = build_placement_flow(
+            num_cells=40, iterations=args.size or 4, num_matchers=32, window_size=1
+        )
+    else:
+        from repro.apps.sparsenn import build_inference_flow
+
+        flow = build_inference_flow(
+            width=32,
+            num_layers=args.size or 6,
+            batch_size=16,
+            num_blocks=4,
+            num_shards=2,
+            paper_nnz_scale=1e4,
+        )
+    sim = SimExecutor(
+        paper_testbed(args.cores, args.gpus), flow.cost_model, record_trace=True
+    )
+    rep = sim.run(flow.graph)
+    print(summarize(rep.trace, rep.makespan))
+    print()
+    print(render_gantt(rep.trace, width=args.width, makespan=rep.makespan))
+    print(f"\nmakespan: {rep.makespan:.3f}s on {args.cores} cores / {args.gpus} GPUs")
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.core import Executor, TraceObserver
+    from repro.core.tracing import write_chrome_trace
+
+    hf, x, y, n = _build_saxpy()
+    obs = TraceObserver()
+    with Executor(num_workers=2, num_gpus=2, observers=[obs]) as ex:
+        ex.run(hf).result()
+    write_chrome_trace(obs, args.output)
+    print(f"wrote {len(obs.records)} events to {args.output} "
+          f"(open in chrome://tracing or Perfetto)")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Heteroflow reproduction: tools and figure regeneration",
+    )
+    sub = parser.add_subparsers(dest="command")
+
+    sub.add_parser("info", help="version and subsystem inventory")
+
+    figures = sub.add_parser("figures", help="regenerate evaluation tables")
+    figures.add_argument("names", nargs="*", help="fig4 fig6a fig6b fig9a fig9b")
+    figures.add_argument(
+        "--views", type=int, default=0,
+        help="view count for fig6a (default 1024; smaller is faster)",
+    )
+
+    saxpy = sub.add_parser("saxpy", help="run Listing 1 on the threaded runtime")
+    saxpy.add_argument("--workers", type=int, default=4)
+    saxpy.add_argument("--gpus", type=int, default=2)
+
+    dot = sub.add_parser("dot", help="print a workload graph as DOT")
+    dot.add_argument(
+        "workload", choices=["saxpy", "timing", "placement", "sparsenn"]
+    )
+
+    trace = sub.add_parser("trace", help="write a chrome-trace of a saxpy run")
+    trace.add_argument("output", help="output .json path")
+
+    gantt = sub.add_parser(
+        "gantt", help="simulate a workload and render an ASCII Gantt chart"
+    )
+    gantt.add_argument("workload", choices=["timing", "placement", "sparsenn"])
+    gantt.add_argument("--cores", type=int, default=8)
+    gantt.add_argument("--gpus", type=int, default=2)
+    gantt.add_argument("--size", type=int, default=0, help="views/iterations/layers")
+    gantt.add_argument("--width", type=int, default=100)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    handlers = {
+        "info": _cmd_info,
+        "figures": _cmd_figures,
+        "saxpy": _cmd_saxpy,
+        "dot": _cmd_dot,
+        "trace": _cmd_trace,
+        "gantt": _cmd_gantt,
+    }
+    if args.command is None:
+        parser.print_help()
+        return 2
+    return handlers[args.command](args)

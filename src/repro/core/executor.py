@@ -1,0 +1,465 @@
+"""The Heteroflow executor: CPU workers + GPU co-scheduling.
+
+Reproduces the runtime of paper §III-B/C:
+
+- ``Executor(num_workers, num_gpus)`` spawns *uniform* CPU worker
+  threads — no worker is dedicated to a GPU ("we do not dedicate a
+  worker to manage a target GPU"); GPU work is dispatched by whichever
+  worker picks up the task;
+- submitted graphs go through **device placement** (Algorithm 1), then
+  enter a **work-stealing** loop: each worker drains its local queue
+  and turns thief when empty, stealing from a random victim;
+- GPU tasks are invoked under an RAII :class:`ScopedDeviceContext`, on a
+  **per-(worker, device) stream**, and complete asynchronously — the
+  dispatching worker moves on immediately, and the stream callback
+  releases successors (the event-synchronized pattern of Listing 13);
+- per-device **buddy-allocator memory pools** back all pull buffers;
+- ``run`` / ``run_n`` / ``run_until`` are non-blocking and return
+  futures; ``wait_for_all`` blocks until every submitted graph is done;
+  the whole interface is thread-safe.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import threading
+from collections import deque
+from concurrent.futures import Future
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.heteroflow import Heteroflow
+from repro.core.node import Node, TaskType
+from repro.core.notifier import Notifier
+from repro.core.observer import ExecutorObserver
+from repro.core.placement import CostMetric, DevicePlacement
+from repro.core.task import PullTask
+from repro.core.topology import Topology
+from repro.core.wsq import WorkStealingQueue
+from repro.errors import ExecutorError, KernelError
+from repro.gpu.device import DEFAULT_MEMORY_BYTES, GpuRuntime, ScopedDeviceContext
+from repro.gpu.kernel import launch_async
+from repro.gpu.stream import Stream
+
+#: queue items are (topology, node) pairs
+WorkItem = Tuple[Topology, Node]
+
+#: how long a committed sleeper waits before re-polling the queues;
+#: bounds the cost of any lost-wakeup bug without busy spinning
+_SLEEP_TIMEOUT = 0.02
+
+
+class Executor:
+    """Runs Heteroflow graphs over N CPU workers and M simulated GPUs."""
+
+    def __init__(
+        self,
+        num_workers: Optional[int] = None,
+        num_gpus: int = 0,
+        *,
+        gpu_memory_bytes: int = DEFAULT_MEMORY_BYTES,
+        observers: Sequence[ExecutorObserver] = (),
+        cost_metric: Optional[CostMetric] = None,
+        seed: int = 0,
+    ) -> None:
+        if num_workers is None:
+            num_workers = os.cpu_count() or 1
+        if num_workers < 1:
+            raise ExecutorError("executor needs at least one worker")
+        if num_gpus < 0:
+            raise ExecutorError("GPU count must be non-negative")
+        self._num_workers = num_workers
+        self._gpu = GpuRuntime(num_gpus, gpu_memory_bytes)
+        self._placement = DevicePlacement(cost_metric)
+        self._observers: List[ExecutorObserver] = list(observers)
+
+        self._queues: List[WorkStealingQueue[WorkItem]] = [
+            WorkStealingQueue() for _ in range(num_workers)
+        ]
+        self._shared: WorkStealingQueue[WorkItem] = WorkStealingQueue()
+        self._notifier = Notifier()
+        self._done = False
+
+        # per-graph topology FIFO: serializes repeated submissions of
+        # the same graph (join counters live on shared nodes)
+        self._graph_queues: Dict[int, deque] = {}
+        self._graph_lock = threading.Lock()
+        # outstanding future -> topology (for cancel)
+        self._futures: Dict[Future, Topology] = {}
+
+        # outstanding-topology accounting for wait_for_all
+        self._num_topologies = 0
+        self._topology_cv = threading.Condition()
+
+        # lazily created per-(worker, device) streams
+        self._streams: List[Dict[int, Stream]] = [{} for _ in range(num_workers)]
+        self._stream_lock = threading.Lock()
+
+        self._tls = threading.local()
+        self._seed = seed
+        self._threads = [
+            threading.Thread(
+                target=self._worker_loop, args=(i,), name=f"hf-worker{i}", daemon=True
+            )
+            for i in range(num_workers)
+        ]
+        for t in self._threads:
+            t.start()
+
+    # ------------------------------------------------------------------
+    # public interface
+    # ------------------------------------------------------------------
+    @property
+    def num_workers(self) -> int:
+        return self._num_workers
+
+    @property
+    def num_gpus(self) -> int:
+        return self._gpu.device_count
+
+    @property
+    def gpu_runtime(self) -> GpuRuntime:
+        """The executor-owned simulated GPU runtime (inspection)."""
+        return self._gpu
+
+    def add_observer(self, observer: ExecutorObserver) -> None:
+        self._observers.append(observer)
+
+    def remove_observer(self, observer: ExecutorObserver) -> None:
+        self._observers.remove(observer)
+
+    def profile(self, graph: Heteroflow):
+        """Run *graph* once under a fresh trace observer (blocking).
+
+        Returns the :class:`~repro.core.observer.TraceObserver` with the
+        run's task records — a one-liner for quick performance looks.
+        """
+        from repro.core.observer import TraceObserver
+
+        obs = TraceObserver()
+        self.add_observer(obs)
+        try:
+            self.run(graph).result()
+        finally:
+            self.remove_observer(obs)
+        return obs
+
+    def run(self, graph: Heteroflow) -> Future:
+        """Run *graph* once; non-blocking, returns a future."""
+        return self.run_n(graph, 1)
+
+    def run_n(self, graph: Heteroflow, n: int) -> Future:
+        """Run *graph* *n* times back to back; non-blocking."""
+        if n < 0:
+            raise ExecutorError("repeat count must be non-negative")
+        return self._submit(Topology(graph, repeats=n))
+
+    def run_until(self, graph: Heteroflow, predicate: Callable[[], bool]) -> Future:
+        """Run *graph* repeatedly until *predicate()* is True.
+
+        The predicate is evaluated after each pass (do/while), on a
+        worker thread; it must be thread-safe.
+        """
+        if not callable(predicate):
+            raise ExecutorError("run_until requires a callable predicate")
+        return self._submit(Topology(graph, repeats=None, predicate=predicate))
+
+    def cancel(self, future: Future) -> bool:
+        """Request cancellation of a submission by its future.
+
+        Tasks already executing finish; every not-yet-run task of the
+        topology is flushed without running and the future resolves
+        with ``CancelledError``.  Returns False when the future is not
+        an outstanding submission of this executor (e.g. already done).
+        """
+        with self._graph_lock:
+            topology = self._futures.get(future)
+        if topology is None or future.done():
+            return False
+        topology.cancel()
+        return True
+
+    def wait_for_all(self) -> None:
+        """Block until every topology submitted so far has finished."""
+        with self._topology_cv:
+            while self._num_topologies > 0:
+                self._topology_cv.wait()
+
+    def shutdown(self, wait: bool = True) -> None:
+        """Stop workers and tear down the GPU runtime (idempotent)."""
+        if wait and not self._done:
+            self.wait_for_all()
+        self._done = True
+        self._notifier.notify_all()
+        for t in self._threads:
+            t.join()
+        self._gpu.synchronize()
+        self._gpu.destroy()
+
+    def __enter__(self) -> "Executor":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.shutdown(wait=exc[0] is None)
+
+    # ------------------------------------------------------------------
+    # submission / topology lifecycle
+    # ------------------------------------------------------------------
+    def _submit(self, topology: Topology) -> Future:
+        if self._done:
+            raise ExecutorError("executor is shut down")
+        graph = topology.graph
+        if topology.repeats == 0 or graph.empty:
+            # nothing to execute: resolve immediately with zero passes
+            topology.future.set_result(0)
+            return topology.future
+        graph.validate()
+        with self._topology_cv:
+            self._num_topologies += 1
+        start_now = False
+        with self._graph_lock:
+            q = self._graph_queues.setdefault(id(graph), deque())
+            q.append(topology)
+            self._futures[topology.future] = topology
+            start_now = len(q) == 1
+        if start_now:
+            self._start_topology(topology)
+        return topology.future
+
+    def _start_topology(self, topology: Topology) -> None:
+        graph = topology.graph
+        for obs in self._observers:
+            obs.on_topology_begin(graph.name, len(graph.nodes))
+        try:
+            topology.placement = self._placement.place(graph.nodes, self.num_gpus)
+        except Exception as exc:  # placement failure fails the run
+            topology.fail(exc)
+            self._finalize_topology(topology)
+            return
+        self._dispatch_pass(topology)
+
+    def _dispatch_pass(self, topology: Topology) -> None:
+        graph = topology.graph
+        topology.begin_pass()
+        for node in graph.nodes:
+            node.reset_join_counter()
+        sources = [n for n in graph.nodes if n.is_source]
+        for node in sources:
+            self._schedule(topology, node)
+
+    def _finalize_topology(self, topology: Topology) -> None:
+        graph = topology.graph
+        # release pooled pull buffers
+        for node in graph.nodes:
+            if node.buffer is not None:
+                node.buffer.free()
+                node.buffer = None
+        for obs in self._observers:
+            obs.on_topology_end(graph.name, len(graph.nodes))
+        topology.complete()
+        # start the next queued topology of this graph, if any
+        next_topology: Optional[Topology] = None
+        with self._graph_lock:
+            self._futures.pop(topology.future, None)
+            q = self._graph_queues.get(id(graph))
+            if q:
+                q.popleft()
+                if q:
+                    next_topology = q[0]
+                else:
+                    del self._graph_queues[id(graph)]
+        with self._topology_cv:
+            self._num_topologies -= 1
+            self._topology_cv.notify_all()
+        if next_topology is not None:
+            self._start_topology(next_topology)
+
+    # ------------------------------------------------------------------
+    # scheduling plumbing
+    # ------------------------------------------------------------------
+    def _schedule(self, topology: Topology, node: Node) -> None:
+        """Enqueue a ready node: local queue when on a worker thread
+        (cache-friendly LIFO), shared queue otherwise (submitter or
+        stream-callback threads)."""
+        wid = getattr(self._tls, "wid", None)
+        if wid is not None:
+            self._queues[wid].push((topology, node))
+        else:
+            self._shared.push((topology, node))
+        self._notifier.notify_one()
+
+    def _next_item(self, wid: int, rng: random.Random) -> Optional[WorkItem]:
+        item = self._queues[wid].pop()
+        if item is not None:
+            return item
+        item = self._shared.steal()
+        if item is not None:
+            return item
+        # steal from random victims; bounded rounds keep the thief
+        # responsive to the sleep protocol
+        n = self._num_workers
+        if n > 1:
+            for _ in range(2 * n):
+                victim = rng.randrange(n)
+                if victim == wid:
+                    continue
+                item = self._queues[victim].steal()
+                if item is not None:
+                    return item
+        return None
+
+    def _worker_loop(self, wid: int) -> None:
+        self._tls.wid = wid
+        rng = random.Random((self._seed << 16) ^ wid)
+        while True:
+            item = self._next_item(wid, rng)
+            if item is not None:
+                self._invoke(wid, *item)
+                continue
+            if self._done:
+                return
+            # two-phase commit sleep: announce, re-check, commit
+            epoch = self._notifier.prepare_wait()
+            item = self._next_item(wid, rng)
+            if item is not None:
+                self._notifier.cancel_wait()
+                self._invoke(wid, *item)
+                continue
+            if self._done:
+                self._notifier.cancel_wait()
+                return
+            self._notifier.commit_wait(epoch, timeout=_SLEEP_TIMEOUT)
+
+    # ------------------------------------------------------------------
+    # task invocation (visitor pattern over task types)
+    # ------------------------------------------------------------------
+    def _invoke(self, wid: int, topology: Topology, node: Node) -> None:
+        if topology.failed:
+            # fast-cancel: flush remaining nodes without running them
+            self._finish_node(topology, node)
+            return
+        for obs in self._observers:
+            obs.on_task_begin(wid, node)
+        try:
+            if node.type is TaskType.HOST:
+                assert node.callable is not None
+                node.callable()
+                self._task_done(wid, topology, node)
+            elif node.type is TaskType.PULL:
+                self._invoke_pull(wid, topology, node)
+            elif node.type is TaskType.PUSH:
+                self._invoke_push(wid, topology, node)
+            elif node.type is TaskType.KERNEL:
+                self._invoke_kernel(wid, topology, node)
+            else:
+                raise ExecutorError(f"cannot execute task of type {node.type}")
+        except BaseException as exc:  # noqa: BLE001 - routed to future
+            topology.fail(exc)
+            self._task_done(wid, topology, node)
+
+    def _task_done(self, wid: int, topology: Topology, node: Node) -> None:
+        for obs in self._observers:
+            obs.on_task_end(wid, node)
+        self._finish_node(topology, node)
+
+    def _finish_node(self, topology: Topology, node: Node) -> None:
+        for succ in node.successors:
+            if succ.release_dependency():
+                self._schedule(topology, succ)
+        if topology.node_finished():
+            if topology.pass_completed():
+                self._finalize_topology(topology)
+            else:
+                self._dispatch_pass(topology)
+
+    # -- GPU task visitors ------------------------------------------
+    def _stream_for(self, wid: int, device_ordinal: int) -> Stream:
+        streams = self._streams[wid]
+        s = streams.get(device_ordinal)
+        if s is None:
+            with self._stream_lock:
+                s = streams.get(device_ordinal)
+                if s is None:
+                    s = self._gpu.device(device_ordinal).create_stream(f"w{wid}")
+                    streams[device_ordinal] = s
+        return s
+
+    def _gpu_callback(self, wid: int, topology: Topology, node: Node) -> Callable:
+        def done(err: Optional[BaseException]) -> None:
+            if err is not None:
+                topology.fail(err)
+            self._task_done(wid, topology, node)
+
+        return done
+
+    def _invoke_pull(self, wid: int, topology: Topology, node: Node) -> None:
+        assert node.span is not None and node.device is not None
+        device = self._gpu.device(node.device)
+        with ScopedDeviceContext(device):
+            stream = self._stream_for(wid, node.device)
+            host = node.span.host_array()
+            need = max(int(host.nbytes), 1)
+            buf = node.buffer
+            if buf is not None and (buf.device is not device or buf.nbytes < need):
+                buf.free()
+                buf = None
+            if buf is None:
+                buf = device.heap.allocate(need, dtype=host.dtype)
+                node.buffer = buf
+            else:
+                buf.dtype = host.dtype
+            self._gpu.memcpy_h2d_async(
+                buf, host, stream, callback=self._gpu_callback(wid, topology, node)
+            )
+
+    def _invoke_push(self, wid: int, topology: Topology, node: Node) -> None:
+        assert node.span is not None and node.source is not None
+        src = node.source.buffer
+        if src is None:
+            raise KernelError(
+                f"push task {node.name!r} ran before its pull task "
+                f"{node.source.name!r}; add the missing dependency"
+            )
+        device = self._gpu.device(node.device if node.device is not None else src.device.ordinal)
+        with ScopedDeviceContext(device):
+            stream = self._stream_for(wid, device.ordinal)
+            staging = np.empty(src.size, dtype=src.dtype)
+            span = node.span
+            inner = self._gpu_callback(wid, topology, node)
+
+            def done(err: Optional[BaseException]) -> None:
+                if err is None:
+                    try:
+                        span.write_back(staging)
+                    except BaseException as exc:  # noqa: BLE001
+                        err = exc
+                inner(err)
+
+            self._gpu.memcpy_d2h_async(staging, src, stream, callback=done)
+
+    def _invoke_kernel(self, wid: int, topology: Topology, node: Node) -> None:
+        assert node.kernel_fn is not None and node.device is not None
+        device = self._gpu.device(node.device)
+        converted: List[Any] = []
+        for arg in node.kernel_args:
+            if isinstance(arg, PullTask):
+                buf = arg.node.buffer
+                if buf is None:
+                    raise KernelError(
+                        f"kernel {node.name!r} ran before pull task "
+                        f"{arg.node.name!r}; add the missing dependency"
+                    )
+                converted.append(buf)
+            else:
+                converted.append(arg)
+        with ScopedDeviceContext(device):
+            stream = self._stream_for(wid, node.device)
+            launch_async(
+                stream,
+                node.launch,
+                node.kernel_fn,
+                *converted,
+                callback=self._gpu_callback(wid, topology, node),
+            )

@@ -1,0 +1,179 @@
+"""The :class:`Heteroflow` graph: task creation, inspection, DOT dump.
+
+Mirrors the paper's ``hf::Heteroflow`` class (§III-A): an object-
+oriented container for one task dependency graph, with creation methods
+for the four task types, placeholder creation, and DOT visualization
+(Listing 11).  Graphs are passive — they execute only when submitted to
+an :class:`~repro.core.executor.Executor`.
+"""
+
+from __future__ import annotations
+
+import io
+import itertools
+from collections import deque
+from typing import Any, Callable, Dict, List, Optional, Type
+
+from repro.core.node import Node, TaskType
+from repro.core.task import HostTask, KernelTask, PullTask, PushTask, Task, handle_for
+from repro.errors import CycleError, GraphError
+from repro.utils.dot import DotWriter
+
+_graph_ids = itertools.count()
+
+#: DOT fill colours per task type, for quick visual triage.
+_DOT_STYLE: Dict[TaskType, str] = {
+    TaskType.HOST: "white",
+    TaskType.PULL: "lightskyblue",
+    TaskType.PUSH: "lightsalmon",
+    TaskType.KERNEL: "palegreen",
+    TaskType.PLACEHOLDER: "lightgray",
+}
+
+
+class Heteroflow:
+    """A directed-acyclic task dependency graph."""
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name or f"heteroflow{next(_graph_ids)}"
+        self._nodes: List[Node] = []
+
+    # -- task creation ---------------------------------------------
+    def _add(self, type_: TaskType, name: str = "") -> Node:
+        node = Node(type_, name)
+        self._nodes.append(node)
+        return node
+
+    def host(self, callable_: Callable[[], Any], name: str = "") -> HostTask:
+        """Create a host task running *callable_* on a CPU core."""
+        return HostTask(self._add(TaskType.HOST, name)).host(callable_)
+
+    def pull(self, *args: Any, name: str = "") -> PullTask:
+        """Create a pull (H2D) task over a stateful span (Listing 3)."""
+        return PullTask(self._add(TaskType.PULL, name)).pull(*args)
+
+    def push(self, source: PullTask, *args: Any, name: str = "") -> PushTask:
+        """Create a push (D2H) task from *source*'s device data (Listing 5)."""
+        return PushTask(self._add(TaskType.PUSH, name)).push(source, *args)
+
+    def kernel(self, fn: Callable, *args: Any, name: str = "") -> KernelTask:
+        """Create a kernel task offloading *fn* to a GPU (Listing 7).
+
+        Pull-task arguments become placement sources; dependencies on
+        them must still be added explicitly with ``precede``/``succeed``.
+        """
+        return KernelTask(self._add(TaskType.KERNEL, name)).kernel(fn, *args)
+
+    def placeholder(self, handle_type: Type[Task] = Task, name: str = "") -> Task:
+        """Create a node whose work is bound later (paper §III-A-1).
+
+        The returned handle participates in dependency links right away;
+        binding work (``.host(...)``, ``.pull(...)``, ...) must happen
+        before execution or the run fails with ``EmptyTaskError``.
+        """
+        node = self._add(TaskType.PLACEHOLDER, name)
+        if handle_type is Task:
+            return Task(node)
+        if handle_type in (HostTask, PullTask, PushTask, KernelTask):
+            return handle_type(node)
+        raise GraphError(f"unknown task handle type {handle_type!r}")
+
+    # -- inspection --------------------------------------------------
+    @property
+    def num_nodes(self) -> int:
+        return len(self._nodes)
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    @property
+    def empty(self) -> bool:
+        return not self._nodes
+
+    @property
+    def nodes(self) -> List[Node]:
+        """Internal node list (used by executor/placement/simulator)."""
+        return self._nodes
+
+    def tasks(self) -> List[Task]:
+        """Handles for every node, in creation order."""
+        return [handle_for(n) for n in self._nodes]
+
+    def num_tasks_of(self, type_: TaskType) -> int:
+        return sum(1 for n in self._nodes if n.type is type_)
+
+    def clear(self) -> None:
+        """Remove all tasks (outstanding handles become dangling)."""
+        self._nodes.clear()
+
+    # -- validation --------------------------------------------------
+    def topological_order(self) -> List[Node]:
+        """Kahn topological order; raises :class:`CycleError` on cycles
+        and :class:`GraphError` on edges escaping this graph."""
+        own = set(map(id, self._nodes))
+        indeg: Dict[int, int] = {}
+        for n in self._nodes:
+            indeg[id(n)] = len(n.dependents)
+            for s in n.successors:
+                if id(s) not in own:
+                    raise GraphError(
+                        f"task {n.name!r} precedes {s.name!r}, "
+                        f"which belongs to a different graph"
+                    )
+        ready = deque(n for n in self._nodes if indeg[id(n)] == 0)
+        order: List[Node] = []
+        while ready:
+            n = ready.popleft()
+            order.append(n)
+            for s in n.successors:
+                indeg[id(s)] -= 1
+                if indeg[id(s)] == 0:
+                    ready.append(s)
+        if len(order) != len(self._nodes):
+            stuck = [n.name for n in self._nodes if indeg[id(n)] > 0]
+            raise CycleError(stuck)
+        return order
+
+    def validate(self) -> None:
+        """Check the graph is acyclic and every node has work bound."""
+        self.topological_order()
+        for n in self._nodes:
+            if n.type is TaskType.PLACEHOLDER:
+                raise GraphError(f"placeholder task {n.name!r} was never assigned work")
+            if n.type is TaskType.HOST and n.callable is None:
+                raise GraphError(f"host task {n.name!r} has no callable")
+            if n.type is TaskType.PULL and n.span is None:
+                raise GraphError(f"pull task {n.name!r} has no span")
+            if n.type is TaskType.PUSH and (n.source is None or n.span is None):
+                raise GraphError(f"push task {n.name!r} is incompletely bound")
+            if n.type is TaskType.KERNEL and n.kernel_fn is None:
+                raise GraphError(f"kernel task {n.name!r} has no kernel")
+
+    @property
+    def has_gpu_tasks(self) -> bool:
+        return any(n.type.is_gpu for n in self._nodes)
+
+    # -- visualization ------------------------------------------------
+    def dump(self, stream: Optional[io.TextIOBase] = None) -> str:
+        """Serialize to GraphViz DOT (Listing 11); returns the text."""
+        w = DotWriter(self.name)
+        for n in self._nodes:
+            label = n.name
+            if n.type is TaskType.KERNEL:
+                gx, _, _ = n.launch.grid
+                bx, _, _ = n.launch.block
+                label = f"{n.name}\\n<<<{gx},{bx}>>>"
+            w.add_node(
+                id(n),
+                label,
+                shape="box" if n.type.is_gpu else "ellipse",
+                style="filled",
+                fillcolor=_DOT_STYLE[n.type],
+            )
+        for n in self._nodes:
+            for s in n.successors:
+                w.add_edge(id(n), id(s))
+        return w.render(stream)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"Heteroflow({self.name!r}, tasks={len(self._nodes)})"

@@ -1,0 +1,123 @@
+"""Graph nodes: the internal storage behind task handles.
+
+A node stores its task type, a polymorphic work payload, dependency
+edges, and per-run scheduling state (join counter, assigned device,
+device buffer for pull tasks).  User code never touches nodes directly;
+the task-handle layer (:mod:`repro.core.task`) wraps them, exactly as
+the paper's handle layer wraps graph-node pointers to "prevent users
+from direct access to the internal graph storage".
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from enum import Enum
+from typing import TYPE_CHECKING, Any, Callable, List, Optional, Tuple
+
+from repro.errors import GraphError
+from repro.gpu.kernel import LaunchConfig
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.gpu.memory import DeviceBuffer
+    from repro.utils.span import Span
+
+_node_ids = itertools.count()
+
+
+class TaskType(Enum):
+    """The four task categories of the Heteroflow model.
+
+    ``PLACEHOLDER`` marks a created-but-unassigned node; it must be
+    given work (via the handle's rebind method) before execution.
+    """
+
+    HOST = "host"
+    PULL = "pull"
+    PUSH = "push"
+    KERNEL = "kernel"
+    PLACEHOLDER = "placeholder"
+
+    @property
+    def is_gpu(self) -> bool:
+        return self in (TaskType.PULL, TaskType.PUSH, TaskType.KERNEL)
+
+
+class Node:
+    """One vertex of a task dependency graph."""
+
+    __slots__ = (
+        "nid",
+        "name",
+        "type",
+        # edges
+        "successors",
+        "dependents",
+        # payloads (by type)
+        "callable",  # HOST
+        "span",  # PULL (host-side span) / PUSH (target span)
+        "source",  # PUSH: the source pull node
+        "kernel_fn",  # KERNEL
+        "kernel_args",  # KERNEL: raw argument list (may contain pull handles)
+        "kernel_sources",  # KERNEL: gathered source pull nodes
+        "launch",  # KERNEL: LaunchConfig
+        # per-run scheduling state
+        "join_counter",
+        "device",
+        "buffer",
+        "_lock",
+    )
+
+    def __init__(self, type_: TaskType, name: str = "") -> None:
+        self.nid = next(_node_ids)
+        self.name = name or f"{type_.value}{self.nid}"
+        self.type = type_
+        self.successors: List[Node] = []
+        self.dependents: List[Node] = []
+        self.callable: Optional[Callable[[], Any]] = None
+        self.span: Optional["Span"] = None
+        self.source: Optional[Node] = None
+        self.kernel_fn: Optional[Callable] = None
+        self.kernel_args: Tuple[Any, ...] = ()
+        self.kernel_sources: List[Node] = []
+        self.launch = LaunchConfig()
+        self.join_counter = 0
+        self.device: Optional[int] = None
+        self.buffer: Optional["DeviceBuffer"] = None
+        self._lock = threading.Lock()
+
+    # -- structure ---------------------------------------------------
+    def precede(self, other: "Node") -> None:
+        """Add a directed edge self -> other (idempotent duplicate-safe
+        at graph level is *not* enforced; the paper allows parallel
+        edges and counts each as a dependency)."""
+        if other is self:
+            raise GraphError(f"task {self.name!r} cannot precede itself")
+        self.successors.append(other)
+        other.dependents.append(self)
+
+    @property
+    def num_successors(self) -> int:
+        return len(self.successors)
+
+    @property
+    def num_dependents(self) -> int:
+        return len(self.dependents)
+
+    @property
+    def is_source(self) -> bool:
+        """True if the node has no dependents (run-ready at start)."""
+        return not self.dependents
+
+    # -- per-run state -------------------------------------------------
+    def reset_join_counter(self) -> None:
+        self.join_counter = len(self.dependents)
+
+    def release_dependency(self) -> bool:
+        """Atomically decrement the join counter; True when it hits 0."""
+        with self._lock:
+            self.join_counter -= 1
+            return self.join_counter == 0
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"Node({self.type.value}, {self.name!r})"

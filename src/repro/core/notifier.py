@@ -1,0 +1,61 @@
+"""Two-phase-commit wait/notify primitive (eventcount-lite).
+
+The executor's adaptive work-stealing loop needs workers to sleep
+without losing wakeups: a worker (1) announces intent to sleep,
+(2) re-checks the queues, and (3) commits to sleeping only if nothing
+arrived since the announcement.  This is Dekker-style eventcount logic;
+here an epoch counter under a condition variable provides the same
+guarantee: a ``notify`` that happens after ``prepare_wait`` but before
+``commit_wait`` bumps the epoch and the commit returns immediately.
+"""
+
+from __future__ import annotations
+
+import threading
+
+
+class Notifier:
+    """Epoch-based eventcount for sleeping work-stealing workers."""
+
+    def __init__(self) -> None:
+        self._cond = threading.Condition()
+        self._epoch = 0
+        self._num_waiters = 0
+
+    def prepare_wait(self) -> int:
+        """Phase 1: announce intent; returns the observed epoch."""
+        with self._cond:
+            self._num_waiters += 1
+            return self._epoch
+
+    def cancel_wait(self) -> None:
+        """Abort a prepared wait (the re-check found work)."""
+        with self._cond:
+            self._num_waiters -= 1
+
+    def commit_wait(self, epoch: int, timeout: float | None = None) -> None:
+        """Phase 2: sleep until the epoch advances past *epoch*."""
+        with self._cond:
+            try:
+                while self._epoch == epoch:
+                    if not self._cond.wait(timeout):
+                        return  # timed out; caller re-checks queues
+            finally:
+                self._num_waiters -= 1
+
+    def notify_one(self) -> None:
+        """Wake (at least) one waiter; never lost w.r.t. prepare_wait."""
+        with self._cond:
+            self._epoch += 1
+            self._cond.notify()
+
+    def notify_all(self) -> None:
+        with self._cond:
+            self._epoch += 1
+            self._cond.notify_all()
+
+    @property
+    def num_waiters(self) -> int:
+        """Approximate count of workers in the wait protocol."""
+        with self._cond:
+            return self._num_waiters

@@ -1,0 +1,112 @@
+"""Executor observers: task lifecycle hooks for tracing and profiling.
+
+The benchmark harness and tests need visibility into when each task ran
+and where (worker, device).  Observers receive begin/end callbacks on
+the executing thread; :class:`TraceObserver` records them into an
+in-memory trace suitable for Gantt rendering and utilization stats.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, List, Optional
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.node import Node
+
+
+class ExecutorObserver:
+    """Base class; all hooks are optional overrides.
+
+    Hooks run on worker or stream-dispatcher threads; implementations
+    must be thread-safe and fast.
+    """
+
+    def on_task_begin(self, worker_id: int, node: "Node") -> None:
+        """Called just before a task's work executes."""
+
+    def on_task_end(self, worker_id: int, node: "Node") -> None:
+        """Called after the task (including async GPU part) completes."""
+
+    def on_topology_begin(self, graph_name: str, num_nodes: int) -> None:
+        """Called when a submitted graph starts an execution pass."""
+
+    def on_topology_end(self, graph_name: str, num_nodes: int) -> None:
+        """Called when a submitted graph finishes all its passes."""
+
+
+@dataclass
+class TaskRecord:
+    """One executed task instance."""
+
+    name: str
+    type: str
+    worker_id: int
+    device: Optional[int]
+    begin: float
+    end: float
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.begin
+
+
+class TraceObserver(ExecutorObserver):
+    """Collects :class:`TaskRecord` entries with wall-clock stamps."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._open: Dict[int, tuple] = {}
+        self.records: List[TaskRecord] = []
+        self.topologies_started = 0
+        self.topologies_finished = 0
+
+    def on_task_begin(self, worker_id: int, node: "Node") -> None:
+        with self._lock:
+            self._open[node.nid] = (worker_id, time.perf_counter())
+
+    def on_task_end(self, worker_id: int, node: "Node") -> None:
+        now = time.perf_counter()
+        with self._lock:
+            wid, begin = self._open.pop(node.nid, (worker_id, now))
+            self.records.append(
+                TaskRecord(
+                    name=node.name,
+                    type=node.type.value,
+                    worker_id=wid,
+                    device=node.device,
+                    begin=begin,
+                    end=now,
+                )
+            )
+
+    def on_topology_begin(self, graph_name: str, num_nodes: int) -> None:
+        with self._lock:
+            self.topologies_started += 1
+
+    def on_topology_end(self, graph_name: str, num_nodes: int) -> None:
+        with self._lock:
+            self.topologies_finished += 1
+
+    # -- queries -----------------------------------------------------
+    def count_by_type(self) -> Dict[str, int]:
+        with self._lock:
+            out: Dict[str, int] = {}
+            for r in self.records:
+                out[r.type] = out.get(r.type, 0) + 1
+            return out
+
+    def tasks_per_device(self) -> Dict[Optional[int], int]:
+        with self._lock:
+            out: Dict[Optional[int], int] = {}
+            for r in self.records:
+                if r.device is not None:
+                    out[r.device] = out.get(r.device, 0) + 1
+            return out
+
+    def clear(self) -> None:
+        with self._lock:
+            self.records.clear()
+            self._open.clear()

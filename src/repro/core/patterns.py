@@ -1,0 +1,157 @@
+"""Composable task-graph patterns built on the core API.
+
+The paper positions Heteroflow as "a higher-level alternative in the
+modern C++ domain"; this module supplies the reusable decomposition
+patterns applications keep rebuilding by hand:
+
+- :func:`parallel_for` — chunked host-task loops;
+- :func:`gpu_map` — the pull -> kernel -> push pipeline over one or
+  more arrays, wired and shaped automatically;
+- :func:`reduce_tree` — tree-shaped host reductions;
+- :func:`pipeline` — a linear stage chain over a shared state.
+
+Every helper returns (first_tasks, last_tasks) handle lists so the
+generated subgraph composes with explicit ``precede``/``succeed``
+edges like any hand-built tasks.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Callable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.heteroflow import Heteroflow
+from repro.core.task import HostTask, KernelTask, PullTask, PushTask, Task
+from repro.errors import GraphError
+
+
+def parallel_for(
+    hf: Heteroflow,
+    n: int,
+    body: Callable[[int], None],
+    *,
+    chunk: int = 1,
+    name: str = "pfor",
+) -> Tuple[List[HostTask], List[HostTask]]:
+    """Create host tasks covering ``body(i) for i in range(n)``.
+
+    Iterations group into chunks of *chunk*; the returned
+    ``(firsts, lasts)`` are the same task list (the loop is flat), so
+    callers can fence the whole loop with one ``precede`` each side.
+    """
+    if n < 0:
+        raise GraphError("loop bound must be non-negative")
+    if chunk < 1:
+        raise GraphError("chunk must be positive")
+    tasks: List[HostTask] = []
+    for lo in range(0, n, chunk):
+        hi = min(lo + chunk, n)
+
+        def run(lo=lo, hi=hi) -> None:
+            for i in range(lo, hi):
+                body(i)
+
+        tasks.append(hf.host(run, name=f"{name}[{lo}:{hi}]"))
+    return tasks, list(tasks)
+
+
+def gpu_map(
+    hf: Heteroflow,
+    kernel: Callable,
+    *arrays: np.ndarray,
+    extra_args: Sequence[Any] = (),
+    writeback: Optional[Sequence[bool]] = None,
+    block_x: int = 256,
+    name: str = "map",
+) -> Tuple[List[Task], List[Task], KernelTask]:
+    """Build the canonical pull -> kernel -> push pipeline.
+
+    *kernel* is launched over the first array's length with the usual
+    ``(N + block-1) / block`` shape and receives
+    ``(*extra_args, *device_arrays)``.  *writeback* selects which
+    arrays are pushed back (default: all).  Returns
+    ``(pulls, pushes, kernel_task)``; the generated edges are
+    pull->kernel->push, so callers fence with the pulls and pushes.
+    """
+    if not arrays:
+        raise GraphError("gpu_map needs at least one array")
+    if writeback is None:
+        writeback = [True] * len(arrays)
+    if len(writeback) != len(arrays):
+        raise GraphError("writeback must align with arrays")
+    n = int(np.asarray(arrays[0]).size)
+
+    pulls: List[PullTask] = [
+        hf.pull(a, name=f"{name}_pull{i}") for i, a in enumerate(arrays)
+    ]
+    k = (
+        hf.kernel(kernel, *extra_args, *pulls, name=f"{name}_kernel")
+        .block_x(block_x)
+        .grid_x(max(math.ceil(n / block_x), 1))
+    )
+    k.succeed(*pulls)
+    pushes: List[PushTask] = []
+    for i, (a, wb) in enumerate(zip(arrays, writeback)):
+        if wb:
+            p = hf.push(pulls[i], a, name=f"{name}_push{i}")
+            p.succeed(k)
+            pushes.append(p)
+    return list(pulls), list(pushes), k
+
+
+def reduce_tree(
+    hf: Heteroflow,
+    leaves: Sequence[Task],
+    combine: Callable[[int, int], None],
+    *,
+    arity: int = 2,
+    name: str = "reduce",
+) -> HostTask:
+    """Tree reduction over finished *leaves*.
+
+    ``combine(level, slot)`` runs once per internal node, after all of
+    its children; callers fold their own accumulator state inside it.
+    Returns the root task (succeeding everything).
+    """
+    if not leaves:
+        raise GraphError("reduce_tree needs at least one leaf")
+    if arity < 2:
+        raise GraphError("arity must be >= 2")
+    level = 0
+    current: List[Task] = list(leaves)
+    while len(current) > 1:
+        nxt: List[Task] = []
+        for slot, lo in enumerate(range(0, len(current), arity)):
+            group = current[lo : lo + arity]
+            node = hf.host(
+                lambda level=level, slot=slot: combine(level, slot),
+                name=f"{name}_l{level}_{slot}",
+            )
+            node.succeed(*group)
+            nxt.append(node)
+        current = nxt
+        level += 1
+    if level == 0:
+        # single leaf: still emit one combine so the contract (the
+        # returned root is a combine node) holds
+        node = hf.host(lambda: combine(0, 0), name=f"{name}_l0_0")
+        node.succeed(current[0])
+        return node
+    return current[0]  # type: ignore[return-value]
+
+
+def pipeline(
+    hf: Heteroflow,
+    stages: Sequence[Callable[[], None]],
+    *,
+    name: str = "stage",
+) -> Tuple[HostTask, HostTask]:
+    """A linear chain of host stages; returns (first, last)."""
+    if not stages:
+        raise GraphError("pipeline needs at least one stage")
+    tasks = [hf.host(fn, name=f"{name}{i}") for i, fn in enumerate(stages)]
+    for a, b in zip(tasks, tasks[1:]):
+        a.precede(b)
+    return tasks[0], tasks[-1]

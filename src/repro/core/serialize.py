@@ -1,0 +1,99 @@
+"""Graph structure serialization (JSON).
+
+Exports the *structure* of a Heteroflow graph — tasks, types, names,
+launch shapes, dependencies, kernel-source links — to plain dicts/JSON
+for tooling (visualizers, notebooks, diffing graph generators).
+Callables and spans are runtime objects and do not serialize; loading
+therefore reconstructs a **skeleton** whose work must be rebound via
+the placeholder mechanism before execution.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List
+
+from repro.core.heteroflow import Heteroflow
+from repro.core.node import TaskType
+from repro.core.task import HostTask, KernelTask, PullTask, PushTask, Task
+from repro.errors import GraphError
+
+#: schema version for forward compatibility
+SCHEMA_VERSION = 1
+
+
+def graph_to_dict(graph: Heteroflow) -> Dict[str, Any]:
+    """Structure-only dict representation of *graph*."""
+    index = {n.nid: i for i, n in enumerate(graph.nodes)}
+    tasks: List[Dict[str, Any]] = []
+    for n in graph.nodes:
+        entry: Dict[str, Any] = {
+            "id": index[n.nid],
+            "name": n.name,
+            "type": n.type.value,
+            "successors": [index[s.nid] for s in n.successors],
+        }
+        if n.type is TaskType.KERNEL:
+            entry["grid"] = list(n.launch.grid)
+            entry["block"] = list(n.launch.block)
+            entry["shm"] = n.launch.shm
+            entry["sources"] = [index[p.nid] for p in n.kernel_sources]
+        if n.type is TaskType.PUSH and n.source is not None:
+            entry["source"] = index[n.source.nid]
+        tasks.append(entry)
+    return {
+        "schema": SCHEMA_VERSION,
+        "name": graph.name,
+        "num_tasks": len(tasks),
+        "tasks": tasks,
+    }
+
+
+def graph_to_json(graph: Heteroflow, indent: int = None) -> str:
+    """JSON text of :func:`graph_to_dict`."""
+    return json.dumps(graph_to_dict(graph), indent=indent)
+
+
+_HANDLE_TYPES = {
+    "host": HostTask,
+    "pull": PullTask,
+    "push": PushTask,
+    "kernel": KernelTask,
+    "placeholder": Task,
+}
+
+
+def skeleton_from_dict(data: Dict[str, Any]) -> Heteroflow:
+    """Rebuild a placeholder skeleton with the serialized structure.
+
+    Every task is a placeholder of the recorded kind; dependency edges
+    and names are restored.  Kernel launch shapes are reapplied once
+    work is rebound (they are recorded in the dict for callers).
+    """
+    if data.get("schema") != SCHEMA_VERSION:
+        raise GraphError(f"unsupported graph schema {data.get('schema')!r}")
+    hf = Heteroflow(data.get("name", ""))
+    handles: List[Task] = []
+    for entry in data["tasks"]:
+        kind = entry.get("type", "placeholder")
+        if kind not in _HANDLE_TYPES:
+            raise GraphError(f"unknown task type {kind!r}")
+        t = hf.placeholder(_HANDLE_TYPES[kind], name=entry.get("name", ""))
+        handles.append(t)
+    for entry, t in zip(data["tasks"], handles):
+        for sid in entry.get("successors", ()):
+            t.precede(handles[sid])
+    return hf
+
+
+def skeleton_from_json(text: str) -> Heteroflow:
+    return skeleton_from_dict(json.loads(text))
+
+
+def structure_equal(a: Heteroflow, b: Heteroflow) -> bool:
+    """True iff two graphs have identical structure (names, types,
+    edges, kernel shapes) under creation-order correspondence."""
+    da, db = graph_to_dict(a), graph_to_dict(b)
+    da.pop("name")
+    db.pop("name")
+    return da == db

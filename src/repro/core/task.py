@@ -1,0 +1,237 @@
+"""Task handles: the user-facing wrapper around graph nodes.
+
+A task handle is a lightweight object wrapping a node pointer (paper
+§III-A-1).  Handles compare equal when they wrap the same node, can be
+*empty* (placeholders), and expose the fluent dependency methods
+``precede``/``succeed`` plus type-specific configuration (kernel shape,
+work rebinding).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional, Tuple
+
+from repro.core.node import Node, TaskType
+from repro.errors import EmptyTaskError, GraphError
+from repro.gpu.kernel import LaunchConfig
+from repro.utils.span import Span
+
+
+class Task:
+    """Base handle; may be empty (not yet bound to a node)."""
+
+    __slots__ = ("_node",)
+
+    def __init__(self, node: Optional[Node] = None) -> None:
+        self._node = node
+
+    # -- identity ----------------------------------------------------
+    @property
+    def empty(self) -> bool:
+        """True for a placeholder handle with no graph node."""
+        return self._node is None
+
+    def _require(self) -> Node:
+        if self._node is None:
+            raise EmptyTaskError("operation on an empty task handle")
+        return self._node
+
+    @property
+    def node(self) -> Node:
+        """The underlying node (internal; used by executor/placement)."""
+        return self._require()
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Task) and other._node is self._node
+
+    def __hash__(self) -> int:
+        return id(self._node)
+
+    # -- attributes ----------------------------------------------------
+    @property
+    def name(self) -> str:
+        return self._require().name
+
+    def rename(self, name: str) -> "Task":
+        """Set a human-readable name; returns self for chaining."""
+        self._require().name = str(name)
+        return self
+
+    @property
+    def type(self) -> TaskType:
+        return self._require().type
+
+    @property
+    def num_successors(self) -> int:
+        return self._require().num_successors
+
+    @property
+    def num_dependents(self) -> int:
+        return self._require().num_dependents
+
+    # -- dependencies ---------------------------------------------------
+    def precede(self, *tasks: "Task") -> "Task":
+        """Force this task to run before every task in *tasks*."""
+        me = self._require()
+        for t in tasks:
+            me.precede(t._require())
+        return self
+
+    def succeed(self, *tasks: "Task") -> "Task":
+        """Force this task to run after every task in *tasks*."""
+        me = self._require()
+        for t in tasks:
+            t._require().precede(me)
+        return self
+
+    def __repr__(self) -> str:  # pragma: no cover
+        if self._node is None:
+            return f"{type(self).__name__}(<empty>)"
+        return f"{type(self).__name__}({self._node.name!r})"
+
+
+class HostTask(Task):
+    """Runs a callable on a CPU core."""
+
+    __slots__ = ()
+
+    def host(self, callable_: Callable[[], Any]) -> "HostTask":
+        """(Re)bind the callable; used to fill placeholders."""
+        if not callable(callable_):
+            raise GraphError("host task requires a callable")
+        node = self._require()
+        node.callable = callable_
+        node.type = TaskType.HOST
+        return self
+
+
+class PullTask(Task):
+    """Copies host data to its assigned GPU (H2D)."""
+
+    __slots__ = ()
+
+    def pull(self, *args: Any) -> "PullTask":
+        """(Re)bind the host span; arguments follow :class:`Span` forms."""
+        node = self._require()
+        node.span = args[0] if len(args) == 1 and isinstance(args[0], Span) else Span(*args)
+        node.type = TaskType.PULL
+        return self
+
+    @property
+    def device(self) -> Optional[int]:
+        """GPU ordinal assigned by the last device-placement pass."""
+        return self._require().device
+
+
+class PushTask(Task):
+    """Copies a pull task's device data back to the host (D2H)."""
+
+    __slots__ = ()
+
+    def push(self, source: PullTask, *args: Any) -> "PushTask":
+        """(Re)bind the source pull task and target span."""
+        if not isinstance(source, PullTask) or source.empty:
+            raise GraphError("push task requires a non-empty pull task source")
+        node = self._require()
+        node.source = source.node
+        node.span = args[0] if len(args) == 1 and isinstance(args[0], Span) else Span(*args)
+        node.type = TaskType.PUSH
+        return self
+
+
+class KernelTask(Task):
+    """Offloads a kernel callable to its assigned GPU."""
+
+    __slots__ = ()
+
+    def kernel(self, fn: Callable, *args: Any) -> "KernelTask":
+        """(Re)bind the kernel function and arguments.
+
+        Pull-task arguments are gathered as *sources* (paper Listing 8,
+        ``gather_sources``): the placement pass uses them to co-locate
+        the kernel with its data.  They do **not** create dependency
+        edges — dependencies stay explicit, per the paper.
+        """
+        if not callable(fn):
+            raise GraphError("kernel task requires a callable kernel")
+        node = self._require()
+        node.kernel_fn = fn
+        node.kernel_args = tuple(args)
+        node.kernel_sources = [a.node for a in args if isinstance(a, PullTask)]
+        node.type = TaskType.KERNEL
+        return self
+
+    # -- launch-shape builders (paper: .block_x(...) etc.) ----------
+    def _update(self, **kw: int) -> "KernelTask":
+        node = self._require()
+        grid = list(node.launch.grid)
+        block = list(node.launch.block)
+        shm = node.launch.shm
+        for key, val in kw.items():
+            axis = {"x": 0, "y": 1, "z": 2}[key[-1]]
+            if key.startswith("grid"):
+                grid[axis] = int(val)
+            else:
+                block[axis] = int(val)
+        node.launch = LaunchConfig(tuple(grid), tuple(block), shm)
+        return self
+
+    def grid_x(self, v: int) -> "KernelTask":
+        return self._update(grid_x=v)
+
+    def grid_y(self, v: int) -> "KernelTask":
+        return self._update(grid_y=v)
+
+    def grid_z(self, v: int) -> "KernelTask":
+        return self._update(grid_z=v)
+
+    def block_x(self, v: int) -> "KernelTask":
+        return self._update(block_x=v)
+
+    def block_y(self, v: int) -> "KernelTask":
+        return self._update(block_y=v)
+
+    def block_z(self, v: int) -> "KernelTask":
+        return self._update(block_z=v)
+
+    def shm(self, nbytes: int) -> "KernelTask":
+        node = self._require()
+        node.launch = LaunchConfig(node.launch.grid, node.launch.block, int(nbytes))
+        return self
+
+    def grid(self, gx: int, gy: int = 1, gz: int = 1) -> "KernelTask":
+        node = self._require()
+        node.launch = LaunchConfig((int(gx), int(gy), int(gz)), node.launch.block, node.launch.shm)
+        return self
+
+    def block(self, bx: int, by: int = 1, bz: int = 1) -> "KernelTask":
+        node = self._require()
+        node.launch = LaunchConfig(node.launch.grid, (int(bx), int(by), int(bz)), node.launch.shm)
+        return self
+
+    @property
+    def launch_config(self) -> LaunchConfig:
+        return self._require().launch
+
+    @property
+    def sources(self) -> Tuple[PullTask, ...]:
+        """The gathered source pull tasks."""
+        return tuple(PullTask(n) for n in self._require().kernel_sources)
+
+    @property
+    def device(self) -> Optional[int]:
+        return self._require().device
+
+
+_HANDLE_FOR = {
+    TaskType.HOST: HostTask,
+    TaskType.PULL: PullTask,
+    TaskType.PUSH: PushTask,
+    TaskType.KERNEL: KernelTask,
+    TaskType.PLACEHOLDER: Task,
+}
+
+
+def handle_for(node: Node) -> Task:
+    """Wrap *node* in the handle class matching its task type."""
+    return _HANDLE_FOR[node.type](node)

@@ -1,0 +1,98 @@
+"""Topologies: per-submission execution state.
+
+"When a graph is submitted to an executor, a special data structure
+called *topology* is created to marshal execution parameters and
+runtime metadata.  Each heteroflow object has a list of topologies to
+track individual execution status" (paper §III-C).
+
+A topology owns one promise/future pair for caller signalling, the
+repeat predicate implementing ``run``/``run_n``/``run_until``, the
+placement result, and the pass-completion counter.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import Future
+from typing import TYPE_CHECKING, Callable, Optional
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.heteroflow import Heteroflow
+    from repro.core.placement import PlacementResult
+
+
+class Topology:
+    """Runtime state for one ``Executor.run*`` submission."""
+
+    def __init__(
+        self,
+        graph: "Heteroflow",
+        repeats: Optional[int] = 1,
+        predicate: Optional[Callable[[], bool]] = None,
+    ) -> None:
+        """*repeats*: fixed pass count (``run``/``run_n``), or ``None``
+        with *predicate*: run passes until ``predicate()`` is True
+        (``run_until``, checked after each pass — do/while semantics).
+        """
+        self.graph = graph
+        self.repeats = repeats
+        self.predicate = predicate
+        self.future: Future = Future()
+        self.placement: Optional["PlacementResult"] = None
+        self.passes_done = 0
+        self.pending = 0
+        self.error: Optional[BaseException] = None
+        self._lock = threading.Lock()
+
+    # -- failure handling ----------------------------------------------
+    def fail(self, error: BaseException) -> None:
+        """Record the first task error; later errors are dropped."""
+        with self._lock:
+            if self.error is None:
+                self.error = error
+
+    def cancel(self) -> None:
+        """Request cancellation: remaining tasks are flushed unrun and
+        the future resolves with :class:`concurrent.futures.CancelledError`."""
+        from concurrent.futures import CancelledError
+
+        self.fail(CancelledError())
+
+    @property
+    def failed(self) -> bool:
+        return self.error is not None
+
+    @property
+    def cancelled(self) -> bool:
+        from concurrent.futures import CancelledError
+
+        return isinstance(self.error, CancelledError)
+
+    # -- pass accounting -------------------------------------------------
+    def begin_pass(self) -> None:
+        with self._lock:
+            self.pending = len(self.graph.nodes)
+
+    def node_finished(self) -> bool:
+        """Count one node done; True when the pass just completed."""
+        with self._lock:
+            self.pending -= 1
+            return self.pending == 0
+
+    def pass_completed(self) -> bool:
+        """Record a finished pass; True when the topology should stop."""
+        with self._lock:
+            self.passes_done += 1
+            if self.error is not None:
+                return True
+        if self.repeats is not None:
+            return self.passes_done >= self.repeats
+        assert self.predicate is not None
+        return bool(self.predicate())
+
+    def complete(self) -> None:
+        """Resolve the future (exception if any task failed)."""
+        if self.error is not None:
+            self.future.set_exception(self.error)
+        else:
+            self.future.set_result(self.passes_done)

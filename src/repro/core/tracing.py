@@ -1,0 +1,61 @@
+"""Chrome-trace export for executor observers.
+
+Writes the ``chrome://tracing`` / Perfetto JSON array format from a
+:class:`~repro.core.observer.TraceObserver`, with one lane per worker
+(host execution) and one per GPU (device-side completion), so real
+executor runs can be inspected visually.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+from typing import Optional
+
+from repro.core.observer import TraceObserver
+
+_TYPE_COLORS = {
+    "host": "thread_state_running",
+    "pull": "rail_load",
+    "push": "rail_response",
+    "kernel": "cq_build_passed",
+}
+
+
+def chrome_trace_events(observer: TraceObserver) -> list:
+    """Build the event list (``ph: X`` complete events, microseconds)."""
+    records = observer.records
+    if not records:
+        return []
+    t0 = min(r.begin for r in records)
+    events = []
+    for r in records:
+        lane = f"gpu{r.device}" if r.device is not None else f"worker{r.worker_id}"
+        events.append(
+            {
+                "name": r.name,
+                "cat": r.type,
+                "ph": "X",
+                "ts": (r.begin - t0) * 1e6,
+                "dur": max(r.duration * 1e6, 0.01),
+                "pid": 1,
+                "tid": lane,
+                "cname": _TYPE_COLORS.get(r.type, "generic_work"),
+                "args": {"type": r.type, "worker": r.worker_id, "device": r.device},
+            }
+        )
+    return events
+
+
+def dump_chrome_trace(observer: TraceObserver, stream: Optional[io.TextIOBase] = None) -> str:
+    """Serialize to a chrome-trace JSON string (and *stream* if given)."""
+    text = json.dumps(chrome_trace_events(observer), indent=None)
+    if stream is not None:
+        stream.write(text)
+    return text
+
+
+def write_chrome_trace(observer: TraceObserver, path: str) -> None:
+    """Write a ``.json`` loadable by chrome://tracing or Perfetto."""
+    with open(path, "w") as fh:
+        dump_chrome_trace(observer, fh)

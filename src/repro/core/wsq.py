@@ -1,0 +1,57 @@
+"""Unbounded work-stealing queue.
+
+Follows the Chase-Lev discipline the paper's runtime uses: the owning
+worker pushes and pops at the *bottom* (LIFO, cache-friendly for
+just-spawned successors) while thieves steal from the *top* (FIFO,
+taking the oldest — usually largest — work first).
+
+CPython cannot express the lock-free original, so a mutex guards each
+queue; contention is per-victim, not global, which preserves the
+scalability *structure* (no central bottleneck) even though absolute
+costs differ.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Generic, Optional, TypeVar
+
+T = TypeVar("T")
+
+
+class WorkStealingQueue(Generic[T]):
+    """Single-owner, multi-thief double-ended task queue."""
+
+    __slots__ = ("_deque", "_lock")
+
+    def __init__(self) -> None:
+        self._deque: deque = deque()
+        self._lock = threading.Lock()
+
+    def push(self, item: T) -> None:
+        """Owner-side push at the bottom."""
+        with self._lock:
+            self._deque.append(item)
+
+    def pop(self) -> Optional[T]:
+        """Owner-side pop at the bottom (LIFO); None when empty."""
+        with self._lock:
+            if self._deque:
+                return self._deque.pop()
+            return None
+
+    def steal(self) -> Optional[T]:
+        """Thief-side steal at the top (FIFO); None when empty."""
+        with self._lock:
+            if self._deque:
+                return self._deque.popleft()
+            return None
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._deque)
+
+    @property
+    def empty(self) -> bool:
+        return len(self) == 0

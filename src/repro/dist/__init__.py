@@ -1,0 +1,31 @@
+"""Distributed scheduling (extension EXT-DIST).
+
+The paper's future work: "distributing our scheduler based on [46]"
+(DtCraft, the authors' distributed execution engine).  This package
+implements that direction at the simulation level the rest of the
+evaluation uses:
+
+- :mod:`~repro.dist.cluster` — cluster specifications: homogeneous
+  nodes (each a :class:`~repro.sim.machine.MachineSpec`) joined by a
+  latency/bandwidth network fabric;
+- :mod:`~repro.dist.partition` — task-graph partitioning across nodes:
+  GPU placement groups are kept whole (a kernel must stay with its
+  pull data), connected components are balanced across nodes by cost,
+  and cross-node edges are minimized greedily;
+- :mod:`~repro.dist.simulator` — a multi-node discrete-event executor:
+  each node runs the same worker/stream/engine model as
+  :class:`~repro.sim.simulator.SimExecutor`, and a dependency crossing
+  nodes pays a network transfer through the producer's egress NIC.
+"""
+
+from repro.dist.cluster import ClusterSpec
+from repro.dist.partition import GraphPartition, partition_graph
+from repro.dist.simulator import DistSimExecutor, DistSimReport
+
+__all__ = [
+    "ClusterSpec",
+    "DistSimExecutor",
+    "DistSimReport",
+    "GraphPartition",
+    "partition_graph",
+]

@@ -1,0 +1,49 @@
+"""Cluster specifications for the distributed simulator."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import SimulationError
+from repro.sim.machine import MachineSpec
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """A homogeneous cluster: *num_nodes* copies of *node* joined by a
+    full-bisection fabric.
+
+    The fabric is modeled per-node: each node has one egress NIC
+    (serializing its outbound transfers) with the given bandwidth and
+    per-message latency — the level of detail DtCraft-style stream
+    engines schedule against.
+    """
+
+    num_nodes: int
+    node: MachineSpec
+    #: network bandwidth per NIC, bytes/second (25 GbE default)
+    net_bandwidth: float = 3.1e9
+    #: per-message latency, seconds
+    net_latency: float = 50e-6
+    #: default message size for host/kernel-result edges, bytes
+    default_message_bytes: float = 64 * 1024
+
+    def __post_init__(self) -> None:
+        if self.num_nodes < 1:
+            raise SimulationError("cluster needs at least one node")
+        if self.net_bandwidth <= 0:
+            raise SimulationError("network bandwidth must be positive")
+        if self.net_latency < 0 or self.default_message_bytes < 0:
+            raise SimulationError("network constants must be non-negative")
+
+    def transfer_seconds(self, nbytes: float) -> float:
+        """Virtual duration of one cross-node message of *nbytes*."""
+        return self.net_latency + nbytes / self.net_bandwidth
+
+    @property
+    def total_cores(self) -> int:
+        return self.num_nodes * self.node.num_cores
+
+    @property
+    def total_gpus(self) -> int:
+        return self.num_nodes * self.node.num_gpus

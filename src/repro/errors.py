@@ -1,0 +1,55 @@
+"""Exception hierarchy for the repro (Heteroflow reproduction) library.
+
+Heteroflow's C++ implementation reports user errors through assertions
+and exceptions; this module centralizes the Python equivalents so that
+callers can catch a single base class, :class:`HeteroflowError`, or the
+specific subclass relevant to a subsystem.
+"""
+
+from __future__ import annotations
+
+
+class HeteroflowError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class GraphError(HeteroflowError):
+    """Malformed task graph: cycles, empty placeholders at run time,
+    cross-graph dependency links, and similar construction mistakes."""
+
+
+class CycleError(GraphError):
+    """The task dependency graph contains a directed cycle."""
+
+    def __init__(self, cycle):
+        self.cycle = list(cycle)
+        names = " -> ".join(str(n) for n in self.cycle)
+        super().__init__(f"task graph contains a cycle: {names}")
+
+
+class EmptyTaskError(GraphError):
+    """A placeholder task reached execution without being assigned work."""
+
+
+class ExecutorError(HeteroflowError):
+    """Executor misuse: invalid worker/GPU counts, running a graph that
+    requires GPUs on a GPU-less executor, use after shutdown."""
+
+
+class DeviceError(HeteroflowError):
+    """Simulated GPU runtime errors (bad device ordinal, destroyed
+    stream, cross-device buffer access)."""
+
+
+class AllocationError(DeviceError):
+    """Device memory pool exhaustion or invalid free."""
+
+
+class KernelError(DeviceError):
+    """Kernel launch failures: bad launch configuration, argument
+    conversion failure, or an exception raised inside a kernel."""
+
+
+class SimulationError(HeteroflowError):
+    """Virtual-time simulator errors: missing cost annotations, invalid
+    machine specifications, or non-quiescent event queues."""

@@ -1,0 +1,123 @@
+"""Programmatic regeneration of the paper's evaluation series.
+
+The benchmark suite (``pytest benchmarks/``) wraps these sweeps with
+assertions and timing; this module exposes them as plain functions for
+library users and the ``python -m repro`` CLI.  Each function returns
+``(headers, rows, notes)``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.apps.placement import build_placement_flow
+from repro.apps.timing import build_timing_flow
+from repro.apps.timing.views import FIG4_NODES, views_for_node
+from repro.sim import SimExecutor, paper_testbed
+
+Table = Tuple[Sequence[str], List[Sequence], str]
+
+#: paper-quoted anchors, minutes (Fig. 6) and seconds (Fig. 9)
+FIG6_PAPER = {
+    (1, 1): 99, (1, 4): 51, (8, 4): 23, (16, 4): 18, (24, 4): 15,
+    (32, 4): 14, (40, 4): 13, (40, 1): 36, (40, 2): 21, (40, 3): 15,
+}
+FIG9_PAPER = {(1, 1): 58.41, (40, 1): 14.02, (40, 4): 13.61}
+
+
+def fig4_table() -> Table:
+    """Views vs technology node (paper Fig. 4)."""
+    rows = []
+    for node in sorted(FIG4_NODES, reverse=True):
+        spec = FIG4_NODES[node]
+        rows.append((f"{node}nm", spec["corners"], spec["modes"], views_for_node(node)))
+    return (
+        ("node", "corners", "modes", "views"),
+        rows,
+        "views grow ~2x per node toward advanced technologies",
+    )
+
+
+def fig6a_table(num_views: int = 1024, seed: int = 0) -> Table:
+    """Timing runtime (minutes) vs cores x GPUs (paper Fig. 6 upper)."""
+    flow = build_timing_flow(num_views=num_views, num_gates=60, paths_per_view=8, seed=seed)
+    scale = 1024 / num_views
+    rows = []
+    for cores in (1, 8, 16, 24, 32, 40):
+        for gpus in (1, 2, 3, 4):
+            rep = SimExecutor(paper_testbed(cores, gpus), flow.cost_model).run(flow.graph)
+            paper = FIG6_PAPER.get((cores, gpus), "")
+            rows.append((cores, gpus, round(rep.makespan_minutes * scale, 1), paper))
+    return (
+        ("cores", "gpus", "sim_min", "paper_min"),
+        rows,
+        f"netcard-calibrated costs, {num_views} views (scaled to 1024)",
+    )
+
+
+def fig6b_table(seed: int = 0) -> Table:
+    """Timing runtime (minutes) vs number of views (paper Fig. 6 lower)."""
+    rows = []
+    for views in (32, 64, 128, 256, 512, 1024):
+        flow = build_timing_flow(num_views=views, num_gates=60, paths_per_view=8, seed=seed)
+        for cores, gpus in ((8, 1), (8, 4), (40, 1), (40, 4)):
+            rep = SimExecutor(paper_testbed(cores, gpus), flow.cost_model).run(flow.graph)
+            rows.append((views, cores, gpus, round(rep.makespan_minutes, 2)))
+    return (("views", "cores", "gpus", "sim_min"), rows, "")
+
+
+def fig9a_table(iterations: int = 50, seed: int = 0) -> Table:
+    """Placement runtime (seconds) vs cores x GPUs (paper Fig. 9 upper)."""
+    flow = build_placement_flow(
+        num_cells=40, iterations=iterations, num_matchers=32, window_size=1, seed=seed
+    )
+    rows = []
+    for cores in (1, 8, 16, 20, 24, 32, 40):
+        for gpus in (1, 4):
+            rep = SimExecutor(paper_testbed(cores, gpus), flow.cost_model).run(flow.graph)
+            paper = FIG9_PAPER.get((cores, gpus), "")
+            rows.append((cores, gpus, round(rep.makespan, 2), paper))
+    return (
+        ("cores", "gpus", "sim_s", "paper_s"),
+        rows,
+        f"bigblue4-calibrated costs, {iterations} iterations",
+    )
+
+
+def fig9b_table(seed: int = 0) -> Table:
+    """Placement runtime (seconds) vs iterations (paper Fig. 9 lower)."""
+    rows = []
+    for iters in (5, 10, 20, 30, 40, 50):
+        flow = build_placement_flow(
+            num_cells=40, iterations=iters, num_matchers=32, window_size=1, seed=seed
+        )
+        for cores, gpus in ((1, 4), (8, 4), (40, 4)):
+            rep = SimExecutor(paper_testbed(cores, gpus), flow.cost_model).run(flow.graph)
+            rows.append((iters, cores, gpus, round(rep.makespan, 2)))
+    return (("iters", "cores", "gpus", "sim_s"), rows, "")
+
+
+ALL_FIGURES = {
+    "fig4": fig4_table,
+    "fig6a": fig6a_table,
+    "fig6b": fig6b_table,
+    "fig9a": fig9a_table,
+    "fig9b": fig9b_table,
+}
+
+
+def format_table(title: str, table: Table) -> str:
+    """Render one table as aligned text."""
+    headers, rows, notes = table
+    widths = [
+        max(len(str(h)), *(len(str(r[i])) for r in rows)) if rows else len(str(h))
+        for i, h in enumerate(headers)
+    ]
+    lines = [f"== {title} =="]
+    lines.append("  ".join(str(h).rjust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for r in rows:
+        lines.append("  ".join(str(v).rjust(w) for v, w in zip(r, widths)))
+    if notes:
+        lines.append(notes)
+    return "\n".join(lines)

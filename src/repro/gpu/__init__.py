@@ -1,0 +1,39 @@
+"""Simulated multi-GPU runtime (the CUDA substrate substitute).
+
+The paper's runtime is built on CUDA streams, events, asynchronous
+memcpys, pooled device memory, and scoped device contexts.  This
+package reimplements those primitives in pure Python over numpy-backed
+per-device address spaces, preserving the *semantics* the Heteroflow
+scheduler depends on:
+
+- per-device address spaces (buffers are only valid on their device),
+- in-order asynchronous streams serviced by dispatcher threads,
+- events for stream-to-stream and host synchronization,
+- a Knowlton Buddy allocator behind a per-device memory pool,
+- grid/block kernel launches with ``PointerCaster``-style argument
+  conversion.
+
+Kernels are ordinary Python callables operating on numpy views of
+device memory; see :mod:`repro.gpu.kernel`.
+"""
+
+from repro.gpu.buddy import BuddyAllocator
+from repro.gpu.device import Device, GpuRuntime, ScopedDeviceContext, current_device
+from repro.gpu.kernel import KernelContext, LaunchConfig, PointerCaster
+from repro.gpu.memory import DeviceBuffer, DeviceHeap
+from repro.gpu.stream import Event, Stream
+
+__all__ = [
+    "BuddyAllocator",
+    "Device",
+    "DeviceBuffer",
+    "DeviceHeap",
+    "Event",
+    "GpuRuntime",
+    "KernelContext",
+    "LaunchConfig",
+    "PointerCaster",
+    "ScopedDeviceContext",
+    "Stream",
+    "current_device",
+]

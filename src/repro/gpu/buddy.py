@@ -1,0 +1,152 @@
+"""Knowlton's Buddy allocator (CACM 1965).
+
+The paper: *"our executor keeps a memory pool for each GPU device to
+reduce the scheduling overhead of frequent allocations by pull tasks.
+We implement the famous Buddy allocator algorithm."*
+
+The allocator manages a contiguous arena of ``capacity`` bytes
+(rounded up to a power of two).  Requests are rounded up to the nearest
+power-of-two block no smaller than ``min_block``.  Blocks split
+recursively on allocation and coalesce with their buddy on free.
+
+All offsets are relative to the arena base; callers map them onto a
+backing store (:class:`repro.gpu.memory.DeviceHeap`).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, List
+
+from repro.errors import AllocationError
+
+
+def _ceil_pow2(n: int) -> int:
+    """Smallest power of two >= n (n >= 1)."""
+    return 1 << (n - 1).bit_length()
+
+
+class BuddyAllocator:
+    """Power-of-two buddy allocator over a byte arena.
+
+    Thread-safe: a single lock guards the free lists, matching the
+    per-device pool the executor shares among workers.
+    """
+
+    def __init__(self, capacity: int, min_block: int = 256) -> None:
+        if capacity <= 0:
+            raise AllocationError("capacity must be positive")
+        if min_block <= 0 or (min_block & (min_block - 1)) != 0:
+            raise AllocationError("min_block must be a positive power of two")
+        self.capacity = _ceil_pow2(capacity)
+        self.min_block = min_block
+        if self.capacity < min_block:
+            self.capacity = min_block
+        self._max_order = (self.capacity // min_block).bit_length() - 1
+        # free[k] holds offsets of free blocks of size min_block << k
+        self._free: List[List[int]] = [[] for _ in range(self._max_order + 1)]
+        self._free[self._max_order].append(0)
+        # offset -> order, for every *allocated* block
+        self._allocated: Dict[int, int] = {}
+        self._free_set: set = {(0, self._max_order)}
+        self._lock = threading.Lock()
+        self._in_use = 0
+        self._peak = 0
+
+    # -- introspection ----------------------------------------------
+    @property
+    def bytes_in_use(self) -> int:
+        """Bytes currently allocated (block-rounded)."""
+        return self._in_use
+
+    @property
+    def peak_bytes(self) -> int:
+        """High-water mark of :attr:`bytes_in_use`."""
+        return self._peak
+
+    def block_size(self, nbytes: int) -> int:
+        """Rounded block size that a request of *nbytes* consumes."""
+        need = max(int(nbytes), 1)
+        return max(_ceil_pow2(need), self.min_block)
+
+    def _order_of(self, nbytes: int) -> int:
+        return (self.block_size(nbytes) // self.min_block).bit_length() - 1
+
+    # -- allocate / free --------------------------------------------
+    def allocate(self, nbytes: int) -> int:
+        """Allocate a block of at least *nbytes*; return its offset.
+
+        Raises :class:`AllocationError` when the arena cannot satisfy
+        the request (either too large or fragmented/exhausted).
+        """
+        order = self._order_of(nbytes)
+        if order > self._max_order:
+            raise AllocationError(
+                f"request of {nbytes} bytes exceeds arena capacity {self.capacity}"
+            )
+        with self._lock:
+            k = order
+            while k <= self._max_order and not self._free[k]:
+                k += 1
+            if k > self._max_order:
+                raise AllocationError(
+                    f"out of device memory: {nbytes} bytes requested, "
+                    f"{self.capacity - self._in_use} free (fragmented)"
+                )
+            offset = self._free[k].pop()
+            self._free_set.discard((offset, k))
+            # split down to the requested order
+            while k > order:
+                k -= 1
+                buddy = offset + (self.min_block << k)
+                self._free[k].append(buddy)
+                self._free_set.add((buddy, k))
+            self._allocated[offset] = order
+            size = self.min_block << order
+            self._in_use += size
+            self._peak = max(self._peak, self._in_use)
+            return offset
+
+    def free(self, offset: int) -> None:
+        """Release the block at *offset*, coalescing with free buddies."""
+        with self._lock:
+            if offset not in self._allocated:
+                raise AllocationError(f"invalid free at offset {offset}")
+            order = self._allocated.pop(offset)
+            self._in_use -= self.min_block << order
+            while order < self._max_order:
+                size = self.min_block << order
+                buddy = offset ^ size
+                if (buddy, order) not in self._free_set:
+                    break
+                self._free[order].remove(buddy)
+                self._free_set.discard((buddy, order))
+                offset = min(offset, buddy)
+                order += 1
+            self._free[order].append(offset)
+            self._free_set.add((offset, order))
+
+    def allocation_size(self, offset: int) -> int:
+        """Block size of the live allocation at *offset*."""
+        with self._lock:
+            if offset not in self._allocated:
+                raise AllocationError(f"no live allocation at offset {offset}")
+            return self.min_block << self._allocated[offset]
+
+    def check_invariants(self) -> None:
+        """Debug/testing hook: verify free+allocated tile the arena."""
+        with self._lock:
+            covered = []
+            for k, lst in enumerate(self._free):
+                for off in lst:
+                    covered.append((off, self.min_block << k))
+            for off, k in self._allocated.items():
+                covered.append((off, self.min_block << k))
+            covered.sort()
+            pos = 0
+            for off, size in covered:
+                if off != pos:
+                    raise AssertionError(f"gap/overlap at offset {off}, expected {pos}")
+                pos = off + size
+            if pos != self.capacity:
+                raise AssertionError(f"arena not fully covered: {pos} != {self.capacity}")

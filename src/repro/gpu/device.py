@@ -1,0 +1,224 @@
+"""Devices, the GPU runtime, and scoped device contexts.
+
+:class:`GpuRuntime` owns a fixed set of :class:`Device` objects — the
+analogue of the CUDA driver's device enumeration.  Each executor
+creates its own runtime so tests and applications are isolated.
+
+:class:`ScopedDeviceContext` reproduces the RAII mechanism the paper
+describes for scoping task execution under an assigned GPU (Listing
+13): entering the context makes the device "current" for the calling
+thread; exiting restores the previous device.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, List, Optional
+
+import numpy as np
+
+from repro.errors import DeviceError
+from repro.gpu.memory import DeviceBuffer, DeviceHeap
+from repro.gpu.stream import Event, Stream
+
+#: Default simulated global-memory size per device (64 MiB). Small by
+#: real-GPU standards but ample for the reproduction workloads; tests
+#: exercise pool exhaustion by shrinking it.
+DEFAULT_MEMORY_BYTES = 64 * 1024 * 1024
+
+_tls = threading.local()
+
+
+def current_device() -> Optional["Device"]:
+    """The calling thread's current device, or ``None`` outside a scope."""
+    return getattr(_tls, "device", None)
+
+
+class Device:
+    """One simulated GPU: an ordinal, a memory heap, and streams."""
+
+    def __init__(self, ordinal: int, memory_bytes: int = DEFAULT_MEMORY_BYTES) -> None:
+        self.ordinal = ordinal
+        self.heap = DeviceHeap(self, memory_bytes)
+        self._streams: List[Stream] = []
+        self._lock = threading.Lock()
+
+    def create_stream(self, name: str = "") -> Stream:
+        """Create a new in-order stream on this device."""
+        s = Stream(self, name=name)
+        with self._lock:
+            self._streams.append(s)
+        return s
+
+    @property
+    def streams(self) -> List[Stream]:
+        with self._lock:
+            return list(self._streams)
+
+    # -- convenience memory ops (synchronous wrappers) --------------
+    def allocate(self, nbytes: int, dtype: np.dtype = np.uint8) -> DeviceBuffer:
+        return self.heap.allocate(nbytes, dtype=dtype)
+
+    def synchronize(self) -> None:
+        """Wait for every stream on this device to drain."""
+        for s in self.streams:
+            s.synchronize()
+
+    def destroy(self) -> None:
+        for s in self.streams:
+            s.destroy()
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"Device(ordinal={self.ordinal})"
+
+
+class ScopedDeviceContext:
+    """RAII-style device scoping (``cudaSetDevice`` analogue)."""
+
+    def __init__(self, device: Device) -> None:
+        self._device = device
+        self._previous: Optional[Device] = None
+
+    def __enter__(self) -> Device:
+        self._previous = getattr(_tls, "device", None)
+        _tls.device = self._device
+        return self._device
+
+    def __exit__(self, *exc) -> None:
+        _tls.device = self._previous
+
+
+class GpuRuntime:
+    """A private enumeration of simulated devices.
+
+    Mirrors the executor-owned GPU state in the paper: per-device
+    memory pools and per-(worker, device) streams are all reachable
+    from here.
+    """
+
+    def __init__(
+        self,
+        num_devices: int,
+        memory_bytes: int = DEFAULT_MEMORY_BYTES,
+    ) -> None:
+        if num_devices < 0:
+            raise DeviceError("device count must be non-negative")
+        self._devices = [Device(i, memory_bytes) for i in range(num_devices)]
+        self._destroyed = False
+
+    @property
+    def device_count(self) -> int:
+        return len(self._devices)
+
+    def device(self, ordinal: int) -> Device:
+        if not 0 <= ordinal < len(self._devices):
+            raise DeviceError(
+                f"invalid device ordinal {ordinal} "
+                f"(runtime has {len(self._devices)} devices)"
+            )
+        return self._devices[ordinal]
+
+    @property
+    def devices(self) -> List[Device]:
+        return list(self._devices)
+
+    def scoped(self, ordinal: int) -> ScopedDeviceContext:
+        """Context manager scoping the caller under device *ordinal*."""
+        return ScopedDeviceContext(self.device(ordinal))
+
+    # -- async memory movement (host <-> device) --------------------
+    def memcpy_h2d_async(
+        self,
+        dst: DeviceBuffer,
+        src: np.ndarray,
+        stream: Stream,
+        callback: Optional[Callable[[Optional[BaseException]], None]] = None,
+    ) -> None:
+        """``cudaMemcpyAsync(..., H2D, stream)`` analogue.
+
+        *src* is snapshot-copied on the dispatcher thread when the op
+        runs, preserving stream ordering semantics.
+        """
+        if stream.device is not dst.device:
+            raise DeviceError("H2D copy stream must live on the destination device")
+
+        def op() -> None:
+            flat = np.ascontiguousarray(src).reshape(-1)
+            raw = flat.view(np.uint8)
+            n = min(raw.nbytes, dst.nbytes)
+            dst.device.heap.raw[dst.offset : dst.offset + n] = raw[:n]
+
+        stream.enqueue(op, callback=callback)
+
+    def memcpy_d2h_async(
+        self,
+        dst: np.ndarray,
+        src: DeviceBuffer,
+        stream: Stream,
+        callback: Optional[Callable[[Optional[BaseException]], None]] = None,
+    ) -> None:
+        """``cudaMemcpyAsync(..., D2H, stream)`` analogue."""
+        if stream.device is not src.device:
+            raise DeviceError("D2H copy stream must live on the source device")
+
+        def op() -> None:
+            raw = src.device.heap.raw[src.offset : src.offset + src.nbytes]
+            flat = dst.reshape(-1)
+            view = flat.view(np.uint8)
+            n = min(raw.nbytes, view.nbytes)
+            view[:n] = raw[:n]
+
+        stream.enqueue(op, callback=callback)
+
+    def memcpy_d2d_async(
+        self,
+        dst: DeviceBuffer,
+        src: DeviceBuffer,
+        stream: Stream,
+        callback: Optional[Callable[[Optional[BaseException]], None]] = None,
+    ) -> None:
+        """Peer copy between device buffers (same or different GPUs)."""
+
+        def op() -> None:
+            raw = src.device.heap.raw[src.offset : src.offset + src.nbytes]
+            n = min(src.nbytes, dst.nbytes)
+            dst.device.heap.raw[dst.offset : dst.offset + n] = raw[:n]
+
+        stream.enqueue(op, callback=callback)
+
+    def memset_async(
+        self,
+        dst: DeviceBuffer,
+        value: int,
+        stream: Stream,
+        callback: Optional[Callable[[Optional[BaseException]], None]] = None,
+    ) -> None:
+        """``cudaMemsetAsync`` analogue: fill the buffer's bytes."""
+        if not 0 <= int(value) <= 255:
+            raise DeviceError("memset value must be a byte (0-255)")
+        if stream.device is not dst.device:
+            raise DeviceError("memset stream must live on the buffer's device")
+
+        def op() -> None:
+            dst.device.heap.raw[dst.offset : dst.offset + dst.nbytes] = int(value)
+
+        stream.enqueue(op, callback=callback)
+
+    def synchronize(self) -> None:
+        """Drain every stream on every device."""
+        for d in self._devices:
+            d.synchronize()
+
+    def destroy(self) -> None:
+        """Stop all dispatcher threads (idempotent)."""
+        if self._destroyed:
+            return
+        self._destroyed = True
+        for d in self._devices:
+            d.destroy()
+
+    def __enter__(self) -> "GpuRuntime":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.destroy()

@@ -1,0 +1,140 @@
+"""OpenCL-flavoured facade over the simulated GPU runtime.
+
+Paper footnote 1: "While the current implementation is based on CUDA,
+our task interface can accept other GPU programming libraries
+[OpenCL]."  This module demonstrates that portability claim: the same
+substrate behind OpenCL's vocabulary — contexts, command queues,
+buffers, NDRange kernel enqueues, and events with wait lists.
+
+The semantic mapping:
+
+| OpenCL                     | substrate                               |
+|----------------------------|-----------------------------------------|
+| ``clCreateContext``        | :class:`Context` over a GpuRuntime device |
+| ``clCreateCommandQueue``   | a :class:`~repro.gpu.stream.Stream`     |
+| ``clCreateBuffer``         | a pooled :class:`DeviceBuffer`          |
+| ``clEnqueueWriteBuffer``   | async H2D (optionally blocking)         |
+| ``clEnqueueReadBuffer``    | async D2H (optionally blocking)         |
+| ``clEnqueueNDRangeKernel`` | kernel launch with global/local sizes   |
+| ``clWaitForEvents``        | event synchronize                       |
+| ``clFinish``               | queue synchronize                       |
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Callable, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import DeviceError, KernelError
+from repro.gpu.device import Device, GpuRuntime
+from repro.gpu.kernel import LaunchConfig, launch_async
+from repro.gpu.memory import DeviceBuffer
+from repro.gpu.stream import Event, Stream
+
+
+class Context:
+    """One device's OpenCL-style context."""
+
+    def __init__(self, runtime: GpuRuntime, device_ordinal: int = 0) -> None:
+        self.runtime = runtime
+        self.device: Device = runtime.device(device_ordinal)
+
+    def create_command_queue(self, name: str = "") -> "CommandQueue":
+        return CommandQueue(self, name)
+
+    def create_buffer(self, nbytes: int, dtype=np.uint8) -> DeviceBuffer:
+        """``clCreateBuffer`` from the device's pooled heap."""
+        return self.device.allocate(nbytes, dtype=dtype)
+
+
+class CommandQueue:
+    """An in-order command queue (a stream underneath)."""
+
+    def __init__(self, context: Context, name: str = "") -> None:
+        self.context = context
+        self._stream: Stream = context.device.create_stream(name or "clqueue")
+
+    # -- data movement -------------------------------------------------
+    def enqueue_write_buffer(
+        self,
+        buffer: DeviceBuffer,
+        host: np.ndarray,
+        *,
+        blocking: bool = False,
+    ) -> Event:
+        """``clEnqueueWriteBuffer``; returns the completion event."""
+        self.context.runtime.memcpy_h2d_async(buffer, host, self._stream)
+        ev = self._stream.record_event()
+        if blocking:
+            ev.synchronize()
+        return ev
+
+    def enqueue_read_buffer(
+        self,
+        buffer: DeviceBuffer,
+        host: np.ndarray,
+        *,
+        blocking: bool = False,
+    ) -> Event:
+        """``clEnqueueReadBuffer``; returns the completion event."""
+        self.context.runtime.memcpy_d2h_async(host, buffer, self._stream)
+        ev = self._stream.record_event()
+        if blocking:
+            ev.synchronize()
+        return ev
+
+    # -- kernels -------------------------------------------------------
+    def enqueue_nd_range_kernel(
+        self,
+        kernel: Callable,
+        global_size: int,
+        *args: Any,
+        local_size: Optional[int] = None,
+        wait_for: Sequence[Event] = (),
+    ) -> Event:
+        """``clEnqueueNDRangeKernel`` over a 1-D NDRange.
+
+        *global_size* work-items run in work-groups of *local_size*
+        (default 256, clamped to the block limit); *wait_for* events
+        gate the launch (cross-queue dependencies).
+        """
+        if global_size < 1:
+            raise KernelError("global size must be positive")
+        local = int(local_size) if local_size else 256
+        groups = max(math.ceil(global_size / local), 1)
+        config = LaunchConfig(grid=(groups, 1, 1), block=(local, 1, 1))
+        for ev in wait_for:
+            self._stream.wait_event(ev)
+        launch_async(self._stream, config, kernel, *args)
+        return self._stream.record_event()
+
+    def enqueue_marker(self) -> Event:
+        """``clEnqueueMarker``."""
+        return self._stream.record_event()
+
+    def flush(self) -> None:
+        """``clFlush`` — a no-op here (enqueue already submits)."""
+
+    def finish(self) -> None:
+        """``clFinish`` — block until the queue drains."""
+        self._stream.synchronize()
+
+
+def wait_for_events(events: Sequence[Event]) -> None:
+    """``clWaitForEvents``."""
+    for ev in events:
+        ev.synchronize()
+
+
+def release(obj: Any) -> None:
+    """``clRelease*`` — frees buffers, destroys queues (idempotent)."""
+    if isinstance(obj, DeviceBuffer):
+        obj.free()
+    elif isinstance(obj, CommandQueue):
+        obj._stream.destroy()
+    elif isinstance(obj, (Context, GpuRuntime)):
+        pass  # contexts borrow the runtime; the runtime owns teardown
+    else:
+        raise DeviceError(f"cannot release {type(obj).__name__}")

@@ -1,0 +1,95 @@
+"""Flat, CUDA-flavoured facade over the simulated GPU runtime.
+
+Some users (and the examples) prefer the procedural CUDA idiom to the
+object API; this module provides thin free functions mirroring the
+driver-API names used in the paper's listings.  All functions take the
+owning :class:`~repro.gpu.device.GpuRuntime` explicitly — there is no
+hidden global runtime, which keeps tests hermetic.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+import numpy as np
+
+from repro.gpu.device import GpuRuntime, ScopedDeviceContext
+from repro.gpu.kernel import LaunchConfig, launch_async
+from repro.gpu.memory import DeviceBuffer
+from repro.gpu.stream import Event, Stream
+
+
+def device_count(rt: GpuRuntime) -> int:
+    """``cudaGetDeviceCount``."""
+    return rt.device_count
+
+
+def set_device(rt: GpuRuntime, ordinal: int) -> ScopedDeviceContext:
+    """``cudaSetDevice`` as a context manager (RAII in the paper)."""
+    return rt.scoped(ordinal)
+
+
+def stream_create(rt: GpuRuntime, ordinal: int, name: str = "") -> Stream:
+    """``cudaStreamCreate`` on a specific device."""
+    return rt.device(ordinal).create_stream(name)
+
+
+def stream_synchronize(stream: Stream) -> None:
+    """``cudaStreamSynchronize``."""
+    stream.synchronize()
+
+
+def event_create() -> Event:
+    """``cudaEventCreate``."""
+    return Event()
+
+
+def event_record(event: Event, stream: Stream) -> None:
+    """``cudaEventRecord``."""
+    stream.record_event(event)
+
+
+def stream_wait_event(stream: Stream, event: Event) -> None:
+    """``cudaStreamWaitEvent``."""
+    stream.wait_event(event)
+
+
+def event_synchronize(event: Event) -> None:
+    """``cudaEventSynchronize``."""
+    event.synchronize()
+
+
+def malloc(rt: GpuRuntime, ordinal: int, nbytes: int, dtype=np.uint8) -> DeviceBuffer:
+    """``cudaMalloc`` from the device's buddy pool."""
+    return rt.device(ordinal).allocate(nbytes, dtype=dtype)
+
+
+def free(buffer: DeviceBuffer) -> None:
+    """``cudaFree``."""
+    buffer.free()
+
+
+def memcpy_h2d_async(rt: GpuRuntime, dst: DeviceBuffer, src: np.ndarray, stream: Stream) -> None:
+    """``cudaMemcpyAsync(dst, src, n, H2D, stream)``."""
+    rt.memcpy_h2d_async(dst, src, stream)
+
+
+def memcpy_d2h_async(rt: GpuRuntime, dst: np.ndarray, src: DeviceBuffer, stream: Stream) -> None:
+    """``cudaMemcpyAsync(dst, src, n, D2H, stream)``."""
+    rt.memcpy_d2h_async(dst, src, stream)
+
+
+def launch_kernel(
+    stream: Stream,
+    config: LaunchConfig,
+    fn: Callable,
+    *args: Any,
+    callback: Optional[Callable[[Optional[BaseException]], None]] = None,
+) -> None:
+    """``f<<<grid, block, shm, stream>>>(args...)``."""
+    launch_async(stream, config, fn, *args, callback=callback)
+
+
+def device_synchronize(rt: GpuRuntime, ordinal: int) -> None:
+    """``cudaDeviceSynchronize``."""
+    rt.device(ordinal).synchronize()

@@ -1,0 +1,165 @@
+"""Asynchronous streams and events for the simulated GPU runtime.
+
+A :class:`Stream` is an in-order work queue serviced by a dedicated
+dispatcher thread — the analogue of a CUDA stream.  Operations enqueued
+on a stream run asynchronously with respect to the enqueuing (host)
+thread but strictly in FIFO order with respect to each other.
+
+An :class:`Event` is a one-shot synchronization marker.  Recording an
+event on a stream completes the event once every previously enqueued
+operation has executed; other streams (``wait_event``) and host threads
+(``synchronize``) can wait on it.  This reproduces the
+``cudaEventRecord`` / ``cudaStreamWaitEvent`` pattern the executor uses
+to sequence GPU tasks (paper, Listing 13).
+"""
+
+from __future__ import annotations
+
+import itertools
+import queue
+import threading
+from typing import TYPE_CHECKING, Callable, Optional
+
+from repro.errors import DeviceError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.gpu.device import Device
+
+_event_ids = itertools.count()
+_stream_ids = itertools.count()
+
+
+class Event:
+    """One-shot completion marker recordable on a stream."""
+
+    __slots__ = ("eid", "_flag", "_error")
+
+    def __init__(self) -> None:
+        self.eid = next(_event_ids)
+        self._flag = threading.Event()
+        self._error: Optional[BaseException] = None
+
+    def query(self) -> bool:
+        """True once the event has completed (non-blocking)."""
+        return self._flag.is_set()
+
+    def synchronize(self, timeout: Optional[float] = None) -> None:
+        """Block the host until the event completes.
+
+        Re-raises any exception captured by the stream operation that
+        preceded the event record.
+        """
+        if not self._flag.wait(timeout):
+            raise DeviceError(f"timed out waiting on event {self.eid}")
+        if self._error is not None:
+            raise self._error
+
+    def _complete(self, error: Optional[BaseException] = None) -> None:
+        self._error = error
+        self._flag.set()
+
+
+class Stream:
+    """In-order asynchronous operation queue bound to one device."""
+
+    def __init__(self, device: "Device", name: str = "") -> None:
+        self.device = device
+        self.sid = next(_stream_ids)
+        self.name = name or f"stream{self.sid}"
+        self._ops: "queue.SimpleQueue" = queue.SimpleQueue()
+        self._destroyed = False
+        self._error: Optional[BaseException] = None
+        self._ops_executed = 0
+        self._thread = threading.Thread(
+            target=self._dispatch_loop,
+            name=f"gpu{device.ordinal}-{self.name}",
+            daemon=True,
+        )
+        self._thread.start()
+
+    # -- dispatcher ---------------------------------------------------
+    def _dispatch_loop(self) -> None:
+        while True:
+            item = self._ops.get()
+            if item is None:  # shutdown sentinel
+                return
+            fn, callback = item
+            err: Optional[BaseException] = None
+            try:
+                fn()
+            except BaseException as exc:  # noqa: BLE001 - deferred to sync
+                err = exc
+                if callback is None:
+                    # no callback to consume the failure: keep it sticky
+                    # until the next host synchronize
+                    self._error = exc
+            self._ops_executed += 1
+            if callback is not None:
+                try:
+                    callback(err)
+                except BaseException:  # pragma: no cover - callback bug
+                    pass
+
+    # -- host-side API --------------------------------------------------
+    @property
+    def ops_executed(self) -> int:
+        """Operations completed so far (statistics/testing)."""
+        return self._ops_executed
+
+    def enqueue(
+        self,
+        fn: Callable[[], None],
+        callback: Optional[Callable[[Optional[BaseException]], None]] = None,
+    ) -> None:
+        """Append *fn* to the stream; returns immediately.
+
+        *callback*, if given, runs on the dispatcher thread after *fn*
+        with the exception raised (or ``None``) — the analogue of
+        ``cudaLaunchHostFunc``.
+        """
+        if self._destroyed:
+            raise DeviceError(f"enqueue on destroyed stream {self.name}")
+        self._ops.put((fn, callback))
+
+    def record_event(self, event: Optional[Event] = None) -> Event:
+        """Record *event* (or a fresh one) at the current stream tail."""
+        ev = event if event is not None else Event()
+
+        def mark() -> None:
+            pass
+
+        def done(err: Optional[BaseException]) -> None:
+            # runs on the dispatcher thread after all previously enqueued
+            # ops, so self._error reflects any failure that preceded it
+            ev._complete(err if err is not None else self._error)
+
+        self.enqueue(mark, callback=done)
+        return ev
+
+    def wait_event(self, event: Event) -> None:
+        """Make subsequent stream work wait for *event* to complete."""
+        self.enqueue(lambda: event._flag.wait())
+
+    def synchronize(self, timeout: Optional[float] = None) -> None:
+        """Block the host until all enqueued work has run.
+
+        Raises the first deferred operation error, if any, and clears
+        it (mirroring CUDA's error-returned-on-sync behaviour).
+        """
+        ev = self.record_event()
+        if not ev._flag.wait(timeout):
+            raise DeviceError(f"timed out synchronizing stream {self.name}")
+        err, self._error = self._error, None
+        if err is not None:
+            raise err
+
+    def destroy(self) -> None:
+        """Drain and stop the dispatcher thread (idempotent)."""
+        if self._destroyed:
+            return
+        self._destroyed = True
+        self._ops.put(None)
+        self._thread.join()
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"Stream(gpu={self.device.ordinal}, name={self.name!r})"

@@ -1,0 +1,98 @@
+"""Cost annotations: how long each task takes on the virtual machine.
+
+Applications attach a :class:`TaskCost` to each task; the simulator
+combines it with the :class:`~repro.sim.machine.MachineSpec` rates to
+obtain virtual durations.  Costs describe *paper-scale* work (the real
+1.5M-gate / 2.2M-cell workloads), while the functional graphs executed
+by the threaded runtime run at test scale — the same graph topology at
+two fidelities.
+
+Defaulting rules when a task carries no annotation:
+
+- host tasks: :attr:`CostModel.default_host_seconds`;
+- pull/push tasks: bytes from the span if resolvable (else
+  :attr:`CostModel.default_copy_bytes`);
+- kernel tasks: :attr:`CostModel.default_kernel_seconds`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Union
+
+from repro.core.node import Node, TaskType
+from repro.core.task import Task
+from repro.errors import SimulationError
+
+
+@dataclass(frozen=True)
+class TaskCost:
+    """Virtual-resource demand of one task.
+
+    Only the fields relevant to the task's type are read:
+
+    - host: ``cpu_seconds``;
+    - pull: ``copy_bytes`` (H2D);
+    - push: ``copy_bytes`` (D2H);
+    - kernel: ``gpu_seconds``.
+    """
+
+    cpu_seconds: float = 0.0
+    gpu_seconds: float = 0.0
+    copy_bytes: float = 0.0
+
+    def __post_init__(self) -> None:
+        if min(self.cpu_seconds, self.gpu_seconds, self.copy_bytes) < 0:
+            raise SimulationError("task costs must be non-negative")
+
+
+class CostModel:
+    """Maps nodes to :class:`TaskCost` annotations with sane defaults."""
+
+    def __init__(
+        self,
+        *,
+        default_host_seconds: float = 1e-4,
+        default_kernel_seconds: float = 1e-4,
+        default_copy_bytes: float = 1 << 20,
+    ) -> None:
+        self._costs: Dict[int, TaskCost] = {}
+        self.default_host_seconds = default_host_seconds
+        self.default_kernel_seconds = default_kernel_seconds
+        self.default_copy_bytes = default_copy_bytes
+
+    def annotate(self, task: Union[Task, Node], cost: TaskCost) -> None:
+        """Attach *cost* to *task* (handle or node)."""
+        node = task.node if isinstance(task, Task) else task
+        self._costs[node.nid] = cost
+
+    def annotate_host(self, task: Union[Task, Node], seconds: float) -> None:
+        self.annotate(task, TaskCost(cpu_seconds=seconds))
+
+    def annotate_kernel(self, task: Union[Task, Node], seconds: float) -> None:
+        self.annotate(task, TaskCost(gpu_seconds=seconds))
+
+    def annotate_copy(self, task: Union[Task, Node], nbytes: float) -> None:
+        self.annotate(task, TaskCost(copy_bytes=nbytes))
+
+    def cost_of(self, node: Node) -> TaskCost:
+        """The annotation for *node*, or a type-appropriate default."""
+        cost = self._costs.get(node.nid)
+        if cost is not None:
+            return cost
+        if node.type is TaskType.HOST:
+            return TaskCost(cpu_seconds=self.default_host_seconds)
+        if node.type is TaskType.KERNEL:
+            return TaskCost(gpu_seconds=self.default_kernel_seconds)
+        if node.type in (TaskType.PULL, TaskType.PUSH):
+            nbytes: Optional[float] = None
+            if node.span is not None:
+                try:
+                    nbytes = float(node.span.size_bytes())
+                except Exception:
+                    nbytes = None
+            return TaskCost(copy_bytes=self.default_copy_bytes if nbytes is None else nbytes)
+        raise SimulationError(f"cannot cost a task of type {node.type}")
+
+    def __len__(self) -> int:
+        return len(self._costs)

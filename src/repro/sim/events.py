@@ -1,0 +1,58 @@
+"""Discrete-event calendar: a deterministic heap of timed callbacks."""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Callable, List, Tuple
+
+from repro.errors import SimulationError
+
+
+class EventQueue:
+    """Min-heap event calendar with FIFO tie-breaking.
+
+    Determinism matters: two events at the same virtual time fire in
+    insertion order, so repeated simulations of the same graph produce
+    identical makespans.
+    """
+
+    def __init__(self) -> None:
+        self._heap: List[Tuple[float, int, Callable[[], None]]] = []
+        self._seq = itertools.count()
+        self._now = 0.0
+
+    @property
+    def now(self) -> float:
+        """Current virtual time (seconds)."""
+        return self._now
+
+    def schedule_at(self, when: float, fn: Callable[[], None]) -> None:
+        """Fire *fn* at absolute virtual time *when*."""
+        if when < self._now - 1e-12:
+            raise SimulationError(
+                f"cannot schedule event in the past ({when} < {self._now})"
+            )
+        heapq.heappush(self._heap, (when, next(self._seq), fn))
+
+    def schedule_after(self, delay: float, fn: Callable[[], None]) -> None:
+        """Fire *fn* after *delay* seconds of virtual time."""
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay}")
+        self.schedule_at(self._now + delay, fn)
+
+    def run(self, max_events: int = 100_000_000) -> float:
+        """Drain the calendar; returns the final virtual time."""
+        count = 0
+        while self._heap:
+            when, _, fn = heapq.heappop(self._heap)
+            self._now = when
+            fn()
+            count += 1
+            if count > max_events:
+                raise SimulationError("event budget exceeded (livelock?)")
+        return self._now
+
+    @property
+    def empty(self) -> bool:
+        return not self._heap

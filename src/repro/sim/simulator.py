@@ -1,0 +1,378 @@
+"""The discrete-event executor: replay a Heteroflow graph in virtual time.
+
+:class:`SimExecutor` mirrors the real runtime's scheduling semantics on
+a :class:`~repro.sim.machine.MachineSpec`:
+
+- ready tasks are taken by free CPU workers (FIFO — a faithful
+  approximation of the work-stealing executor's greedy behaviour, whose
+  makespan matches list scheduling for these graphs);
+- a host task occupies its worker for ``cpu_seconds``;
+- a GPU task occupies the worker for ``dispatch_overhead`` only, then
+  becomes an op on the **dispatching worker's per-device stream**;
+  ops on one stream serialize (exactly like the real per-(worker,
+  device) streams), and the device additionally caps concurrent
+  kernels / copies via its engine servers;
+- successors release when the GPU op *completes* (the event-callback
+  semantics of the real executor).
+
+The same :class:`~repro.core.placement.DevicePlacement` pass assigns
+devices before the clock starts.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Deque, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.heteroflow import Heteroflow
+from repro.core.node import Node, TaskType
+from repro.core.placement import DevicePlacement, PlacementResult
+from repro.errors import SimulationError
+from repro.sim.cost import CostModel, TaskCost
+from repro.sim.events import EventQueue
+from repro.sim.machine import MachineSpec
+
+#: placement strategy signature: (nodes, num_gpus) -> PlacementResult
+PlacementFn = Callable[[Sequence[Node], int], PlacementResult]
+
+
+@dataclass
+class SimTaskRecord:
+    """One executed task in the virtual-time trace."""
+
+    name: str
+    type: str
+    resource: str
+    start: float
+    end: float
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+@dataclass
+class SimReport:
+    """Outcome of one simulated run."""
+
+    makespan: float
+    num_tasks: int
+    machine: MachineSpec
+    core_busy: List[float]
+    gpu_busy: List[float]
+    placement: Optional[PlacementResult] = None
+    trace: List[SimTaskRecord] = field(default_factory=list)
+
+    @property
+    def core_utilization(self) -> float:
+        """Mean fraction of the makespan each core spent busy."""
+        if self.makespan <= 0 or not self.core_busy:
+            return 0.0
+        return sum(self.core_busy) / (len(self.core_busy) * self.makespan)
+
+    @property
+    def gpu_utilization(self) -> float:
+        """GPU busy-time over (gpus x makespan).
+
+        With ``kernel_slots > 1`` a device can exceed 1.0 (multiple
+        concurrent kernels count their full durations); the metric is
+        comparable across runs of the same machine spec.
+        """
+        if self.makespan <= 0 or not self.gpu_busy:
+            return 0.0
+        return sum(self.gpu_busy) / (len(self.gpu_busy) * self.makespan)
+
+    @property
+    def makespan_minutes(self) -> float:
+        return self.makespan / 60.0
+
+
+class _Server:
+    """Capacity-limited resource with FIFO admission."""
+
+    __slots__ = ("capacity", "busy", "waiting")
+
+    def __init__(self, capacity: int) -> None:
+        self.capacity = capacity
+        self.busy = 0
+        self.waiting: Deque[Callable[[], None]] = deque()
+
+    def acquire(self, start: Callable[[], None]) -> None:
+        if self.busy < self.capacity:
+            self.busy += 1
+            start()
+        else:
+            self.waiting.append(start)
+
+    def release(self) -> None:
+        if self.waiting:
+            self.waiting.popleft()()
+        else:
+            self.busy -= 1
+
+
+class _Stream:
+    """In-order op queue bound to one (worker, device) pair."""
+
+    __slots__ = ("ops", "active")
+
+    def __init__(self) -> None:
+        self.ops: Deque = deque()
+        self.active = False
+
+
+class SimExecutor:
+    """Schedules Heteroflow graphs onto a virtual machine."""
+
+    def __init__(
+        self,
+        machine: MachineSpec,
+        cost_model: Optional[CostModel] = None,
+        *,
+        placement: Optional[PlacementFn] = None,
+        record_trace: bool = False,
+        dedicated_gpu_workers: bool = False,
+        ready_policy: str = "lifo",
+    ) -> None:
+        """*dedicated_gpu_workers*: reserve one worker per GPU that only
+        dispatches GPU ops (the StarPU-style design the paper rejects);
+        used by the ABL-DEDIC ablation.
+
+        *ready_policy*: ``"lifo"`` (default) models the work-stealing
+        executor's owner-side LIFO pop — depth-first progress that
+        pipelines each dependency chain onto the GPU quickly.
+        ``"fifo"`` models a central breadth-first queue (the
+        ABL-STEAL ablation baseline), which drains whole graph levels
+        before descending and so delays GPU occupancy.
+        """
+        self.machine = machine
+        self.cost_model = cost_model or CostModel()
+        self._placement = placement or DevicePlacement().place
+        self.record_trace = record_trace
+        self.dedicated_gpu_workers = dedicated_gpu_workers
+        if ready_policy not in ("lifo", "fifo"):
+            raise SimulationError(f"unknown ready policy {ready_policy!r}")
+        self.ready_policy = ready_policy
+        if dedicated_gpu_workers and machine.num_cores <= machine.num_gpus:
+            raise SimulationError(
+                "dedicated GPU workers require more cores than GPUs"
+            )
+
+    # ------------------------------------------------------------------
+    def run(self, graph: Heteroflow) -> SimReport:
+        """Simulate one pass of *graph*; returns the makespan report."""
+        graph.validate()
+        nodes = graph.nodes
+        placement = self._placement(nodes, self.machine.num_gpus)
+
+        m = self.machine
+        q = EventQueue()
+        join: Dict[int, int] = {n.nid: len(n.dependents) for n in nodes}
+        done_count = 0
+
+        core_busy = [0.0] * m.num_cores
+        gpu_busy = [0.0] * max(m.num_gpus, 1)
+        trace: List[SimTaskRecord] = []
+
+        # worker pools: FIFO of free worker ids.  With dedicated mode,
+        # workers [0, num_gpus) serve GPU dispatch only and the rest
+        # serve host tasks only.
+        if self.dedicated_gpu_workers:
+            gpu_workers: Deque[int] = deque(range(m.num_gpus))
+            cpu_workers: Deque[int] = deque(range(m.num_gpus, m.num_cores))
+        else:
+            gpu_workers = cpu_workers = deque(range(m.num_cores))
+
+        # two ready queues (host vs GPU dispatch) tagged with arrival
+        # sequence so the uniform-worker mode serves them in global
+        # FIFO order, like the real executor's single logical pool
+        ready_cpu: Deque[Tuple[int, Node]] = deque()
+        ready_gpu: Deque[Tuple[int, Node]] = deque()
+        arrival = 0
+
+        # stream key: (worker-slot, device, op-class).  Copies and
+        # kernels use separate streams so GPU memory operations overlap
+        # kernel execution ("concurrent GPU memory and kernel
+        # operations", paper §III-C) instead of head-of-line blocking
+        # behind them.  There are as many streams per (device, class)
+        # as workers; an op lands on the least-loaded one — the DES
+        # approximation of work stealing redistributing GPU tasks
+        # across worker streams instead of piling them onto whichever
+        # worker happened to be free.
+        streams: Dict[Tuple[int, int, str], _Stream] = {}
+
+        def pick_stream(dev: int, klass: str) -> _Stream:
+            best: Optional[_Stream] = None
+            best_load = -1
+            for slot in range(m.num_cores):
+                s = streams.get((slot, dev, klass))
+                if s is None:
+                    s = streams[(slot, dev, klass)] = _Stream()
+                load = len(s.ops) + (1 if s.active else 0)
+                if load == 0:
+                    return s
+                if best is None or load < best_load:
+                    best, best_load = s, load
+            assert best is not None
+            return best
+        kernel_engines = [_Server(m.kernel_slots) for _ in range(m.num_gpus)]
+        h2d_engines = [_Server(m.h2d_engines) for _ in range(m.num_gpus)]
+        d2h_engines = [_Server(m.d2h_engines) for _ in range(m.num_gpus)]
+
+        def record(name: str, type_: str, resource: str, start: float, end: float) -> None:
+            if self.record_trace:
+                trace.append(SimTaskRecord(name, type_, resource, start, end))
+
+        def complete(node: Node) -> None:
+            nonlocal done_count
+            done_count += 1
+            for succ in node.successors:
+                join[succ.nid] -= 1
+                if join[succ.nid] == 0:
+                    task_ready(succ)
+
+        # -- GPU op pipeline ------------------------------------------
+        def op_duration(node: Node, cost: TaskCost) -> float:
+            if node.type is TaskType.PULL:
+                return m.h2d_seconds(cost.copy_bytes)
+            if node.type is TaskType.PUSH:
+                return m.d2h_seconds(cost.copy_bytes)
+            return m.kernel_launch_overhead + cost.gpu_seconds
+
+        def engine_for(node: Node) -> _Server:
+            dev = node.device
+            assert dev is not None
+            if node.type is TaskType.PULL:
+                return h2d_engines[dev]
+            if node.type is TaskType.PUSH:
+                return d2h_engines[dev]
+            return kernel_engines[dev]
+
+        def advance_stream(stream: _Stream) -> None:
+            if stream.active or not stream.ops:
+                return
+            stream.active = True
+            node, duration = stream.ops.popleft()
+            engine = engine_for(node)
+            dev = node.device
+            assert dev is not None
+
+            def start() -> None:
+                begin = q.now
+
+                def finish() -> None:
+                    gpu_busy[dev] += duration
+                    record(node.name, node.type.value, f"gpu{dev}", begin, q.now)
+                    complete(node)
+                    engine.release()
+                    stream.active = False
+                    advance_stream(stream)
+
+                q.schedule_after(duration, finish)
+
+            engine.acquire(start)
+
+        # -- worker phase -------------------------------------------------
+        def task_ready(node: Node) -> None:
+            nonlocal arrival
+            arrival += 1
+            if node.type is TaskType.HOST:
+                ready_cpu.append((arrival, node))
+            else:
+                ready_gpu.append((arrival, node))
+            pump()
+
+        lifo = self.ready_policy == "lifo"
+
+        def _take(queue_: Deque[Tuple[int, Node]]) -> Node:
+            return (queue_.pop() if lifo else queue_.popleft())[1]
+
+        def pump() -> None:
+            if self.dedicated_gpu_workers:
+                while cpu_workers and ready_cpu:
+                    _start_on_worker(cpu_workers.popleft(), _take(ready_cpu))
+                while gpu_workers and ready_gpu:
+                    _start_on_worker(gpu_workers.popleft(), _take(ready_gpu))
+                return
+            # uniform workers: serve both queues in one global order —
+            # newest-first for lifo, oldest-first for fifo
+            while cpu_workers and (ready_cpu or ready_gpu):
+                if lifo:
+                    if not ready_gpu or (ready_cpu and ready_cpu[-1][0] > ready_gpu[-1][0]):
+                        node = _take(ready_cpu)
+                    else:
+                        node = _take(ready_gpu)
+                else:
+                    if not ready_gpu or (ready_cpu and ready_cpu[0][0] < ready_gpu[0][0]):
+                        node = _take(ready_cpu)
+                    else:
+                        node = _take(ready_gpu)
+                _start_on_worker(cpu_workers.popleft(), node)
+
+        def _start_on_worker(worker: int, node: Node) -> None:
+            cost = self.cost_model.cost_of(node)
+            begin = q.now
+            if node.type is TaskType.HOST:
+                duration = cost.cpu_seconds
+
+                def host_done() -> None:
+                    core_busy[worker] += duration
+                    record(node.name, "host", f"core{worker}", begin, q.now)
+                    # successors first, then the worker: the freed worker
+                    # must see work this task just enabled (the real
+                    # executor pushes successors before popping again)
+                    complete(node)
+                    _release_worker(worker)
+
+                q.schedule_after(duration, host_done)
+            else:
+                dispatch = m.dispatch_overhead
+                dev = node.device
+                if dev is None:
+                    raise SimulationError(f"GPU task {node.name!r} was not placed")
+                duration = op_duration(node, cost)
+
+                klass = "kernel" if node.type is TaskType.KERNEL else "copy"
+
+                def dispatched() -> None:
+                    core_busy[worker] += dispatch
+                    stream = pick_stream(dev, klass)
+                    record(
+                        node.name,
+                        f"{node.type.value}-enqueued",
+                        f"stream-d{dev}-{klass}",
+                        q.now,
+                        q.now,
+                    )
+                    stream.ops.append((node, duration))
+                    advance_stream(stream)
+                    _release_worker(worker)
+
+                q.schedule_after(dispatch, dispatched)
+
+        def _release_worker(worker: int) -> None:
+            if self.dedicated_gpu_workers and worker < m.num_gpus:
+                gpu_workers.append(worker)
+            else:
+                cpu_workers.append(worker)
+            pump()
+
+        # -- kick off --------------------------------------------------
+        for n in nodes:
+            if not n.dependents:
+                task_ready(n)
+        makespan = q.run()
+        if done_count != len(nodes):
+            raise SimulationError(
+                f"simulation stalled: {done_count}/{len(nodes)} tasks completed"
+            )
+        return SimReport(
+            makespan=makespan,
+            num_tasks=len(nodes),
+            machine=m,
+            core_busy=core_busy,
+            gpu_busy=gpu_busy[: m.num_gpus],
+            placement=placement,
+            trace=trace,
+        )

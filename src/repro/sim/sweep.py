@@ -1,0 +1,132 @@
+"""Parameter sweeps over the virtual-time simulator.
+
+The evaluation figures are all sweeps of (cores, gpus, workload-size);
+this module packages that pattern for downstream users: declare the
+axes, get back a tidy result table with makespans, speed-ups, and
+utilizations, ready for printing or plotting.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.heteroflow import Heteroflow
+from repro.sim.cost import CostModel
+from repro.sim.machine import MachineSpec
+from repro.sim.simulator import SimExecutor, SimReport
+
+
+@dataclass
+class SweepPoint:
+    """One simulated configuration."""
+
+    cores: int
+    gpus: int
+    params: Dict[str, object]
+    report: SimReport
+
+    @property
+    def makespan(self) -> float:
+        return self.report.makespan
+
+
+@dataclass
+class SweepResult:
+    """All points of one sweep, with convenience accessors."""
+
+    points: List[SweepPoint] = field(default_factory=list)
+
+    def makespan(self, cores: int, gpus: int, **params) -> float:
+        for p in self.points:
+            if p.cores == cores and p.gpus == gpus and all(
+                p.params.get(k) == v for k, v in params.items()
+            ):
+                return p.report.makespan
+        raise KeyError((cores, gpus, params))
+
+    def speedups(self, baseline: Optional[Tuple[int, int]] = None) -> Dict[tuple, float]:
+        """makespan(baseline) / makespan(point) per (cores, gpus, ...).
+
+        Default baseline: the smallest (cores, gpus) point.
+        """
+        if not self.points:
+            return {}
+        if baseline is None:
+            base_point = min(self.points, key=lambda p: (p.cores, p.gpus))
+            base = base_point.report.makespan
+        else:
+            base = self.makespan(*baseline)
+        return {
+            (p.cores, p.gpus, tuple(sorted(p.params.items()))): base / p.report.makespan
+            for p in self.points
+        }
+
+    def rows(self) -> List[tuple]:
+        """(cores, gpus, *param-values, makespan, core-util) rows."""
+        out = []
+        for p in sorted(self.points, key=lambda p: (p.cores, p.gpus)):
+            out.append(
+                (
+                    p.cores,
+                    p.gpus,
+                    *[v for _, v in sorted(p.params.items())],
+                    p.report.makespan,
+                    round(p.report.core_utilization, 3),
+                )
+            )
+        return out
+
+
+def sweep_machines(
+    graph: Heteroflow,
+    cost_model: CostModel,
+    cores: Sequence[int],
+    gpus: Sequence[int],
+    *,
+    base_machine: Optional[MachineSpec] = None,
+    **sim_kwargs,
+) -> SweepResult:
+    """Simulate *graph* at every (cores x gpus) point."""
+    result = SweepResult()
+    for c, g in itertools.product(cores, gpus):
+        machine = (
+            base_machine.with_resources(c, g)
+            if base_machine is not None
+            else MachineSpec(c, g)
+        )
+        rep = SimExecutor(machine, cost_model, **sim_kwargs).run(graph)
+        result.points.append(SweepPoint(c, g, {}, rep))
+    return result
+
+
+def sweep_workloads(
+    build: Callable[..., Tuple[Heteroflow, CostModel]],
+    param_grid: Dict[str, Sequence],
+    cores: Sequence[int],
+    gpus: Sequence[int],
+    *,
+    base_machine: Optional[MachineSpec] = None,
+    **sim_kwargs,
+) -> SweepResult:
+    """Sweep workload parameters x machine sizes.
+
+    *build* is called with one kwargs combination from *param_grid*
+    and must return ``(graph, cost_model)``; every machine point then
+    simulates that graph.
+    """
+    result = SweepResult()
+    keys = sorted(param_grid)
+    for values in itertools.product(*(param_grid[k] for k in keys)):
+        params = dict(zip(keys, values))
+        graph, cm = build(**params)
+        for c, g in itertools.product(cores, gpus):
+            machine = (
+                base_machine.with_resources(c, g)
+                if base_machine is not None
+                else MachineSpec(c, g)
+            )
+            rep = SimExecutor(machine, cm, **sim_kwargs).run(graph)
+            result.points.append(SweepPoint(c, g, dict(params), rep))
+    return result

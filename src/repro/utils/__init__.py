@@ -1,0 +1,15 @@
+"""Shared utilities: union-find, spans, DOT serialization, RNG helpers."""
+
+from repro.utils.union_find import UnionFind
+from repro.utils.span import Span, make_span
+from repro.utils.dot import DotWriter
+from repro.utils.rng import seeded_rng, derive_seed
+
+__all__ = [
+    "UnionFind",
+    "Span",
+    "make_span",
+    "DotWriter",
+    "seeded_rng",
+    "derive_seed",
+]

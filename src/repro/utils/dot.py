@@ -1,0 +1,60 @@
+"""Minimal GraphViz DOT serializer used by ``Heteroflow.dump``.
+
+The paper advertises task-graph inspection through the standard DOT
+format (Listing 11); this writer produces output consumable by
+``graphviz``/``viz.js`` without requiring either to be installed.
+"""
+
+from __future__ import annotations
+
+import io
+from typing import Dict, Hashable, List, Optional, Tuple
+
+
+def _quote(s: str) -> str:
+    return '"' + s.replace("\\", "\\\\").replace('"', '\\"') + '"'
+
+
+class DotWriter:
+    """Accumulates nodes and edges and renders a ``digraph``."""
+
+    def __init__(self, name: str = "Heteroflow") -> None:
+        self.name = name
+        self._nodes: List[Tuple[str, Dict[str, str]]] = []
+        self._edges: List[Tuple[str, str, Dict[str, str]]] = []
+        self._ids: Dict[Hashable, str] = {}
+
+    def node_id(self, key: Hashable) -> str:
+        """Stable identifier for an arbitrary hashable node key."""
+        if key not in self._ids:
+            self._ids[key] = f"n{len(self._ids)}"
+        return self._ids[key]
+
+    def add_node(self, key: Hashable, label: str, **attrs: str) -> str:
+        nid = self.node_id(key)
+        a = {"label": label}
+        a.update(attrs)
+        self._nodes.append((nid, a))
+        return nid
+
+    def add_edge(self, src: Hashable, dst: Hashable, **attrs: str) -> None:
+        self._edges.append((self.node_id(src), self.node_id(dst), attrs))
+
+    def render(self, stream: Optional[io.TextIOBase] = None) -> str:
+        """Render to *stream* if given; always return the DOT text."""
+        out = io.StringIO()
+        out.write(f"digraph {_quote(self.name)} {{\n")
+        for nid, attrs in self._nodes:
+            body = " ".join(f"{k}={_quote(v)}" for k, v in attrs.items())
+            out.write(f"  {nid} [{body}];\n")
+        for s, d, attrs in self._edges:
+            if attrs:
+                body = " ".join(f"{k}={_quote(v)}" for k, v in attrs.items())
+                out.write(f"  {s} -> {d} [{body}];\n")
+            else:
+                out.write(f"  {s} -> {d};\n")
+        out.write("}\n")
+        text = out.getvalue()
+        if stream is not None:
+            stream.write(text)
+        return text

@@ -1,0 +1,89 @@
+"""Disjoint-set (union-find) with union by rank and path compression.
+
+Used by the device-placement pass (Algorithm 1 in the paper) to group
+each kernel task with its source pull tasks so that the whole group is
+packed onto a single GPU bin.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, Iterator, List
+
+
+class UnionFind:
+    """Disjoint-set forest over arbitrary hashable elements.
+
+    Elements are added lazily on first use; ``find`` on an unseen
+    element creates a singleton set for it.
+    """
+
+    __slots__ = ("_parent", "_rank", "_size")
+
+    def __init__(self, elements: Iterable[Hashable] = ()) -> None:
+        self._parent: Dict[Hashable, Hashable] = {}
+        self._rank: Dict[Hashable, int] = {}
+        self._size: Dict[Hashable, int] = {}
+        for e in elements:
+            self.add(e)
+
+    def add(self, x: Hashable) -> None:
+        """Ensure *x* is present as (at least) a singleton set."""
+        if x not in self._parent:
+            self._parent[x] = x
+            self._rank[x] = 0
+            self._size[x] = 1
+
+    def __contains__(self, x: Hashable) -> bool:
+        return x in self._parent
+
+    def __len__(self) -> int:
+        return len(self._parent)
+
+    def __iter__(self) -> Iterator[Hashable]:
+        return iter(self._parent)
+
+    def find(self, x: Hashable) -> Hashable:
+        """Return the canonical representative of the set containing *x*.
+
+        Applies two-pass path compression.
+        """
+        self.add(x)
+        root = x
+        parent = self._parent
+        while parent[root] != root:
+            root = parent[root]
+        while parent[x] != root:
+            parent[x], x = root, parent[x]
+        return root
+
+    def union(self, a: Hashable, b: Hashable) -> Hashable:
+        """Merge the sets containing *a* and *b*; return the new root."""
+        ra, rb = self.find(a), self.find(b)
+        if ra == rb:
+            return ra
+        if self._rank[ra] < self._rank[rb]:
+            ra, rb = rb, ra
+        self._parent[rb] = ra
+        self._size[ra] += self._size[rb]
+        if self._rank[ra] == self._rank[rb]:
+            self._rank[ra] += 1
+        return ra
+
+    def connected(self, a: Hashable, b: Hashable) -> bool:
+        """True iff *a* and *b* are in the same set."""
+        return self.find(a) == self.find(b)
+
+    def set_size(self, x: Hashable) -> int:
+        """Number of elements in the set containing *x*."""
+        return self._size[self.find(x)]
+
+    def roots(self) -> List[Hashable]:
+        """All canonical representatives (one per set)."""
+        return [x for x in self._parent if self.find(x) == x]
+
+    def groups(self) -> Dict[Hashable, List[Hashable]]:
+        """Mapping root -> members, covering every element."""
+        out: Dict[Hashable, List[Hashable]] = {}
+        for x in self._parent:
+            out.setdefault(self.find(x), []).append(x)
+        return out

@@ -1,0 +1,235 @@
+"""Tests for nodes, task handles, and the Heteroflow graph class."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.core import Heteroflow, TaskType
+from repro.core.task import HostTask, KernelTask, PullTask, PushTask, Task
+from repro.errors import CycleError, EmptyTaskError, GraphError
+
+
+class TestTaskCreation:
+    def test_host_task(self):
+        hf = Heteroflow()
+        t = hf.host(lambda: None, name="h")
+        assert t.type is TaskType.HOST
+        assert t.name == "h"
+        assert not t.empty
+
+    def test_host_requires_callable(self):
+        hf = Heteroflow()
+        with pytest.raises(GraphError):
+            hf.host(42)
+
+    def test_pull_task_over_vector_and_raw(self):
+        """Listing 3: pull over a container and over (ptr, count)."""
+        hf = Heteroflow()
+        data1 = [0] * 100
+        data2 = np.zeros(10, dtype=np.float32)
+        p1 = hf.pull(data1)
+        p2 = hf.pull(data2, 10)
+        assert p1.type is TaskType.PULL
+        assert p2.type is TaskType.PULL
+
+    def test_push_requires_pull_source(self):
+        hf = Heteroflow()
+        with pytest.raises(GraphError):
+            hf.push("not a pull", [1])
+
+    def test_push_rejects_empty_pull(self):
+        hf = Heteroflow()
+        with pytest.raises(GraphError):
+            hf.push(PullTask(), [1])
+
+    def test_kernel_gathers_pull_sources(self):
+        """Listing 8's gather_sources: pull args become sources, other
+        args don't."""
+        hf = Heteroflow()
+        p1 = hf.pull([1])
+        p2 = hf.pull([2])
+        k = hf.kernel(lambda a, b, n: None, p1, p2, 10)
+        assert len(k.sources) == 2
+        assert {s.node.nid for s in k.sources} == {p1.node.nid, p2.node.nid}
+
+    def test_kernel_requires_callable(self):
+        hf = Heteroflow()
+        with pytest.raises(GraphError):
+            hf.kernel("nope")
+
+    def test_default_names_unique(self):
+        hf = Heteroflow()
+        a = hf.host(lambda: None)
+        b = hf.host(lambda: None)
+        assert a.name != b.name
+
+    def test_rename_chains(self):
+        hf = Heteroflow()
+        t = hf.host(lambda: None).rename("renamed")
+        assert t.name == "renamed"
+
+
+class TestPlaceholders:
+    def test_placeholder_is_typed_empty_work(self):
+        hf = Heteroflow()
+        t = hf.placeholder(HostTask)
+        assert t.type is TaskType.PLACEHOLDER
+        assert not t.empty  # has a node, lacks work
+
+    def test_placeholder_participates_in_dependencies(self):
+        hf = Heteroflow()
+        ph = hf.placeholder(HostTask)
+        other = hf.host(lambda: None)
+        ph.precede(other)
+        assert other.num_dependents == 1
+
+    def test_placeholder_fill_makes_runnable(self):
+        hf = Heteroflow()
+        ph = hf.placeholder(HostTask)
+        ph.host(lambda: None)
+        hf.validate()  # no longer raises
+
+    def test_unfilled_placeholder_fails_validation(self):
+        hf = Heteroflow()
+        hf.placeholder(HostTask)
+        with pytest.raises(GraphError):
+            hf.validate()
+
+    def test_empty_handle_operations_raise(self):
+        t = Task()
+        assert t.empty
+        with pytest.raises(EmptyTaskError):
+            t.precede(t)
+        with pytest.raises(EmptyTaskError):
+            _ = t.name
+
+    def test_unknown_placeholder_type_rejected(self):
+        hf = Heteroflow()
+
+        class Weird(Task):
+            pass
+
+        with pytest.raises(GraphError):
+            hf.placeholder(Weird)
+
+
+class TestDependencies:
+    def test_precede_variadic(self):
+        hf = Heteroflow()
+        a, b, c = (hf.host(lambda: None) for _ in range(3))
+        a.precede(b, c)
+        assert a.num_successors == 2
+        assert b.num_dependents == 1
+
+    def test_succeed_is_symmetric(self):
+        hf = Heteroflow()
+        a, b = hf.host(lambda: None), hf.host(lambda: None)
+        b.succeed(a)
+        assert a.num_successors == 1
+        assert b.num_dependents == 1
+
+    def test_self_loop_rejected(self):
+        hf = Heteroflow()
+        a = hf.host(lambda: None)
+        with pytest.raises(GraphError):
+            a.precede(a)
+
+    def test_cycle_detected(self):
+        hf = Heteroflow()
+        a, b, c = (hf.host(lambda: None) for _ in range(3))
+        a.precede(b)
+        b.precede(c)
+        c.precede(a)
+        with pytest.raises(CycleError):
+            hf.validate()
+
+    def test_cross_graph_edge_detected(self):
+        g1, g2 = Heteroflow(), Heteroflow()
+        a = g1.host(lambda: None)
+        b = g2.host(lambda: None)
+        a.precede(b)
+        with pytest.raises(GraphError):
+            g1.validate()
+
+    def test_handle_equality_by_node(self):
+        hf = Heteroflow()
+        a = hf.host(lambda: None)
+        alias = HostTask(a.node)
+        assert a == alias
+        assert hash(a) == hash(alias)
+
+    def test_topological_order_respects_edges(self):
+        hf = Heteroflow()
+        tasks = [hf.host(lambda: None) for _ in range(6)]
+        for i in range(5):
+            tasks[i].precede(tasks[i + 1])
+        order = hf.topological_order()
+        assert [n.nid for n in order] == [t.node.nid for t in tasks]
+
+
+class TestKernelShape:
+    def test_block_grid_builders(self):
+        hf = Heteroflow()
+        k = hf.kernel(lambda: None).block_x(256).grid_x(4).grid_y(2).shm(64)
+        cfg = k.launch_config
+        assert cfg.block == (256, 1, 1)
+        assert cfg.grid == (4, 2, 1)
+        assert cfg.shm == 64
+
+    def test_grid_block_tuple_setters(self):
+        hf = Heteroflow()
+        k = hf.kernel(lambda: None).grid(2, 3, 4).block(8, 4)
+        assert k.launch_config.grid == (2, 3, 4)
+        assert k.launch_config.block == (8, 4, 1)
+
+
+class TestGraphInspection:
+    def test_counts(self):
+        hf = Heteroflow()
+        hf.host(lambda: None)
+        p = hf.pull([1])
+        hf.push(p, [1])
+        hf.kernel(lambda: None)
+        assert hf.num_nodes == 4
+        assert len(hf) == 4
+        assert hf.num_tasks_of(TaskType.PULL) == 1
+        assert hf.has_gpu_tasks
+
+    def test_empty_and_clear(self):
+        hf = Heteroflow()
+        assert hf.empty
+        hf.host(lambda: None)
+        hf.clear()
+        assert hf.empty
+
+    def test_tasks_returns_right_handle_types(self):
+        hf = Heteroflow()
+        hf.host(lambda: None)
+        p = hf.pull([1])
+        hf.push(p, [1])
+        hf.kernel(lambda: None)
+        kinds = [type(t) for t in hf.tasks()]
+        assert kinds == [HostTask, PullTask, PushTask, KernelTask]
+
+    def test_dump_dot(self):
+        hf = Heteroflow("demo")
+        a = hf.host(lambda: None, name="alpha")
+        p = hf.pull([1], name="pin")
+        a.precede(p)
+        text = hf.dump()
+        assert text.startswith('digraph "demo"')
+        assert "alpha" in text and "pin" in text
+        assert "->" in text
+
+    def test_dump_to_stream(self):
+        hf = Heteroflow()
+        hf.host(lambda: None)
+        buf = io.StringIO()
+        text = hf.dump(buf)
+        assert buf.getvalue() == text
+
+    def test_dump_kernel_shows_launch_shape(self):
+        hf = Heteroflow()
+        hf.kernel(lambda: None, name="k").grid_x(7).block_x(32)
+        assert "<<<7,32>>>" in hf.dump()

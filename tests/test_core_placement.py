@@ -1,0 +1,192 @@
+"""Tests for Algorithm 1 (device placement)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import Heteroflow
+from repro.core.placement import DevicePlacement, default_cost_metric
+from repro.baselines import RoundRobinPlacement
+from repro.errors import ExecutorError
+
+
+def place(hf, gpus, impl=None):
+    impl = impl or DevicePlacement()
+    return impl.place(hf.nodes, gpus)
+
+
+class TestGrouping:
+    def test_kernel_groups_with_its_pulls(self):
+        hf = Heteroflow()
+        p1, p2 = hf.pull([1]), hf.pull([2])
+        k = hf.kernel(lambda a, b: None, p1, p2)
+        res = place(hf, 4)
+        assert res.num_groups == 1
+        assert res.device_of(k.node) == res.device_of(p1.node) == res.device_of(p2.node)
+
+    def test_transitive_grouping_through_shared_pull(self):
+        """Fig. 3: kernel1(pull1) and kernel2(pull1, pull2) merge."""
+        hf = Heteroflow()
+        p1, p2 = hf.pull([1]), hf.pull([2])
+        k1 = hf.kernel(lambda a: None, p1)
+        k2 = hf.kernel(lambda a, b: None, p1, p2)
+        res = place(hf, 4)
+        assert res.num_groups == 1
+        devices = {res.device_of(n) for n in (p1.node, p2.node, k1.node, k2.node)}
+        assert len(devices) == 1
+
+    def test_independent_groups_spread(self):
+        hf = Heteroflow()
+        kernels = []
+        for i in range(4):
+            p = hf.pull(np.zeros(64))
+            kernels.append(hf.kernel(lambda a: None, p))
+        res = place(hf, 4)
+        assert res.num_groups == 4
+        assert sorted(res.device_of(k.node) for k in kernels) == [0, 1, 2, 3]
+
+    def test_push_inherits_source_device(self):
+        hf = Heteroflow()
+        p = hf.pull([1])
+        hf.kernel(lambda a: None, p)
+        target = [0]
+        push = hf.push(p, target)
+        res = place(hf, 3)
+        assert res.device_of(push.node) == res.device_of(p.node)
+
+    def test_lone_pull_gets_placed(self):
+        hf = Heteroflow()
+        p = hf.pull([1, 2, 3])
+        res = place(hf, 2)
+        assert res.device_of(p.node) in (0, 1)
+
+
+class TestBinPacking:
+    def test_balanced_load_with_unequal_groups(self):
+        """One big group + several small ones: the big group must not
+        share a GPU with another group when a free GPU exists."""
+        hf = Heteroflow()
+        big = hf.pull(np.zeros(100_000))
+        hf.kernel(lambda a: None, big)
+        smalls = []
+        for _ in range(3):
+            p = hf.pull(np.zeros(8))
+            hf.kernel(lambda a: None, p)
+            smalls.append(p)
+        res = place(hf, 2)
+        big_dev = res.device_of(big.node)
+        assert all(res.device_of(p.node) != big_dev for p in smalls)
+
+    def test_imbalance_beats_round_robin_on_skew(self):
+        """ABL-PLACE core property: balanced packing yields lower load
+        imbalance than round-robin on skewed group sizes."""
+        hf = Heteroflow()
+        sizes = [1 << 16, 8, 8, 1 << 16, 8, 8, 8, 8]
+        for s in sizes:
+            p = hf.pull(np.zeros(s))
+            hf.kernel(lambda a: None, p)
+        balanced = place(hf, 2)
+        hf2 = Heteroflow()
+        for s in sizes:
+            p = hf2.pull(np.zeros(s))
+            hf2.kernel(lambda a: None, p)
+        rr = place(hf2, 2, RoundRobinPlacement())
+        assert balanced.load_imbalance <= rr.load_imbalance
+
+    def test_no_gpu_tasks_trivial(self):
+        hf = Heteroflow()
+        hf.host(lambda: None)
+        res = place(hf, 0)
+        assert res.assignment == {}
+
+    def test_gpu_tasks_without_gpus_raise(self):
+        hf = Heteroflow()
+        hf.pull([1])
+        with pytest.raises(ExecutorError):
+            place(hf, 0)
+
+    def test_custom_cost_metric(self):
+        hf = Heteroflow()
+        pulls = [hf.pull([1]) for _ in range(4)]
+        for p in pulls:
+            hf.kernel(lambda a: None, p)
+        # metric that makes group 0 enormous
+        first = pulls[0].node.nid
+
+        def metric(group):
+            return 1e9 if any(n.nid == first for n in group) else 1.0
+
+        res = DevicePlacement(metric).place(hf.nodes, 2)
+        dev0 = res.device_of(pulls[0].node)
+        assert all(res.device_of(p.node) != dev0 for p in pulls[1:])
+
+    def test_default_metric_fallback_for_unresolvable_span(self):
+        hf = Heteroflow()
+        p = hf.pull(lambda: undefined_name)  # noqa: F821 - resolves later
+        cost = default_cost_metric([p.node])
+        assert cost > 0
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    group_sizes=st.lists(st.integers(1, 1000), min_size=1, max_size=24),
+    gpus=st.integers(1, 6),
+)
+def test_every_gpu_task_is_assigned(group_sizes, gpus):
+    """All pull/kernel/push nodes receive a device in range, kernels
+    co-locate with their pulls, and loads sum to the total cost."""
+    hf = Heteroflow()
+    kernels = []
+    for s in group_sizes:
+        p = hf.pull(np.zeros(s))
+        k = hf.kernel(lambda a: None, p)
+        hf.push(p, np.zeros(s))
+        kernels.append((k, p))
+    res = place(hf, gpus)
+    for n in hf.nodes:
+        if n.type.is_gpu:
+            assert 0 <= res.device_of(n) < gpus
+    for k, p in kernels:
+        assert res.device_of(k.node) == res.device_of(p.node)
+    assert sum(res.loads) == pytest.approx(
+        sum(default_cost_metric(ms) for ms in _groups_of(hf))
+    )
+
+
+def _groups_of(hf):
+    """Recompute groups independently for the property test."""
+    from repro.core.node import TaskType
+    from repro.utils.union_find import UnionFind
+
+    uf = UnionFind()
+    for n in hf.nodes:
+        if n.type in (TaskType.PULL, TaskType.KERNEL):
+            uf.add(n)
+        if n.type is TaskType.KERNEL:
+            for p in n.kernel_sources:
+                uf.union(n, p)
+    return list(uf.groups().values())
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    group_sizes=st.lists(st.integers(1, 50), min_size=2, max_size=20),
+    gpus=st.integers(2, 4),
+)
+def test_balanced_satisfies_greedy_bound(group_sizes, gpus):
+    """Greedy balanced packing guarantees max load <= mean + max-group
+    (the classical list-scheduling bound); round-robin does not."""
+
+    def build():
+        hf = Heteroflow()
+        for s in group_sizes:
+            p = hf.pull(np.zeros(s))
+            hf.kernel(lambda a: None, p)
+        return hf
+
+    balanced = place(build(), gpus)
+    total = sum(balanced.loads)
+    biggest = max(
+        default_cost_metric(ms) for ms in _groups_of(build())
+    )
+    assert max(balanced.loads) <= total / gpus + biggest + 1e-9

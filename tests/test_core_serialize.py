@@ -1,0 +1,170 @@
+"""Tests for graph serialization and the profile convenience."""
+
+import json
+
+import pytest
+
+from repro.core import Executor, Heteroflow, TaskType
+from repro.core.serialize import (
+    graph_to_dict,
+    graph_to_json,
+    skeleton_from_dict,
+    skeleton_from_json,
+    structure_equal,
+)
+from repro.core.task import HostTask
+from repro.errors import GraphError
+
+
+class TestExport:
+    def test_dict_covers_all_tasks(self, saxpy_graph):
+        hf, *_ = saxpy_graph
+        d = graph_to_dict(hf)
+        assert d["num_tasks"] == 7
+        assert {t["type"] for t in d["tasks"]} == {"host", "pull", "push", "kernel"}
+
+    def test_edges_preserved(self, saxpy_graph):
+        hf, *_ = saxpy_graph
+        d = graph_to_dict(hf)
+        edge_count = sum(len(t["successors"]) for t in d["tasks"])
+        assert edge_count == sum(len(n.successors) for n in hf.nodes)
+
+    def test_kernel_metadata(self, saxpy_graph):
+        hf, *_ = saxpy_graph
+        d = graph_to_dict(hf)
+        k = next(t for t in d["tasks"] if t["type"] == "kernel")
+        assert k["block"] == [256, 1, 1]
+        assert len(k["sources"]) == 2
+
+    def test_push_source_recorded(self, saxpy_graph):
+        hf, *_ = saxpy_graph
+        d = graph_to_dict(hf)
+        pushes = [t for t in d["tasks"] if t["type"] == "push"]
+        pulls = {t["id"] for t in d["tasks"] if t["type"] == "pull"}
+        assert all(p["source"] in pulls for p in pushes)
+
+    def test_json_round_trips(self, saxpy_graph):
+        hf, *_ = saxpy_graph
+        assert json.loads(graph_to_json(hf)) == graph_to_dict(hf)
+
+
+class TestSkeleton:
+    def test_structure_round_trip(self, saxpy_graph):
+        hf, *_ = saxpy_graph
+        clone = skeleton_from_json(graph_to_json(hf))
+        assert clone.num_nodes == hf.num_nodes
+        for orig, copy in zip(hf.nodes, clone.nodes):
+            assert copy.name == orig.name
+            assert len(copy.successors) == len(orig.successors)
+
+    def test_skeleton_tasks_are_placeholders(self, saxpy_graph):
+        hf, *_ = saxpy_graph
+        clone = skeleton_from_dict(graph_to_dict(hf))
+        assert all(n.type is TaskType.PLACEHOLDER for n in clone.nodes)
+        with pytest.raises(GraphError):
+            clone.validate()  # work not bound yet
+
+    def test_skeleton_runnable_after_rebind(self):
+        hf = Heteroflow("orig")
+        out = []
+        a = hf.host(lambda: out.append("a"), name="a")
+        b = hf.host(lambda: out.append("b"), name="b")
+        a.precede(b)
+        clone = skeleton_from_dict(graph_to_dict(hf))
+        log = []
+        for t in clone.tasks():
+            HostTask(t.node).host(lambda n=t.name: log.append(n))
+        with Executor(2, 0) as ex:
+            ex.run(clone).result(timeout=10)
+        assert log == ["a", "b"]
+
+    def test_rejects_bad_schema(self):
+        with pytest.raises(GraphError):
+            skeleton_from_dict({"schema": 99, "tasks": []})
+
+    def test_rejects_unknown_type(self):
+        with pytest.raises(GraphError):
+            skeleton_from_dict(
+                {"schema": 1, "tasks": [{"id": 0, "type": "quantum", "successors": []}]}
+            )
+
+
+class TestStructureEqual:
+    def test_identical_builders_equal(self):
+        def build():
+            hf = Heteroflow()
+            a = hf.host(lambda: None, name="a")
+            p = hf.pull([1], name="p")
+            a.precede(p)
+            return hf
+
+        assert structure_equal(build(), build())
+
+    def test_extra_edge_detected(self):
+        def build(extra):
+            hf = Heteroflow()
+            a = hf.host(lambda: None, name="a")
+            b = hf.host(lambda: None, name="b")
+            c = hf.host(lambda: None, name="c")
+            a.precede(b)
+            b.precede(c)
+            if extra:
+                a.precede(c)
+            return hf
+
+        assert not structure_equal(build(False), build(True))
+
+    def test_app_flows_deterministic_structure(self):
+        from repro.apps.timing import build_timing_flow
+
+        a = build_timing_flow(num_views=3, num_gates=60, paths_per_view=8, seed=5)
+        b = build_timing_flow(num_views=3, num_gates=60, paths_per_view=8, seed=5)
+        assert structure_equal(a.graph, b.graph)
+
+
+class TestProfile:
+    def test_profile_returns_trace(self, saxpy_graph):
+        hf, *_ = saxpy_graph
+        with Executor(2, 1) as ex:
+            obs = ex.profile(hf)
+        assert len(obs.records) == 7
+        assert obs.topologies_finished == 1
+
+    def test_profile_detaches_observer(self, saxpy_graph):
+        hf, x, y, n = saxpy_graph
+        with Executor(2, 1) as ex:
+            obs = ex.profile(hf)
+            count = len(obs.records)
+            ex.run(hf).result(timeout=30)  # second run not observed
+        assert len(obs.records) == count
+
+
+from hypothesis import given, settings, strategies as st
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    n_tasks=st.integers(1, 25),
+    edge_density=st.floats(0, 0.5),
+    seed=st.integers(0, 1000),
+)
+def test_property_random_dag_round_trips(n_tasks, edge_density, seed):
+    """Random DAG structures survive export -> skeleton import."""
+    import numpy as np
+
+    rng = np.random.default_rng(seed)
+    hf = Heteroflow("fuzz")
+    tasks = [hf.host(lambda: None, name=f"t{i}") for i in range(n_tasks)]
+    for j in range(1, n_tasks):
+        for i in range(j):
+            if rng.uniform() < edge_density:
+                tasks[i].precede(tasks[j])
+    clone = skeleton_from_dict(graph_to_dict(hf))
+    assert clone.num_nodes == hf.num_nodes
+    for orig, copy in zip(hf.nodes, clone.nodes):
+        assert copy.name == orig.name
+        assert [s.name for s in copy.successors] == [s.name for s in orig.successors]
+    # topological structure intact
+    clone_order = [n.name for n in clone.topological_order()]
+    orig_order = [n.name for n in hf.topological_order()]
+    assert clone_order == orig_order

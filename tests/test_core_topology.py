@@ -1,0 +1,101 @@
+"""Direct unit tests for Topology semantics and CPPR setup checks."""
+
+import pytest
+
+from repro.apps.timing.cppr import generate_clock_tree, setup_slack_with_cppr
+from repro.core import Heteroflow
+from repro.core.topology import Topology
+
+
+class TestTopology:
+    def graph(self, k=3):
+        hf = Heteroflow()
+        for _ in range(k):
+            hf.host(lambda: None)
+        return hf
+
+    def test_pass_accounting(self):
+        t = Topology(self.graph(3), repeats=2)
+        t.begin_pass()
+        assert not t.node_finished()
+        assert not t.node_finished()
+        assert t.node_finished()  # third node completes the pass
+
+    def test_repeats_stop_condition(self):
+        t = Topology(self.graph(1), repeats=2)
+        assert not t.pass_completed()  # pass 1 of 2
+        assert t.pass_completed()  # pass 2 of 2 -> stop
+
+    def test_predicate_stop_condition(self):
+        state = {"n": 0}
+
+        def pred():
+            state["n"] += 1
+            return state["n"] >= 3
+
+        t = Topology(self.graph(1), repeats=None, predicate=pred)
+        assert not t.pass_completed()
+        assert not t.pass_completed()
+        assert t.pass_completed()
+
+    def test_failure_stops_regardless_of_repeats(self):
+        t = Topology(self.graph(1), repeats=100)
+        t.fail(ValueError("x"))
+        assert t.pass_completed()
+
+    def test_first_error_wins(self):
+        t = Topology(self.graph(1), repeats=1)
+        first = ValueError("first")
+        t.fail(first)
+        t.fail(RuntimeError("second"))
+        assert t.error is first
+
+    def test_complete_sets_result(self):
+        t = Topology(self.graph(1), repeats=1)
+        t.passes_done = 1
+        t.complete()
+        assert t.future.result(timeout=1) == 1
+
+    def test_complete_sets_exception(self):
+        t = Topology(self.graph(1), repeats=1)
+        t.fail(KeyError("boom"))
+        t.complete()
+        with pytest.raises(KeyError):
+            t.future.result(timeout=1)
+
+
+class TestSetupSlackWithCppr:
+    @pytest.fixture
+    def tree(self):
+        return generate_clock_tree(list(range(8)), seed=4)
+
+    def test_cppr_never_reduces_slack(self, tree):
+        for a, b in [(0, 1), (0, 7), (3, 4)]:
+            pess, corrected = setup_slack_with_cppr(tree, 100.0, a, b, 40.0)
+            assert corrected >= pess
+
+    def test_same_flop_pair_fully_credited(self, tree):
+        """launch == capture: the entire clock path is common, so the
+        derate asymmetry on it is fully credited back."""
+        pess, corrected = setup_slack_with_cppr(tree, 100.0, 5, 5, 40.0)
+        latency = tree.insertion_delay(5)
+        assert corrected - pess == pytest.approx((1.05 - 0.95) * latency)
+
+    def test_sibling_pair_credits_more_than_distant(self, tree):
+        _, sib = setup_slack_with_cppr(tree, 100.0, 0, 1, 40.0)
+        p_sib, _ = setup_slack_with_cppr(tree, 100.0, 0, 1, 40.0)
+        _, far = setup_slack_with_cppr(tree, 100.0, 0, 7, 40.0)
+        p_far, _ = setup_slack_with_cppr(tree, 100.0, 0, 7, 40.0)
+        assert sib - p_sib > far - p_far
+
+    def test_arrival_reduces_slack_linearly(self, tree):
+        p1, c1 = setup_slack_with_cppr(tree, 100.0, 0, 3, 10.0)
+        p2, c2 = setup_slack_with_cppr(tree, 100.0, 0, 3, 30.0)
+        assert p1 - p2 == pytest.approx(20.0)
+        assert c1 - c2 == pytest.approx(20.0)
+
+    def test_symmetric_derates_no_credit(self, tree):
+        pess, corrected = setup_slack_with_cppr(
+            tree, 100.0, 0, 3, 40.0, early_derate=1.0, late_derate=1.0
+        )
+        assert corrected == pytest.approx(pess)

@@ -1,0 +1,175 @@
+"""Tests for the work-stealing queue and the eventcount notifier."""
+
+import threading
+import time
+
+from hypothesis import given, strategies as st
+
+from repro.core.notifier import Notifier
+from repro.core.wsq import WorkStealingQueue
+
+
+class TestWsqSequential:
+    def test_owner_lifo(self):
+        q = WorkStealingQueue()
+        for i in range(3):
+            q.push(i)
+        assert [q.pop() for _ in range(3)] == [2, 1, 0]
+
+    def test_thief_fifo(self):
+        q = WorkStealingQueue()
+        for i in range(3):
+            q.push(i)
+        assert [q.steal() for _ in range(3)] == [0, 1, 2]
+
+    def test_empty_returns_none(self):
+        q = WorkStealingQueue()
+        assert q.pop() is None
+        assert q.steal() is None
+        assert q.empty
+
+    def test_len(self):
+        q = WorkStealingQueue()
+        q.push("a")
+        q.push("b")
+        assert len(q) == 2
+        q.pop()
+        assert len(q) == 1
+
+    def test_mixed_ends(self):
+        q = WorkStealingQueue()
+        for i in range(4):
+            q.push(i)
+        assert q.steal() == 0  # oldest
+        assert q.pop() == 3  # newest
+        assert q.steal() == 1
+        assert q.pop() == 2
+
+
+class TestWsqConcurrent:
+    def test_no_loss_no_duplication_under_stealing(self):
+        """One owner pushes/pops while thieves steal: every item is
+        consumed exactly once."""
+        q = WorkStealingQueue()
+        n = 2000
+        consumed = []
+        lock = threading.Lock()
+        done = threading.Event()
+
+        def owner():
+            for i in range(n):
+                q.push(i)
+                if i % 3 == 0:
+                    item = q.pop()
+                    if item is not None:
+                        with lock:
+                            consumed.append(item)
+            done.set()
+
+        def thief():
+            while not (done.is_set() and q.empty):
+                item = q.steal()
+                if item is not None:
+                    with lock:
+                        consumed.append(item)
+
+        threads = [threading.Thread(target=owner)] + [
+            threading.Thread(target=thief) for _ in range(3)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=30)
+        assert sorted(consumed) == list(range(n))
+
+
+@given(st.lists(st.sampled_from(["push", "pop", "steal"]), max_size=200))
+def test_wsq_matches_deque_model(ops):
+    """Sequential WSQ behaves exactly like a deque with append/pop
+    at the bottom and popleft at the top."""
+    from collections import deque
+
+    q = WorkStealingQueue()
+    model = deque()
+    counter = 0
+    for op in ops:
+        if op == "push":
+            q.push(counter)
+            model.append(counter)
+            counter += 1
+        elif op == "pop":
+            expected = model.pop() if model else None
+            assert q.pop() == expected
+        else:
+            expected = model.popleft() if model else None
+            assert q.steal() == expected
+    assert len(q) == len(model)
+
+
+class TestNotifier:
+    def test_notify_before_commit_prevents_sleep(self):
+        """The two-phase protocol: a notify between prepare and commit
+        makes commit return immediately (no lost wakeup)."""
+        n = Notifier()
+        epoch = n.prepare_wait()
+        n.notify_one()
+        start = time.perf_counter()
+        n.commit_wait(epoch, timeout=5.0)
+        assert time.perf_counter() - start < 1.0
+
+    def test_cancel_wait_decrements(self):
+        n = Notifier()
+        n.prepare_wait()
+        assert n.num_waiters == 1
+        n.cancel_wait()
+        assert n.num_waiters == 0
+
+    def test_commit_times_out(self):
+        n = Notifier()
+        epoch = n.prepare_wait()
+        start = time.perf_counter()
+        n.commit_wait(epoch, timeout=0.05)
+        elapsed = time.perf_counter() - start
+        assert 0.03 <= elapsed < 2.0
+        assert n.num_waiters == 0
+
+    def test_notify_all_wakes_everyone(self):
+        n = Notifier()
+        woke = []
+
+        def sleeper(i):
+            e = n.prepare_wait()
+            n.commit_wait(e, timeout=10.0)
+            woke.append(i)
+
+        threads = [threading.Thread(target=sleeper, args=(i,)) for i in range(4)]
+        for t in threads:
+            t.start()
+        # give sleepers time to commit
+        for _ in range(100):
+            if n.num_waiters == 4:
+                break
+            time.sleep(0.005)
+        n.notify_all()
+        for t in threads:
+            t.join(timeout=10)
+        assert sorted(woke) == [0, 1, 2, 3]
+
+    def test_notify_one_wakes_at_least_one(self):
+        n = Notifier()
+        woke = threading.Event()
+
+        def sleeper():
+            e = n.prepare_wait()
+            n.commit_wait(e, timeout=10.0)
+            woke.set()
+
+        t = threading.Thread(target=sleeper)
+        t.start()
+        for _ in range(100):
+            if n.num_waiters == 1:
+                break
+            time.sleep(0.005)
+        n.notify_one()
+        assert woke.wait(timeout=10)
+        t.join()

@@ -1,0 +1,118 @@
+"""Tests for the heterogeneous (batched-GPU) CPPR flow."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.apps.timing import build_sequential_design, generate_netlist
+from repro.apps.timing.cppr import generate_clock_tree
+from repro.apps.timing.cppr_flow import (
+    build_cppr_flow,
+    cppr_batch_kernel,
+    flatten_tree,
+    reference_credits,
+)
+from repro.baselines import SequentialExecutor
+from repro.core import Executor
+
+
+class TestFlattenTree:
+    def test_acc_matches_scalar_common_path(self):
+        tree = generate_clock_tree(list(range(10)), seed=3)
+        parent, depth, acc = flatten_tree(tree)
+        for sink in range(10):
+            leaf = tree.leaf_of[sink]
+            # acc at a leaf equals the insertion delay of the sink
+            assert acc[leaf] == pytest.approx(tree.insertion_delay(sink))
+
+    def test_depth_consistent_with_parent(self):
+        tree = generate_clock_tree(list(range(12)), seed=5)
+        parent, depth, _ = flatten_tree(tree)
+        for i in range(tree.num_nodes):
+            if parent[i] >= 0:
+                assert depth[i] == depth[parent[i]] + 1
+
+
+class TestBatchKernel:
+    def batch(self, tree, pairs):
+        parent, depth, acc = flatten_tree(tree)
+        a = np.asarray([tree.leaf_of[x] for x, _ in pairs], dtype=np.int64)
+        b = np.asarray([tree.leaf_of[y] for _, y in pairs], dtype=np.int64)
+        credits = np.zeros(len(pairs))
+        cppr_batch_kernel(None, len(pairs), 0.1, parent, depth, acc, a, b, credits)
+        return credits
+
+    def test_matches_scalar_cppr(self):
+        from repro.apps.timing.cppr import cppr_credit
+
+        tree = generate_clock_tree(list(range(16)), seed=7)
+        pairs = [(0, 1), (0, 15), (7, 8), (3, 3), (14, 2)]
+        credits = self.batch(tree, pairs)
+        for (x, y), c in zip(pairs, credits):
+            assert c == pytest.approx(
+                cppr_credit(tree, x, y, early_derate=1.0, late_derate=1.1)
+            )
+
+    def test_sentinel_yields_zero(self):
+        tree = generate_clock_tree(list(range(4)), seed=1)
+        parent, depth, acc = flatten_tree(tree)
+        a = np.asarray([-1, tree.leaf_of[0]], dtype=np.int64)
+        b = np.asarray([tree.leaf_of[1], tree.leaf_of[1]], dtype=np.int64)
+        credits = np.zeros(2)
+        cppr_batch_kernel(None, 2, 0.1, parent, depth, acc, a, b, credits)
+        assert credits[0] == 0.0
+        assert credits[1] > 0.0
+
+    @settings(max_examples=20, deadline=None)
+    @given(n_sinks=st.integers(2, 40), seed=st.integers(0, 100))
+    def test_property_batch_equals_scalar(self, n_sinks, seed):
+        from repro.apps.timing.cppr import cppr_credit
+
+        tree = generate_clock_tree(list(range(n_sinks)), seed=seed)
+        rng = np.random.default_rng(seed)
+        pairs = [
+            (int(rng.integers(n_sinks)), int(rng.integers(n_sinks)))
+            for _ in range(12)
+        ]
+        credits = self.batch(tree, pairs)
+        for (x, y), c in zip(pairs, credits):
+            assert c == pytest.approx(
+                cppr_credit(tree, x, y, early_derate=1.0, late_derate=1.1)
+            )
+
+
+class TestFlow:
+    @pytest.fixture
+    def state(self):
+        design = build_sequential_design(generate_netlist(100, seed=9), seed=9)
+        return build_cppr_flow(design, 700.0)
+
+    def test_parallel_executor_matches_scalar(self, state):
+        with Executor(3, 2) as ex:
+            ex.run(state.graph).result(timeout=120)
+        assert np.allclose(state.credits, reference_credits(state))
+        assert np.allclose(state.slack_cppr, state.slack_pessimistic + state.credits)
+
+    def test_sequential_oracle_matches(self):
+        design = build_sequential_design(generate_netlist(80, seed=2), seed=2)
+        state = build_cppr_flow(design, 600.0)
+        with SequentialExecutor(num_gpus=1) as seq:
+            seq.run(state.graph)
+        assert np.allclose(state.credits, reference_credits(state))
+
+    def test_report_fields(self, state):
+        with Executor(2, 1) as ex:
+            ex.run(state.graph).result(timeout=120)
+        assert state.report["wns_cppr"] >= state.report["wns_pessimistic"]
+        assert state.report["total_credit"] >= 0
+        assert state.report["endpoints"] == state.n_pairs
+
+    def test_graph_shape(self, state):
+        from repro.core import TaskType
+
+        hf = state.graph
+        assert hf.num_tasks_of(TaskType.PULL) == 6
+        assert hf.num_tasks_of(TaskType.KERNEL) == 1
+        assert hf.num_tasks_of(TaskType.PUSH) == 1
+        assert hf.num_tasks_of(TaskType.HOST) == 2
+        hf.validate()

@@ -1,0 +1,56 @@
+"""Tests for the exception hierarchy contract."""
+
+import pytest
+
+from repro.errors import (
+    AllocationError,
+    CycleError,
+    DeviceError,
+    EmptyTaskError,
+    ExecutorError,
+    GraphError,
+    HeteroflowError,
+    KernelError,
+    SimulationError,
+)
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "exc",
+        [GraphError, ExecutorError, DeviceError, SimulationError, KernelError],
+    )
+    def test_all_derive_from_base(self, exc):
+        assert issubclass(exc, HeteroflowError)
+
+    def test_cycle_is_graph_error(self):
+        assert issubclass(CycleError, GraphError)
+
+    def test_empty_task_is_graph_error(self):
+        assert issubclass(EmptyTaskError, GraphError)
+
+    def test_allocation_is_device_error(self):
+        assert issubclass(AllocationError, DeviceError)
+
+    def test_kernel_is_device_error(self):
+        assert issubclass(KernelError, DeviceError)
+
+    def test_cycle_error_carries_cycle(self):
+        err = CycleError(["a", "b", "c"])
+        assert err.cycle == ["a", "b", "c"]
+        assert "a -> b -> c" in str(err)
+
+    def test_single_catch_covers_library(self):
+        """A caller catching HeteroflowError sees every library failure
+        mode (the single-base contract)."""
+        from repro.core import Executor, Heteroflow
+
+        with Executor(1, 0) as ex:
+            hf = Heteroflow()
+            hf.pull([1])
+            try:
+                ex.run(hf).result(timeout=10)
+            except HeteroflowError:
+                pass  # ExecutorError: GPU task without GPUs
+            else:  # pragma: no cover
+                pytest.fail("expected a HeteroflowError subclass")

@@ -1,0 +1,52 @@
+"""Smoke tests: every example must run to completion.
+
+Examples are deliverables; these tests execute each one in-process at
+reduced size (arguments where supported) and assert clean exit.
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, argv: list) -> None:
+    old_argv = sys.argv
+    sys.argv = [name] + argv
+    try:
+        with pytest.raises(SystemExit) as exc:
+            runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+        assert exc.value.code in (0, None)
+    finally:
+        sys.argv = old_argv
+
+
+def test_quickstart():
+    run_example("quickstart.py", [])
+
+
+def test_timing_correlation():
+    run_example("timing_correlation.py", ["3"])
+
+
+def test_detailed_placement():
+    run_example("detailed_placement.py", ["120", "3"])
+
+
+def test_multi_gpu_pipeline():
+    run_example("multi_gpu_pipeline.py", [])
+
+
+def test_sparse_inference():
+    run_example("sparse_inference.py", ["48", "6", "24"])
+
+
+def test_distributed_scheduling():
+    run_example("distributed_scheduling.py", [])
+
+
+def test_incremental_whatif():
+    run_example("incremental_whatif.py", [])

@@ -1,0 +1,249 @@
+"""Robustness and failure-injection tests for the executor."""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.core import Executor, Heteroflow, TraceObserver
+from repro.errors import AllocationError
+from repro.utils.span import SpanError
+
+
+class TestMemoryPressure:
+    def test_oversized_pull_fails_cleanly(self):
+        """A pull larger than device memory raises AllocationError via
+        the future, and the executor survives for further work."""
+        with Executor(2, 1, gpu_memory_bytes=1 << 16) as ex:
+            hf = Heteroflow()
+            hf.pull(np.zeros(1 << 20))
+            with pytest.raises(AllocationError):
+                ex.run(hf).result(timeout=30)
+            # executor still healthy
+            ok = Heteroflow()
+            out = []
+            ok.host(lambda: out.append(1))
+            ex.run(ok).result(timeout=10)
+            assert out == [1]
+
+    def test_failed_topology_releases_buffers(self):
+        with Executor(2, 1, gpu_memory_bytes=1 << 18) as ex:
+            hf = Heteroflow()
+            p = hf.pull(np.zeros(64))
+            bad = hf.host(lambda: 1 / 0)
+            p.precede(bad)
+            with pytest.raises(ZeroDivisionError):
+                ex.run(hf).result(timeout=30)
+            assert ex.gpu_runtime.device(0).heap.bytes_in_use == 0
+
+    def test_pool_pressure_with_sequential_reuse(self):
+        """Many sequential graphs each allocating most of the pool:
+        buffers must be freed between topologies or the pool exhausts."""
+        with Executor(2, 1, gpu_memory_bytes=1 << 18) as ex:
+            for _ in range(8):
+                hf = Heteroflow()
+                data = np.zeros(1 << 14)  # 128KB of the 256KB pool
+                p = hf.pull(data)
+                hf.push(p, data).succeed(p)
+                ex.run(hf).result(timeout=30)
+
+
+class TestSpanFailures:
+    def test_unresolvable_span_fails_future(self):
+        with Executor(2, 1) as ex:
+            hf = Heteroflow()
+            hf.pull(lambda: {"not": "spannable"})
+            with pytest.raises(SpanError):
+                ex.run(hf).result(timeout=30)
+
+    def test_span_factory_exception_propagates(self):
+        with Executor(2, 1) as ex:
+            hf = Heteroflow()
+
+            def factory():
+                raise RuntimeError("source data unavailable")
+
+            hf.pull(factory)
+            with pytest.raises(RuntimeError, match="source data unavailable"):
+                ex.run(hf).result(timeout=30)
+
+    def test_push_writeback_failure_propagates(self):
+        with Executor(2, 1) as ex:
+            hf = Heteroflow()
+            p = hf.pull([1, 2, 3])
+            push = hf.push(p, (1, 2, 3))  # immutable tuple target
+            p.precede(push)
+            with pytest.raises(SpanError):
+                ex.run(hf).result(timeout=30)
+
+
+class TestObserverRobustness:
+    def test_multiple_observers_all_called(self, saxpy_graph):
+        hf, *_ = saxpy_graph
+        o1, o2 = TraceObserver(), TraceObserver()
+        with Executor(2, 1, observers=[o1, o2]) as ex:
+            ex.run(hf).result(timeout=30)
+        assert len(o1.records) == len(o2.records) == 7
+
+    def test_observer_clear(self, saxpy_graph):
+        hf, *_ = saxpy_graph
+        obs = TraceObserver()
+        with Executor(2, 1, observers=[obs]) as ex:
+            ex.run(hf).result(timeout=30)
+            obs.clear()
+            assert obs.records == []
+
+
+class TestStress:
+    def test_thousand_task_graph(self):
+        """Large fan-out/fan-in graph completes with every task run
+        exactly once."""
+        hf = Heteroflow()
+        counter = [0]
+        lock = threading.Lock()
+
+        def inc():
+            with lock:
+                counter[0] += 1
+
+        layers = []
+        for _ in range(10):
+            layers.append([hf.host(inc) for _ in range(100)])
+        for prev, nxt in zip(layers, layers[1:]):
+            # sparse random-ish coupling: i -> i and i -> (i*7)%100
+            for i in range(100):
+                prev[i].precede(nxt[i], nxt[(i * 7) % 100])
+        with Executor(4, 0) as ex:
+            ex.run(hf).result(timeout=120)
+        assert counter[0] == 1000
+
+    def test_deep_chain(self):
+        hf = Heteroflow()
+        seen = []
+        prev = None
+        for i in range(500):
+            t = hf.host(lambda i=i: seen.append(i))
+            if prev is not None:
+                prev.precede(t)
+            prev = t
+        with Executor(3, 0) as ex:
+            ex.run(hf).result(timeout=120)
+        assert seen == list(range(500))
+
+    def test_many_small_gpu_graphs_concurrently(self):
+        futures = []
+        arrays = []
+        with Executor(4, 2, gpu_memory_bytes=1 << 22) as ex:
+            for i in range(20):
+                hf = Heteroflow()
+                data = np.full(128, float(i))
+                arrays.append(data)
+
+                def double(arr):
+                    arr *= 2
+
+                p = hf.pull(data)
+                k = hf.kernel(double, p)
+                s = hf.push(p, data)
+                p.precede(k)
+                k.precede(s)
+                futures.append(ex.run(hf))
+            for f in futures:
+                f.result(timeout=60)
+        for i, data in enumerate(arrays):
+            assert set(data) == {2.0 * i}
+
+    def test_rapid_run_n_interleaving(self):
+        """run_n topologies on two graphs interleave without loss."""
+        g1, g2 = Heteroflow(), Heteroflow()
+        c1, c2 = [0], [0]
+        lock = threading.Lock()
+        g1.host(lambda: (lock.acquire(), c1.__setitem__(0, c1[0] + 1), lock.release()))
+        g2.host(lambda: (lock.acquire(), c2.__setitem__(0, c2[0] + 1), lock.release()))
+        with Executor(4, 0) as ex:
+            f1 = ex.run_n(g1, 50)
+            f2 = ex.run_n(g2, 50)
+            f1.result(timeout=60)
+            f2.result(timeout=60)
+        assert c1[0] == 50 and c2[0] == 50
+
+    def test_shutdown_under_load_waits(self):
+        ex = Executor(2, 0)
+        hf = Heteroflow()
+        done = []
+        hf.host(lambda: (time.sleep(0.2), done.append(1)))
+        ex.run(hf)
+        ex.shutdown(wait=True)
+        assert done == [1]
+
+
+class TestCancellation:
+    def test_cancel_flushes_remaining_tasks(self):
+        from concurrent.futures import CancelledError
+
+        hf = Heteroflow()
+        gate = threading.Event()
+        ran = []
+        first = hf.host(gate.wait)
+        second = hf.host(lambda: ran.append(1))
+        first.precede(second)
+        with Executor(2, 0) as ex:
+            fut = ex.run(hf)
+            assert ex.cancel(fut)
+            gate.set()
+            with pytest.raises(CancelledError):
+                fut.result(timeout=30)
+        assert ran == []
+
+    def test_cancel_run_n_stops_iteration(self):
+        from concurrent.futures import CancelledError
+
+        hf = Heteroflow()
+        count = [0]
+        gate = threading.Event()
+
+        def work():
+            count[0] += 1
+            if count[0] == 2:
+                gate.set()
+            time.sleep(0.01)
+
+        hf.host(work)
+        with Executor(1, 0) as ex:
+            fut = ex.run_n(hf, 10_000)
+            gate.wait(timeout=30)
+            ex.cancel(fut)
+            with pytest.raises(CancelledError):
+                fut.result(timeout=30)
+        assert count[0] < 10_000
+
+    def test_cancel_done_future_returns_false(self):
+        hf = Heteroflow()
+        hf.host(lambda: None)
+        with Executor(1, 0) as ex:
+            fut = ex.run(hf)
+            fut.result(timeout=30)
+            assert not ex.cancel(fut)
+
+    def test_cancel_foreign_future_returns_false(self):
+        from concurrent.futures import Future
+
+        with Executor(1, 0) as ex:
+            assert not ex.cancel(Future())
+
+    def test_cancelled_topology_releases_buffers(self):
+        from concurrent.futures import CancelledError
+
+        hf = Heteroflow()
+        gate = threading.Event()
+        blocker = hf.host(gate.wait)
+        p = hf.pull(np.zeros(256))
+        blocker.precede(p)
+        with Executor(2, 1) as ex:
+            fut = ex.run(hf)
+            ex.cancel(fut)
+            gate.set()
+            with pytest.raises(CancelledError):
+                fut.result(timeout=30)
+            assert ex.gpu_runtime.device(0).heap.bytes_in_use == 0

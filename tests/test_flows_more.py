@@ -1,0 +1,121 @@
+"""Additional flow-level behaviours: injection, convergence, scaling."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.apps.placement import build_placement_flow, generate_placement, hpwl
+from repro.apps.placement.db import bigblue4_like
+from repro.apps.placement.wirelength import net_hpwl
+from repro.apps.timing import build_timing_flow, generate_netlist
+from repro.apps.timing.netlist import netcard_like
+from repro.core import Executor
+
+
+class TestInjection:
+    def test_timing_flow_with_custom_netlist(self):
+        nl = generate_netlist(90, seed=42, name="custom")
+        flow = build_timing_flow(num_views=2, netlist=nl, paths_per_view=8)
+        assert flow.netlist is nl
+        assert "custom" in flow.graph.name
+        with Executor(2, 1) as ex:
+            ex.run(flow.graph).result(timeout=60)
+        assert all(0 <= s.accuracy <= 1 for s in flow.states)
+
+    def test_placement_flow_with_custom_db(self):
+        db = generate_placement(70, seed=42, name="mine")
+        flow = build_placement_flow(iterations=2, db=db)
+        assert flow.db is db
+        with Executor(2, 1) as ex:
+            ex.run(flow.graph).result(timeout=60)
+        assert flow.hpwl_trace[-1] <= flow.hpwl_trace[0]
+
+    def test_scaled_stand_ins(self):
+        nl = netcard_like(scale=0.0005)  # 750 gates
+        assert 700 <= nl.num_gates <= 800
+        nl.validate()
+        db = bigblue4_like(scale=0.0002)  # 440 cells
+        assert 400 <= db.num_cells <= 480
+        db.check_legal()
+
+
+class TestConvergence:
+    def test_placement_run_until_convergence(self):
+        """Stateful re-execution: run the K-iteration graph repeatedly
+        until an entire pass stops improving — adaptive convergence on
+        top of the flattened graph, via run_until."""
+        flow = build_placement_flow(num_cells=90, iterations=2, seed=3)
+
+        def converged() -> bool:
+            # stop when the last full pass recovered (almost) nothing
+            per_pass = 2  # iterations per pass
+            if len(flow.improvements) < per_pass:
+                return False
+            return sum(flow.improvements[-per_pass:]) < 1e-9
+
+        with Executor(3, 1) as ex:
+            passes = ex.run_until(flow.graph, converged).result(timeout=300)
+        assert passes >= 1
+        t = flow.hpwl_trace
+        assert all(b <= a + 1e-9 for a, b in zip(t, t[1:]))
+        assert sum(flow.improvements[-2:]) < 1e-9
+
+    def test_timing_flow_rerun_is_stable(self):
+        """Re-running the correlation flow reproduces the same weights
+        (deterministic inputs, idempotent passes)."""
+        flow = build_timing_flow(num_views=2, num_gates=80, paths_per_view=8, seed=9)
+        with Executor(2, 1) as ex:
+            ex.run(flow.graph).result(timeout=60)
+            w_first = [s.w.copy() for s in flow.states]
+            ex.run(flow.graph).result(timeout=60)
+        for a, s in zip(w_first, flow.states):
+            assert np.allclose(a, s.w)
+
+
+class TestHpwlProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(0, 200), dx=st.integers(-5, 5), dy=st.integers(-5, 5))
+    def test_translation_invariance(self, seed, dx, dy):
+        db = generate_placement(40, seed=seed)
+        assert hpwl(db, db.x + dx, db.y + dy) == pytest.approx(hpwl(db))
+
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(0, 200))
+    def test_nonnegative_and_zero_for_coincident(self, seed):
+        db = generate_placement(30, seed=seed)
+        per_net = net_hpwl(db.net_ptr, db.net_cells, db.x, db.y)
+        assert np.all(per_net >= 0)
+        # collapse every cell onto one point: HPWL must vanish
+        zeros = np.zeros_like(db.x)
+        assert hpwl(db, zeros, zeros) == 0.0
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(0, 100), scale=st.integers(2, 5))
+    def test_dilation_scales_linearly(self, seed, scale):
+        db = generate_placement(30, seed=seed)
+        assert hpwl(db, db.x * scale, db.y * scale) == pytest.approx(
+            scale * hpwl(db)
+        )
+
+
+class TestMultiViewSummary:
+    def test_worst_view_dominates(self):
+        """Across views, every endpooint's worst slack comes from some
+        view, and the slow (ss) corner is the worst one most often."""
+        from repro.apps.timing import TimingGraph, enumerate_views, run_sta
+
+        tg = TimingGraph.from_netlist(generate_netlist(120, seed=6))
+        base = run_sta(tg)
+        views = enumerate_views(6, seed=6)
+        slacks = np.stack(
+            [
+                run_sta(tg, v, clock_period=base.clock_period).endpoint_slacks(tg)
+                for v in views
+            ]
+        )
+        worst_view = np.argmin(slacks, axis=0)
+        corners = [views[i].corner for i in worst_view]
+        assert corners.count("ss") > len(corners) / 3
+        # per-endpoint worst slack <= every view's slack
+        worst = slacks.min(axis=0)
+        assert np.all(worst <= slacks + 1e-12)

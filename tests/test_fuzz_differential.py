@@ -1,0 +1,167 @@
+"""Differential fuzzing: random task graphs, two independent runtimes.
+
+Generates random DAGs mixing all four task types with data-dependent
+kernels, runs each graph through the work-stealing parallel executor
+AND the single-threaded sequential oracle, and requires bit-identical
+final host data.  Any divergence is a scheduling/race/placement bug.
+
+Also cross-checks the STA forward pass against networkx's longest-path
+machinery on the same weighted DAG.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.baselines import SequentialExecutor
+from repro.core import Executor, Heteroflow
+from repro.utils.rng import seeded_rng
+
+
+def add2(a, b):
+    """Whole-array kernel: a += b (sizes matched by construction)."""
+    n = min(a.size, b.size)
+    a[:n] += b[:n]
+
+
+def scale(ctx, n, factor, a):
+    i = ctx.flat_indices()
+    i = i[i < n]
+    a[i] *= factor
+
+
+def build_random_graph(seed: int, n_chains: int, chain_len: int):
+    """A random forest of stateful CPU-GPU chains with cross links.
+
+    Each chain: host(init) -> pull -> [kernel...] -> push -> host(fold).
+    Kernels may additionally read an earlier chain's pull data (with an
+    explicit dependency on that chain's last writer), exercising the
+    Fig.-3 reuse pattern under randomized structure.
+    """
+    rng = seeded_rng(seed)
+    hf = Heteroflow(f"fuzz{seed}")
+    arrays = []
+    folds = []
+    chain_ends = []
+    pulls = []
+
+    for c in range(n_chains):
+        size = int(rng.integers(8, 64))
+        arr = np.zeros(size, dtype=np.float64)
+        arrays.append(arr)
+        base = float(rng.integers(1, 5))
+        init = hf.host(lambda a=arr, b=base: a.__setitem__(slice(None), b))
+        pull = hf.pull(arr)
+        init.precede(pull)
+        last = pull
+        for k in range(chain_len):
+            choice = rng.integers(0, 2)
+            if choice == 0:
+                factor = float(rng.integers(2, 4))
+                size_late = arr.size
+                ker = hf.kernel(scale, size_late, factor, pull)
+            else:
+                # read another chain's device data when available
+                if pulls and rng.integers(0, 2) == 1:
+                    other_idx = int(rng.integers(0, len(pulls)))
+                    other_pull, other_last = pulls[other_idx]
+                    ker = hf.kernel(add2, pull, other_pull)
+                    ker.succeed(other_last)
+                else:
+                    ker = hf.kernel(scale, arr.size, 1.0, pull)
+            ker.succeed(last)
+            last = ker
+        push = hf.push(pull, arr)
+        push.succeed(last)
+        fold = [0.0]
+        folds.append(fold)
+        done = hf.host(lambda a=arr, f=fold: f.__setitem__(0, float(a.sum())))
+        done.succeed(push)
+        chain_ends.append(done)
+        pulls.append((pull, last))
+
+    # random extra control edges between chain ends and later inits
+    return hf, arrays, folds
+
+
+@settings(max_examples=12, deadline=None)
+@given(
+    seed=st.integers(0, 10_000),
+    n_chains=st.integers(1, 5),
+    chain_len=st.integers(1, 4),
+)
+def test_parallel_matches_sequential(seed, n_chains, chain_len):
+    hf1, arrays1, folds1 = build_random_graph(seed, n_chains, chain_len)
+    with SequentialExecutor(num_gpus=2, gpu_memory_bytes=1 << 22) as seq:
+        seq.run(hf1)
+
+    hf2, arrays2, folds2 = build_random_graph(seed, n_chains, chain_len)
+    with Executor(3, 2, gpu_memory_bytes=1 << 22) as ex:
+        ex.run(hf2).result(timeout=60)
+
+    for a1, a2 in zip(arrays1, arrays2):
+        assert np.array_equal(a1, a2), (a1, a2)
+    for f1, f2 in zip(folds1, folds2):
+        assert f1 == f2
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_repeated_passes_match(seed):
+    """run_n(k) on the parallel executor == k sequential passes."""
+    hf1, arrays1, folds1 = build_random_graph(seed, 2, 2)
+    with SequentialExecutor(num_gpus=1, gpu_memory_bytes=1 << 22) as seq:
+        seq.run(hf1, passes=3)
+
+    hf2, arrays2, folds2 = build_random_graph(seed, 2, 2)
+    with Executor(2, 1, gpu_memory_bytes=1 << 22) as ex:
+        ex.run_n(hf2, 3).result(timeout=60)
+
+    for a1, a2 in zip(arrays1, arrays2):
+        assert np.array_equal(a1, a2)
+
+
+class TestStaVsNetworkx:
+    """The STA forward pass is a longest-path computation; networkx is
+    an independent implementation to diff against."""
+
+    def _nx_arrivals(self, tg):
+        g = nx.DiGraph()
+        g.add_nodes_from(range(tg.num_nodes))
+        for s, d, w in zip(tg.arc_src, tg.arc_dst, tg.arc_delay):
+            # keep the max-weight parallel edge (max-plus semantics)
+            if g.has_edge(int(s), int(d)):
+                g[int(s)][int(d)]["weight"] = max(g[int(s)][int(d)]["weight"], float(w))
+            else:
+                g.add_edge(int(s), int(d), weight=float(w))
+        order = list(nx.topological_sort(g))
+        arr = {v: 0.0 for v in order}
+        for v in order:
+            for u in g.predecessors(v):
+                arr[v] = max(arr[v], arr[u] + g[u][v]["weight"])
+        return arr
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_arrival_times_match(self, seed):
+        from repro.apps.timing import TimingGraph, generate_netlist, run_sta
+
+        tg = TimingGraph.from_netlist(generate_netlist(120, seed=seed))
+        sta = run_sta(tg)
+        nx_arr = self._nx_arrivals(tg)
+        for v, a in nx_arr.items():
+            assert sta.arrival[v] == pytest.approx(a)
+
+    def test_critical_delay_matches_dag_longest_path(self):
+        from repro.apps.timing import TimingGraph, generate_netlist, run_sta
+
+        tg = TimingGraph.from_netlist(generate_netlist(200, seed=5))
+        sta = run_sta(tg)
+        g = nx.DiGraph()
+        for s, d, w in zip(tg.arc_src, tg.arc_dst, tg.arc_delay):
+            if not g.has_edge(int(s), int(d)) or g[int(s)][int(d)]["weight"] < w:
+                g.add_edge(int(s), int(d), weight=float(w))
+        lp = nx.dag_longest_path_length(g, weight="weight")
+        assert float(sta.arrival.max()) == pytest.approx(lp)

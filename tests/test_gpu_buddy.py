@@ -1,0 +1,138 @@
+"""Unit and property tests for the Knowlton buddy allocator."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import AllocationError
+from repro.gpu.buddy import BuddyAllocator
+
+
+class TestBasics:
+    def test_capacity_rounds_to_pow2(self):
+        assert BuddyAllocator(1000, min_block=64).capacity == 1024
+
+    def test_rejects_bad_min_block(self):
+        with pytest.raises(AllocationError):
+            BuddyAllocator(1024, min_block=100)
+
+    def test_rejects_zero_capacity(self):
+        with pytest.raises(AllocationError):
+            BuddyAllocator(0)
+
+    def test_block_size_rounds_up(self):
+        a = BuddyAllocator(1024, min_block=64)
+        assert a.block_size(1) == 64
+        assert a.block_size(65) == 128
+        assert a.block_size(64) == 64
+
+    def test_allocate_whole_arena(self):
+        a = BuddyAllocator(256, min_block=64)
+        off = a.allocate(256)
+        assert off == 0
+        assert a.bytes_in_use == 256
+
+    def test_over_capacity_raises(self):
+        a = BuddyAllocator(256, min_block=64)
+        with pytest.raises(AllocationError):
+            a.allocate(512)
+
+    def test_exhaustion_raises(self):
+        a = BuddyAllocator(256, min_block=64)
+        for _ in range(4):
+            a.allocate(64)
+        with pytest.raises(AllocationError):
+            a.allocate(64)
+
+    def test_free_reclaims(self):
+        a = BuddyAllocator(256, min_block=64)
+        offs = [a.allocate(64) for _ in range(4)]
+        for off in offs:
+            a.free(off)
+        assert a.bytes_in_use == 0
+        assert a.allocate(256) == 0  # full coalescing happened
+
+    def test_double_free_raises(self):
+        a = BuddyAllocator(256, min_block=64)
+        off = a.allocate(64)
+        a.free(off)
+        with pytest.raises(AllocationError):
+            a.free(off)
+
+    def test_invalid_free_raises(self):
+        a = BuddyAllocator(256, min_block=64)
+        with pytest.raises(AllocationError):
+            a.free(32)
+
+    def test_distinct_offsets(self):
+        a = BuddyAllocator(1024, min_block=64)
+        offs = [a.allocate(64) for _ in range(16)]
+        assert len(set(offs)) == 16
+
+    def test_split_produces_buddy_pair(self):
+        a = BuddyAllocator(256, min_block=64)
+        x = a.allocate(64)
+        y = a.allocate(64)
+        assert {x, y} == {0, 64}  # buddies of the first 128-block
+
+    def test_allocation_size_reports_block(self):
+        a = BuddyAllocator(1024, min_block=64)
+        off = a.allocate(100)
+        assert a.allocation_size(off) == 128
+
+    def test_peak_tracking(self):
+        a = BuddyAllocator(1024, min_block=64)
+        x = a.allocate(512)
+        a.free(x)
+        a.allocate(64)
+        assert a.peak_bytes == 512
+
+    def test_coalescing_across_levels(self):
+        a = BuddyAllocator(512, min_block=64)
+        offs = [a.allocate(64) for _ in range(8)]
+        # free in interleaved order; must still coalesce to the root
+        for off in offs[::2] + offs[1::2]:
+            a.free(off)
+        assert a.allocate(512) == 0
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    ops=st.lists(
+        st.one_of(
+            st.tuples(st.just("alloc"), st.integers(1, 300)),
+            st.tuples(st.just("free"), st.integers(0, 30)),
+        ),
+        max_size=120,
+    )
+)
+def test_invariants_under_random_workload(ops):
+    """Free + allocated blocks always tile the arena exactly, and
+    in-use accounting matches the live block set."""
+    a = BuddyAllocator(2048, min_block=64)
+    live = []
+    for op, arg in ops:
+        if op == "alloc":
+            try:
+                live.append(a.allocate(arg))
+            except AllocationError:
+                pass  # exhaustion is legal under random load
+        elif live:
+            a.free(live.pop(arg % len(live)))
+    a.check_invariants()
+    assert a.bytes_in_use == sum(a.allocation_size(o) for o in live)
+
+
+@settings(max_examples=30, deadline=None)
+@given(sizes=st.lists(st.integers(1, 256), min_size=1, max_size=20))
+def test_full_free_restores_arena(sizes):
+    a = BuddyAllocator(4096, min_block=64)
+    offs = []
+    for s in sizes:
+        try:
+            offs.append(a.allocate(s))
+        except AllocationError:
+            break
+    for o in offs:
+        a.free(o)
+    assert a.bytes_in_use == 0
+    assert a.allocate(a.capacity) == 0

@@ -1,0 +1,123 @@
+"""Tests for the OpenCL-flavoured facade (portability claim)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DeviceError, KernelError
+from repro.gpu.opencl import CommandQueue, Context, release, wait_for_events
+
+
+@pytest.fixture
+def ctx(gpu2):
+    return Context(gpu2, 0)
+
+
+class TestBuffers:
+    def test_create_and_release(self, ctx):
+        buf = ctx.create_buffer(256, dtype=np.float32)
+        assert buf.size == 64
+        release(buf)
+        assert buf.freed
+
+    def test_write_read_roundtrip(self, ctx):
+        q = ctx.create_command_queue()
+        src = np.arange(32, dtype=np.float64)
+        buf = ctx.create_buffer(src.nbytes, dtype=src.dtype)
+        q.enqueue_write_buffer(buf, src, blocking=True)
+        out = np.zeros_like(src)
+        q.enqueue_read_buffer(buf, out, blocking=True)
+        assert np.array_equal(out, src)
+
+    def test_nonblocking_returns_events(self, ctx):
+        q = ctx.create_command_queue()
+        src = np.ones(8)
+        buf = ctx.create_buffer(src.nbytes, dtype=src.dtype)
+        ev = q.enqueue_write_buffer(buf, src)
+        wait_for_events([ev])
+        assert ev.query()
+
+
+class TestKernels:
+    def test_ndrange_kernel(self, ctx):
+        q = ctx.create_command_queue()
+        n = 1000
+        data = np.zeros(n)
+        buf = ctx.create_buffer(data.nbytes, dtype=data.dtype)
+        q.enqueue_write_buffer(buf, data)
+
+        def fill(ctx, n, out):  # noqa: A002 - 'ctx' selects kernel-context mode
+            i = ctx.flat_indices()
+            i = i[i < n]
+            out[i] = 7.0
+
+        ev = q.enqueue_nd_range_kernel(fill, n, n, buf, local_size=128)
+        out = np.zeros(n)
+        q.enqueue_read_buffer(buf, out, blocking=True)
+        assert set(out) == {7.0}
+        assert ev.query()
+
+    def test_wait_list_orders_across_queues(self, ctx):
+        q1 = ctx.create_command_queue("q1")
+        q2 = ctx.create_command_queue("q2")
+        data = np.zeros(16)
+        buf = ctx.create_buffer(data.nbytes, dtype=data.dtype)
+        ev = q1.enqueue_write_buffer(buf, np.full(16, 3.0))
+
+        def double(arr):
+            arr *= 2
+
+        q2.enqueue_nd_range_kernel(double, 16, buf, wait_for=[ev])
+        out = np.zeros(16)
+        q2.enqueue_read_buffer(buf, out, blocking=True)
+        assert set(out) == {6.0}
+
+    def test_rejects_bad_global_size(self, ctx):
+        q = ctx.create_command_queue()
+        with pytest.raises(KernelError):
+            q.enqueue_nd_range_kernel(lambda: None, 0)
+
+    def test_finish_drains(self, ctx):
+        q = ctx.create_command_queue()
+        hits = []
+        q.enqueue_nd_range_kernel(lambda: hits.append(1), 1)
+        q.finish()
+        assert hits == [1]
+
+    def test_marker_and_flush(self, ctx):
+        q = ctx.create_command_queue()
+        q.flush()
+        ev = q.enqueue_marker()
+        ev.synchronize()
+
+
+class TestRelease:
+    def test_release_queue(self, ctx):
+        q = ctx.create_command_queue()
+        release(q)
+        with pytest.raises(DeviceError):
+            q.enqueue_marker()
+
+    def test_release_unknown_rejected(self, ctx):
+        with pytest.raises(DeviceError):
+            release(42)
+
+    def test_release_context_noop(self, ctx, gpu2):
+        release(ctx)
+        release(gpu2)
+
+
+class TestSameSubstrate:
+    def test_cuda_and_opencl_share_memory(self, gpu2):
+        """The portability claim: both facades drive one substrate —
+        a buffer written through the OpenCL face reads back through
+        the CUDA-style face."""
+        ctx = Context(gpu2, 0)
+        q = ctx.create_command_queue()
+        buf = ctx.create_buffer(64, dtype=np.float64)
+        q.enqueue_write_buffer(buf, np.full(8, 5.0), blocking=True)
+        # CUDA-style read of the same buffer
+        s = gpu2.device(0).create_stream()
+        out = np.zeros(8)
+        gpu2.memcpy_d2h_async(out, buf, s)
+        s.synchronize()
+        assert set(out) == {5.0}

@@ -1,0 +1,125 @@
+"""Tests for stream ordering, events, and error propagation."""
+
+import threading
+import time
+
+import pytest
+
+from repro.errors import DeviceError
+from repro.gpu.stream import Event
+
+
+class TestOrdering:
+    def test_fifo_execution_order(self, gpu2):
+        s = gpu2.device(0).create_stream()
+        seen = []
+        for i in range(20):
+            s.enqueue(lambda i=i: seen.append(i))
+        s.synchronize()
+        assert seen == list(range(20))
+
+    def test_enqueue_is_asynchronous(self, gpu2):
+        s = gpu2.device(0).create_stream()
+        gate = threading.Event()
+        s.enqueue(gate.wait)
+        # returns immediately even though the op is blocked
+        s.enqueue(lambda: None)
+        gate.set()
+        s.synchronize()
+
+    def test_ops_executed_counter(self, gpu2):
+        s = gpu2.device(0).create_stream()
+        for _ in range(5):
+            s.enqueue(lambda: None)
+        s.synchronize()
+        assert s.ops_executed >= 5
+
+    def test_callback_runs_after_op(self, gpu2):
+        s = gpu2.device(0).create_stream()
+        order = []
+        s.enqueue(lambda: order.append("op"), callback=lambda err: order.append(err))
+        s.synchronize()
+        assert order == ["op", None]
+
+
+class TestEvents:
+    def test_event_completes_after_prior_work(self, gpu2):
+        s = gpu2.device(0).create_stream()
+        done = []
+        s.enqueue(lambda: (time.sleep(0.01), done.append(1)))
+        ev = s.record_event()
+        ev.synchronize()
+        assert done == [1]
+
+    def test_query_before_and_after(self, gpu2):
+        s = gpu2.device(0).create_stream()
+        gate = threading.Event()
+        s.enqueue(gate.wait)
+        ev = s.record_event()
+        assert not ev.query()
+        gate.set()
+        ev.synchronize()
+        assert ev.query()
+
+    def test_cross_stream_wait(self, gpu2):
+        """stream_wait_event sequences s2 work after s1 work."""
+        d = gpu2.device(0)
+        s1, s2 = d.create_stream(), d.create_stream()
+        order = []
+        gate = threading.Event()
+        s1.enqueue(lambda: (gate.wait(), order.append("a")))
+        ev = s1.record_event()
+        s2.wait_event(ev)
+        s2.enqueue(lambda: order.append("b"))
+        gate.set()
+        s2.synchronize()
+        assert order == ["a", "b"]
+
+    def test_event_timeout(self, gpu2):
+        s = gpu2.device(0).create_stream()
+        gate = threading.Event()
+        s.enqueue(gate.wait)
+        ev = s.record_event()
+        with pytest.raises(DeviceError):
+            ev.synchronize(timeout=0.05)
+        gate.set()
+
+    def test_standalone_event_object(self):
+        ev = Event()
+        assert not ev.query()
+
+
+class TestErrors:
+    def test_error_surfaces_on_synchronize(self, gpu2):
+        s = gpu2.device(0).create_stream()
+        s.enqueue(lambda: 1 / 0)
+        with pytest.raises(ZeroDivisionError):
+            s.synchronize()
+
+    def test_error_delivered_to_callback(self, gpu2):
+        """A callback consumes its op's error: it receives the
+        exception object and the stream stays clean afterwards."""
+        s = gpu2.device(0).create_stream()
+        captured = []
+        s.enqueue(lambda: 1 / 0, callback=captured.append)
+        s.synchronize()  # does not raise - the callback owned the error
+        assert isinstance(captured[0], ZeroDivisionError)
+
+    def test_error_clears_after_sync(self, gpu2):
+        s = gpu2.device(0).create_stream()
+        s.enqueue(lambda: 1 / 0)
+        with pytest.raises(ZeroDivisionError):
+            s.synchronize()
+        s.enqueue(lambda: None)
+        s.synchronize()  # no stale error
+
+    def test_enqueue_after_destroy_raises(self, gpu2):
+        s = gpu2.device(0).create_stream()
+        s.destroy()
+        with pytest.raises(DeviceError):
+            s.enqueue(lambda: None)
+
+    def test_destroy_is_idempotent(self, gpu2):
+        s = gpu2.device(0).create_stream()
+        s.destroy()
+        s.destroy()

@@ -1,0 +1,109 @@
+"""Integration tests asserting the paper's figure *shapes* hold.
+
+These run the virtual-time simulator on reduced-scale versions of the
+evaluation workloads (the benchmarks run full scale) and assert the
+qualitative claims of §IV:
+
+- Fig. 6: timing runtime falls with both cores and GPUs; multi-GPU
+  speed-up is "more remarkable" per unit than CPU speed-up; the
+  (1,1) -> (40,4) end-to-end speed-up is several-fold.
+- Fig. 9: placement saturates around 20 cores and gains almost
+  nothing from extra GPUs.
+"""
+
+import pytest
+
+from repro.apps.placement import build_placement_flow
+from repro.apps.timing import build_timing_flow
+from repro.sim import SimExecutor, paper_testbed
+
+
+def timing_makespan(flow, cores, gpus):
+    return SimExecutor(paper_testbed(cores, gpus), flow.cost_model).run(flow.graph).makespan
+
+
+@pytest.fixture(scope="module")
+def timing_flow():
+    # 64 views at paper-scale costs: 1/16 of the 1024-view workload
+    return build_timing_flow(num_views=64, num_gates=40, paths_per_view=4)
+
+
+@pytest.fixture(scope="module")
+def placement_flow():
+    # 32 matchers = the paper-scale annotation constant (window count)
+    return build_placement_flow(num_cells=30, iterations=10, num_matchers=32, window_size=1)
+
+
+class TestFig6Shape:
+    def test_monotone_in_cores(self, timing_flow):
+        times = [timing_makespan(timing_flow, c, 4) for c in (1, 8, 40)]
+        assert times[0] > times[1] >= times[2] * 0.95
+
+    def test_monotone_in_gpus(self, timing_flow):
+        times = [timing_makespan(timing_flow, 40, g) for g in (1, 2, 4)]
+        assert times[0] > times[1] > times[2]
+
+    def test_end_to_end_speedup_severalfold(self, timing_flow):
+        t11 = timing_makespan(timing_flow, 1, 1)
+        t404 = timing_makespan(timing_flow, 40, 4)
+        assert 4.0 < t11 / t404 < 20.0  # paper: 7.7x
+
+    def test_gpu_speedup_more_remarkable_per_unit(self, timing_flow):
+        """4x GPUs buys more than 4x CPUs does, per added unit."""
+        t_40_1 = timing_makespan(timing_flow, 40, 1)
+        t_40_4 = timing_makespan(timing_flow, 40, 4)
+        t_1_4 = timing_makespan(timing_flow, 1, 4)
+        gpu_gain_per_unit = (t_40_1 / t_40_4) / 4
+        cpu_gain_per_unit = (t_1_4 / t_40_4) / 40
+        assert gpu_gain_per_unit > cpu_gain_per_unit
+
+    def test_runtime_scales_with_views(self):
+        """Fig. 6 lower: more views, proportionally more runtime."""
+        small = build_timing_flow(num_views=16, num_gates=40, paths_per_view=4)
+        large = build_timing_flow(num_views=64, num_gates=40, paths_per_view=4)
+        t_small = timing_makespan(small, 8, 2)
+        t_large = timing_makespan(large, 8, 2)
+        assert 2.5 < t_large / t_small < 6.0  # ~4x views -> ~4x time
+
+
+class TestFig9Shape:
+    def placement_makespan(self, flow, cores, gpus):
+        return SimExecutor(paper_testbed(cores, gpus), flow.cost_model).run(flow.graph).makespan
+
+    def test_cpu_scaling_saturates(self, placement_flow):
+        t1 = self.placement_makespan(placement_flow, 1, 1)
+        t20 = self.placement_makespan(placement_flow, 20, 1)
+        t40 = self.placement_makespan(placement_flow, 40, 1)
+        assert t1 / t20 > 2.5  # early scaling is real
+        assert t20 / t40 < 1.25  # and it saturates near 20 cores
+
+    def test_gpus_barely_help(self, placement_flow):
+        t1 = self.placement_makespan(placement_flow, 40, 1)
+        t4 = self.placement_makespan(placement_flow, 40, 4)
+        assert t1 / t4 < 1.1  # paper: 14.02s vs 13.61s
+
+    def test_runtime_scales_with_iterations(self):
+        short = build_placement_flow(num_cells=30, iterations=5, num_matchers=32, window_size=1)
+        long = build_placement_flow(num_cells=30, iterations=10, num_matchers=32, window_size=1)
+        t_short = self.placement_makespan(short, 40, 4)
+        t_long = self.placement_makespan(long, 40, 4)
+        assert 1.6 < t_long / t_short < 2.4
+
+
+class TestRealExecutorIntegration:
+    def test_both_apps_share_one_executor(self):
+        """Two different application graphs run concurrently on one
+        executor (the thread-safe submission story of §III-B)."""
+        import numpy as np
+        from repro.core import Executor
+
+        tflow = build_timing_flow(num_views=2, num_gates=80, paths_per_view=8, seed=1)
+        pflow = build_placement_flow(num_cells=60, iterations=2, seed=1)
+        with Executor(4, 2, gpu_memory_bytes=1 << 22) as ex:
+            f1 = ex.run(tflow.graph)
+            f2 = ex.run(pflow.graph)
+            f1.result(timeout=120)
+            f2.result(timeout=120)
+        assert tflow.report["num_views"] == 2.0
+        t = pflow.hpwl_trace
+        assert len(t) == 3 and t[-1] <= t[0]

@@ -1,0 +1,293 @@
+"""Tests for the placement substrate: DB, HPWL, MIS, partition, matching."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.apps.placement import (
+    generate_placement,
+    hpwl,
+    match_window,
+    mis_reference,
+    net_hpwl,
+    partition_windows,
+    verify_independent,
+)
+from repro.apps.placement.matching import apply_matches, window_cost_matrix
+from repro.apps.placement.mis import IN_SET, mis_rounds, random_priorities
+from repro.apps.placement.wirelength import cell_cost_at
+
+
+class TestDb:
+    def test_legal_by_construction(self):
+        generate_placement(200, seed=0).check_legal()
+
+    def test_deterministic(self):
+        a = generate_placement(100, seed=4)
+        b = generate_placement(100, seed=4)
+        assert np.array_equal(a.x, b.x) and np.array_equal(a.net_cells, b.net_cells)
+
+    def test_transpose_consistency(self):
+        db = generate_placement(80, seed=1)
+        for cell in range(0, db.num_cells, 7):
+            for net in db.nets_of(cell):
+                assert cell in db.cells_of(int(net))
+
+    def test_conflict_graph_symmetric(self):
+        db = generate_placement(60, seed=2)
+        ptr, idx = db.neighbors_csr()
+        for v in range(db.num_cells):
+            for u in idx[ptr[v] : ptr[v + 1]]:
+                row = idx[ptr[u] : ptr[u + 1]]
+                assert v in row
+
+    def test_conflict_graph_no_self_loops(self):
+        db = generate_placement(60, seed=2)
+        ptr, idx = db.neighbors_csr()
+        for v in range(db.num_cells):
+            assert v not in idx[ptr[v] : ptr[v + 1]]
+
+    def test_rejects_tiny(self):
+        with pytest.raises(ValueError):
+            generate_placement(1)
+
+    def test_copy_isolates_positions(self):
+        db = generate_placement(50, seed=0)
+        c = db.copy()
+        c.x[0] += 1
+        assert db.x[0] != c.x[0]
+
+
+class TestHpwl:
+    def test_two_pin_net_is_manhattan_bbox(self):
+        db = generate_placement(30, seed=3)
+        per_net = net_hpwl(db.net_ptr, db.net_cells, db.x, db.y)
+        for net in range(db.num_nets):
+            cells = db.cells_of(net)
+            expected = (
+                db.x[cells].max() - db.x[cells].min() + db.y[cells].max() - db.y[cells].min()
+            )
+            assert per_net[net] == pytest.approx(float(expected))
+
+    def test_total_is_sum(self):
+        db = generate_placement(30, seed=3)
+        assert hpwl(db) == pytest.approx(
+            float(net_hpwl(db.net_ptr, db.net_cells, db.x, db.y).sum())
+        )
+
+    def test_translation_invariance(self):
+        db = generate_placement(40, seed=5)
+        assert hpwl(db, db.x + 7, db.y + 3) == pytest.approx(hpwl(db))
+
+    def test_cell_cost_at_current_matches_net_sum(self):
+        db = generate_placement(40, seed=6)
+        cell = 0
+        cost = cell_cost_at(db, cell, float(db.x[cell]), float(db.y[cell]), db.x, db.y)
+        direct = sum(
+            net_hpwl(db.net_ptr, db.net_cells, db.x, db.y)[int(n)] for n in db.nets_of(cell)
+        )
+        assert cost == pytest.approx(direct)
+
+
+class TestMis:
+    def small_graph(self, n=60, seed=0):
+        db = generate_placement(n, seed=seed)
+        return db.neighbors_csr()
+
+    def test_parallel_equals_sequential_greedy(self):
+        """The Blelloch property: random-priority parallel MIS equals
+        the greedy sequential MIS on the same priorities."""
+        ptr, idx = self.small_graph()
+        rng = np.random.default_rng(0)
+        for trial in range(5):
+            pri = random_priorities(ptr.size - 1, rng)
+            state = np.zeros(ptr.size - 1, dtype=np.int64)
+            mis_rounds(ptr, idx, pri, state)
+            ref = mis_reference(ptr, idx, pri)
+            assert np.array_equal(state, ref)
+
+    def test_result_is_maximal_independent(self):
+        ptr, idx = self.small_graph(80, 3)
+        pri = random_priorities(ptr.size - 1, np.random.default_rng(1))
+        state = np.zeros(ptr.size - 1, dtype=np.int64)
+        mis_rounds(ptr, idx, pri, state)
+        assert verify_independent(ptr, idx, state)
+
+    def test_isolated_vertices_always_in_set(self):
+        ptr = np.asarray([0, 0, 0, 0])
+        idx = np.asarray([], dtype=np.int64)
+        pri = np.asarray([2.0, 0.0, 1.0])
+        state = np.zeros(3, dtype=np.int64)
+        mis_rounds(ptr, idx, pri, state)
+        assert np.all(state == IN_SET)
+
+    def test_clique_selects_exactly_one(self):
+        # triangle
+        ptr = np.asarray([0, 2, 4, 6])
+        idx = np.asarray([1, 2, 0, 2, 0, 1])
+        pri = np.asarray([0.5, 2.0, 1.0])
+        state = np.zeros(3, dtype=np.int64)
+        mis_rounds(ptr, idx, pri, state)
+        assert list(state) == [2, 1, 2]  # only the max-priority vertex
+
+    def test_converges_in_few_rounds(self):
+        ptr, idx = self.small_graph(200, 7)
+        pri = random_priorities(ptr.size - 1, np.random.default_rng(2))
+        state = np.zeros(ptr.size - 1, dtype=np.int64)
+        rounds = mis_rounds(ptr, idx, pri, state)
+        assert rounds <= 30  # O(log n) expected
+
+    @settings(max_examples=25, deadline=None)
+    @given(n=st.integers(4, 60), seed=st.integers(0, 100))
+    def test_property_parallel_equals_sequential(self, n, seed):
+        db = generate_placement(n, seed=seed)
+        ptr, idx = db.neighbors_csr()
+        pri = random_priorities(n, np.random.default_rng(seed))
+        state = np.zeros(n, dtype=np.int64)
+        mis_rounds(ptr, idx, pri, state)
+        assert np.array_equal(state, mis_reference(ptr, idx, pri))
+        assert verify_independent(ptr, idx, state)
+
+
+class TestPartition:
+    def test_windows_cover_cells_once(self):
+        cells = np.arange(17)
+        x = np.arange(17)
+        y = np.zeros(17, dtype=np.int64)
+        windows = partition_windows(cells, x, y, 5)
+        flat = np.concatenate(windows)
+        assert sorted(flat.tolist()) == list(range(17))
+        assert [len(w) for w in windows] == [5, 5, 5, 2]
+
+    def test_spatial_ordering(self):
+        cells = np.asarray([0, 1, 2, 3])
+        x = np.asarray([9, 1, 8, 2])
+        y = np.asarray([0, 0, 0, 0])
+        w = partition_windows(cells, x, y, 2)
+        assert w[0].tolist() == [1, 3]  # leftmost pair first
+
+    def test_empty(self):
+        assert partition_windows(np.asarray([], dtype=int), np.asarray([]), np.asarray([]), 4) == []
+
+    def test_bad_window_size(self):
+        with pytest.raises(ValueError):
+            partition_windows(np.asarray([1]), np.asarray([0]), np.asarray([0]), 0)
+
+
+class TestMatching:
+    def test_identity_is_feasible_so_never_worse(self):
+        db = generate_placement(60, seed=8)
+        ptr, idx = db.neighbors_csr()
+        pri = random_priorities(db.num_cells, np.random.default_rng(0))
+        state = mis_reference(ptr, idx, pri)
+        mis_cells = np.nonzero(state == IN_SET)[0]
+        windows = partition_windows(mis_cells, db.x, db.y, 6)
+        x, y = db.x.copy(), db.y.copy()
+        before = hpwl(db, x, y)
+        results = [match_window(db, w, x, y) for w in windows]
+        gained = apply_matches(x, y, windows, results)
+        after = hpwl(db, x, y)
+        assert gained >= -1e-9
+        assert after <= before + 1e-9
+
+    def test_improvement_accounting_exact(self):
+        """Because moved cells are pairwise net-disjoint, the claimed
+        per-window improvements sum exactly to the global HPWL delta."""
+        db = generate_placement(80, seed=9)
+        ptr, idx = db.neighbors_csr()
+        pri = random_priorities(db.num_cells, np.random.default_rng(3))
+        state = mis_reference(ptr, idx, pri)
+        mis_cells = np.nonzero(state == IN_SET)[0]
+        windows = partition_windows(mis_cells, db.x, db.y, 5)
+        x, y = db.x.copy(), db.y.copy()
+        before = hpwl(db, x, y)
+        results = [match_window(db, w, x, y) for w in windows]
+        gained = apply_matches(x, y, windows, results)
+        assert before - hpwl(db, x, y) == pytest.approx(gained)
+
+    def test_positions_stay_a_permutation(self):
+        db = generate_placement(50, seed=10)
+        ptr, idx = db.neighbors_csr()
+        pri = random_priorities(db.num_cells, np.random.default_rng(1))
+        state = mis_reference(ptr, idx, pri)
+        mis_cells = np.nonzero(state == IN_SET)[0]
+        windows = partition_windows(mis_cells, db.x, db.y, 4)
+        x, y = db.x.copy(), db.y.copy()
+        sites_before = sorted(zip(x.tolist(), y.tolist()))
+        results = [match_window(db, w, x, y) for w in windows]
+        apply_matches(x, y, windows, results)
+        assert sorted(zip(x.tolist(), y.tolist())) == sites_before
+
+    def test_single_cell_window_noop(self):
+        db = generate_placement(30, seed=0)
+        w = np.asarray([5])
+        nx, ny, imp = match_window(db, w, db.x, db.y)
+        assert imp == 0.0
+        assert nx[0] == db.x[5] and ny[0] == db.y[5]
+
+    def test_empty_window(self):
+        db = generate_placement(30, seed=0)
+        nx, ny, imp = match_window(db, np.asarray([], dtype=int), db.x, db.y)
+        assert imp == 0.0 and nx.size == 0
+
+    def test_cost_matrix_diagonal_is_current_cost(self):
+        db = generate_placement(40, seed=2)
+        window = np.asarray([0, 1])
+        cost = window_cost_matrix(db, window, db.x, db.y)
+        for i, cell in enumerate(window):
+            assert cost[i, i] == pytest.approx(
+                cell_cost_at(db, int(cell), float(db.x[cell]), float(db.y[cell]), db.x, db.y)
+            )
+
+
+class TestMatchingOptimality:
+    """match_window must find the true optimum of its cost model —
+    verified against brute-force permutation search on small windows."""
+
+    def brute_force(self, db, window, x, y):
+        import itertools
+
+        from repro.apps.placement.wirelength import cell_cost_at
+
+        slots = [(float(x[c]), float(y[c])) for c in window]
+        best_cost, best_perm = float("inf"), None
+        for perm in itertools.permutations(range(len(window))):
+            cost = sum(
+                cell_cost_at(db, int(window[i]), *slots[j], x, y)
+                for i, j in enumerate(perm)
+            )
+            if cost < best_cost:
+                best_cost, best_perm = cost, perm
+        return best_cost, best_perm
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_matches_brute_force(self, seed):
+        db = generate_placement(40, seed=seed)
+        ptr, idx = db.neighbors_csr()
+        pri = random_priorities(db.num_cells, np.random.default_rng(seed))
+        state = mis_reference(ptr, idx, pri)
+        mis_cells = np.nonzero(state == IN_SET)[0][:6]  # one small window
+        if mis_cells.size < 2:
+            pytest.skip("degenerate seed")
+        x, y = db.x.copy(), db.y.copy()
+        nx_, ny_, imp = match_window(db, mis_cells, x, y)
+        matched_cost = sum(
+            # cost of each cell at its matched slot
+            __import__("repro.apps.placement.wirelength", fromlist=["cell_cost_at"]).cell_cost_at(
+                db, int(c), float(nx_[i]), float(ny_[i]), x, y
+            )
+            for i, c in enumerate(mis_cells)
+        )
+        best_cost, _ = self.brute_force(db, mis_cells, x, y)
+        assert matched_cost == pytest.approx(best_cost)
+
+    def test_improvement_equals_identity_minus_optimal(self):
+        db = generate_placement(30, seed=5)
+        window = np.asarray([0, 1, 2, 3])
+        x, y = db.x.copy(), db.y.copy()
+        _, _, imp = match_window(db, window, x, y)
+        from repro.apps.placement.matching import window_cost_matrix
+
+        cost = window_cost_matrix(db, window, x, y)
+        best, _ = self.brute_force(db, window, x, y)
+        assert imp == pytest.approx(float(np.trace(cost)) - best)

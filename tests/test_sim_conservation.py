@@ -1,0 +1,100 @@
+"""Conservation and determinism properties of the simulators."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import Heteroflow
+from repro.dist import ClusterSpec, DistSimExecutor
+from repro.sim import CostModel, MachineSpec, SimExecutor
+
+
+def random_mixed_graph(seed: int, n_chains: int, chain_len: int):
+    rng = np.random.default_rng(seed)
+    hf = Heteroflow()
+    cm = CostModel()
+    host_total = 0.0
+    gpu_total = 0.0
+    for c in range(n_chains):
+        prev = None
+        for k in range(chain_len):
+            if rng.uniform() < 0.5:
+                t = hf.host(lambda: None)
+                d = float(rng.uniform(0.1, 2.0))
+                cm.annotate_host(t, d)
+                host_total += d
+            else:
+                p = hf.pull([0])
+                cm.annotate_copy(p, 0.0)
+                t = hf.kernel(lambda a: None, p)
+                d = float(rng.uniform(0.1, 2.0))
+                cm.annotate_kernel(t, d)
+                gpu_total += d
+                p.precede(t)
+                if prev is not None:
+                    prev.precede(p)
+                    prev = t
+                    continue
+            if prev is not None:
+                prev.precede(t)
+            prev = t
+    return hf, cm, host_total, gpu_total
+
+
+class TestConservation:
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 500), chains=st.integers(1, 5), length=st.integers(1, 5))
+    def test_busy_time_equals_annotated_work(self, seed, chains, length):
+        """No work is lost or duplicated: summed core busy time equals
+        total host seconds (plus dispatch), GPU busy equals kernel
+        seconds (plus launch overhead) exactly."""
+        hf, cm, host_total, gpu_total = random_mixed_graph(seed, chains, length)
+        m = MachineSpec(3, 2, dispatch_overhead=0.0, kernel_launch_overhead=0.0, copy_latency=0.0)
+        rep = SimExecutor(m, cm).run(hf)
+        assert sum(rep.core_busy) == pytest.approx(host_total, rel=1e-9, abs=1e-9)
+        assert sum(rep.gpu_busy) == pytest.approx(gpu_total, rel=1e-9, abs=1e-9)
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(0, 200))
+    def test_makespan_within_classical_bounds(self, seed):
+        hf, cm, host_total, gpu_total = random_mixed_graph(seed, 4, 4)
+        m = MachineSpec(2, 1, dispatch_overhead=0.0, kernel_launch_overhead=0.0, copy_latency=0.0)
+        rep = SimExecutor(m, cm).run(hf)
+        total = host_total + gpu_total
+        assert rep.makespan <= total + 1e-9  # never worse than serial
+        assert rep.makespan >= max(host_total / 2, gpu_total / m.kernel_slots) - 1e-9
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(0, 200))
+    def test_determinism_across_runs(self, seed):
+        hf, cm, *_ = random_mixed_graph(seed, 3, 3)
+        m = MachineSpec(4, 2)
+        a = SimExecutor(m, cm).run(hf).makespan
+        b = SimExecutor(m, cm).run(hf).makespan
+        assert a == b
+
+    @settings(max_examples=8, deadline=None)
+    @given(seed=st.integers(0, 100))
+    def test_dist_one_node_equals_local(self, seed):
+        hf, cm, *_ = random_mixed_graph(seed, 3, 3)
+        m = MachineSpec(4, 2)
+        local = SimExecutor(m, cm).run(hf).makespan
+        dist = DistSimExecutor(ClusterSpec(1, m), cm).run(hf).makespan
+        assert dist == pytest.approx(local)
+
+    @settings(max_examples=8, deadline=None)
+    @given(seed=st.integers(0, 100), nodes=st.integers(2, 4))
+    def test_dist_conserves_work(self, seed, nodes):
+        hf, cm, host_total, gpu_total = random_mixed_graph(seed, 4, 3)
+        m = MachineSpec(2, 1, dispatch_overhead=0.0, kernel_launch_overhead=0.0, copy_latency=0.0)
+        rep = DistSimExecutor(ClusterSpec(nodes, m), cm).run(hf)
+        assert sum(rep.node_core_busy) == pytest.approx(host_total, abs=1e-9)
+        assert sum(rep.node_gpu_busy) == pytest.approx(gpu_total, abs=1e-9)
+
+    def test_fifo_and_lifo_conserve_identically(self):
+        hf, cm, host_total, _ = random_mixed_graph(7, 4, 4)
+        m = MachineSpec(2, 1, dispatch_overhead=0.0, kernel_launch_overhead=0.0, copy_latency=0.0)
+        lifo = SimExecutor(m, cm, ready_policy="lifo").run(hf)
+        fifo = SimExecutor(m, cm, ready_policy="fifo").run(hf)
+        assert sum(lifo.core_busy) == pytest.approx(sum(fifo.core_busy))
+        assert sum(lifo.gpu_busy) == pytest.approx(sum(fifo.gpu_busy))

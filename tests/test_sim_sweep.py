@@ -1,0 +1,86 @@
+"""Tests for the sweep utility."""
+
+import pytest
+
+from repro.core import Heteroflow
+from repro.sim import CostModel, MachineSpec
+from repro.sim.sweep import sweep_machines, sweep_workloads
+
+
+def fan_graph(k=8, seconds=1.0):
+    hf = Heteroflow()
+    cm = CostModel()
+    for _ in range(k):
+        cm.annotate_host(hf.host(lambda: None), seconds)
+    return hf, cm
+
+
+class TestSweepMachines:
+    def test_covers_grid(self):
+        hf, cm = fan_graph()
+        res = sweep_machines(hf, cm, cores=[1, 2, 4], gpus=[0])
+        assert len(res.points) == 3
+        assert res.makespan(1, 0) == pytest.approx(8.0)
+        assert res.makespan(4, 0) == pytest.approx(2.0)
+
+    def test_speedups_default_baseline(self):
+        hf, cm = fan_graph()
+        res = sweep_machines(hf, cm, cores=[1, 4], gpus=[0])
+        sp = res.speedups()
+        assert sp[(1, 0, ())] == pytest.approx(1.0)
+        assert sp[(4, 0, ())] == pytest.approx(4.0)
+
+    def test_explicit_baseline(self):
+        hf, cm = fan_graph()
+        res = sweep_machines(hf, cm, cores=[2, 4], gpus=[0])
+        sp = res.speedups(baseline=(2, 0))
+        assert sp[(4, 0, ())] == pytest.approx(2.0)
+
+    def test_missing_point_raises(self):
+        hf, cm = fan_graph()
+        res = sweep_machines(hf, cm, cores=[1], gpus=[0])
+        with pytest.raises(KeyError):
+            res.makespan(9, 9)
+
+    def test_base_machine_rates_propagate(self):
+        hf = Heteroflow()
+        cm = CostModel()
+        p = hf.pull([0])
+        cm.annotate_copy(p, 1e9)
+        base = MachineSpec(1, 1, h2d_bandwidth=1e9, copy_latency=0.0, dispatch_overhead=0.0)
+        res = sweep_machines(hf, cm, cores=[1], gpus=[1], base_machine=base)
+        assert res.makespan(1, 1) == pytest.approx(1.0)
+
+    def test_rows_sorted(self):
+        hf, cm = fan_graph()
+        res = sweep_machines(hf, cm, cores=[4, 1], gpus=[0])
+        rows = res.rows()
+        assert rows[0][0] == 1 and rows[1][0] == 4
+        assert rows[0][-2] == pytest.approx(8.0)
+
+
+class TestSweepWorkloads:
+    def test_param_grid(self):
+        def build(k):
+            return fan_graph(k=k)
+
+        res = sweep_workloads(build, {"k": [4, 8]}, cores=[2], gpus=[0])
+        assert len(res.points) == 4 or len(res.points) == 2
+        assert res.makespan(2, 0, k=4) == pytest.approx(2.0)
+        assert res.makespan(2, 0, k=8) == pytest.approx(4.0)
+
+    def test_figures_reproducible_via_sweep(self):
+        """The Fig.-9b series regenerates through the generic sweep."""
+        from repro.apps.placement import build_placement_flow
+
+        def build(iterations):
+            flow = build_placement_flow(
+                num_cells=30, iterations=iterations, num_matchers=32, window_size=1
+            )
+            return flow.graph, flow.cost_model
+
+        res = sweep_workloads(build, {"iterations": [5, 10]}, cores=[1, 40], gpus=[4])
+        t5_1 = res.makespan(1, 4, iterations=5)
+        t10_1 = res.makespan(1, 4, iterations=10)
+        assert t10_1 / t5_1 == pytest.approx(2.0, rel=0.05)
+        assert res.makespan(40, 4, iterations=5) < t5_1

@@ -1,0 +1,166 @@
+"""Tests for the sparse-NN inference extension (EXT-SNN)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.apps.sparsenn import build_inference_flow, generate_sparse_mlp
+from repro.apps.sparsenn.flow import reference_categories
+from repro.apps.sparsenn.kernels import spmm_reference
+from repro.apps.sparsenn.model import ACTIVATION_CLIP, generate_batch
+from repro.baselines import SequentialExecutor
+from repro.core import Executor, TaskType, TraceObserver
+
+
+class TestModel:
+    def test_deterministic(self):
+        a = generate_sparse_mlp(32, 3, seed=1)
+        b = generate_sparse_mlp(32, 3, seed=1)
+        for wa, wb in zip(a.layers, b.layers):
+            assert (wa != wb).nnz == 0
+
+    def test_shapes_and_nnz(self):
+        m = generate_sparse_mlp(32, 4, nnz_per_row=6)
+        assert m.num_layers == 4
+        assert m.nnz == 4 * 32 * 6
+        for w in m.layers:
+            assert w.shape == (32, 32)
+
+    def test_nnz_capped_at_width(self):
+        m = generate_sparse_mlp(4, 1, nnz_per_row=100)
+        assert m.layers[0].nnz == 16
+
+    def test_rejects_bad_shape(self):
+        with pytest.raises(ValueError):
+            generate_sparse_mlp(0, 1)
+        with pytest.raises(ValueError):
+            generate_sparse_mlp(4, 0)
+
+    def test_activations_bounded(self):
+        m = generate_sparse_mlp(32, 10, seed=2)
+        x = generate_batch(32, 16, seed=2)
+        a = m.infer(x)
+        assert np.all(a >= 0) and np.all(a <= ACTIVATION_CLIP)
+
+    def test_layer_arrays_reconstruct(self):
+        m = generate_sparse_mlp(16, 2, seed=0)
+        from scipy import sparse
+
+        data, idx, ptr, bias = m.layer_arrays(1)
+        w = sparse.csr_matrix((data, idx, ptr), shape=(16, 16))
+        assert (w != m.layers[1]).nnz == 0
+        assert bias.shape == (16,)
+
+    def test_batch_density(self):
+        x = generate_batch(64, 100, seed=0, density=0.3)
+        assert 0.2 < (x > 0).mean() < 0.4
+
+
+class TestKernels:
+    def test_spmm_kernel_matches_reference(self, gpu2):
+        from repro.apps.sparsenn.kernels import spmm_bias_relu_kernel
+        from repro.gpu.kernel import LaunchConfig, launch_sync
+
+        m = generate_sparse_mlp(24, 1, seed=5)
+        x = generate_batch(24, 8, seed=5)
+        d = gpu2.device(0)
+        s = d.create_stream()
+        data, idx, ptr, bias = m.layer_arrays(0)
+        bufs = {}
+        for name, arr in [
+            ("data", data), ("idx", idx), ("ptr", ptr), ("bias", bias),
+            ("x", np.ascontiguousarray(x.reshape(-1))),
+            ("y", np.zeros(24 * 8)),
+        ]:
+            b = d.allocate(arr.nbytes, dtype=arr.dtype)
+            gpu2.memcpy_h2d_async(b, arr, s)
+            bufs[name] = b
+        launch_sync(
+            s, LaunchConfig(), spmm_bias_relu_kernel,
+            24, 24, 8, bufs["data"], bufs["idx"], bufs["ptr"], bufs["bias"],
+            bufs["x"], bufs["y"],
+        )
+        out = np.empty(24 * 8)
+        gpu2.memcpy_d2h_async(out, bufs["y"], s)
+        s.synchronize()
+        expected = spmm_reference(m.layers[0], m.biases[0], x)
+        assert np.allclose(out.reshape(24, 8), expected)
+
+
+class TestFlow:
+    def test_matches_scipy_reference(self):
+        flow = build_inference_flow(
+            width=48, num_layers=6, batch_size=24, num_blocks=4, num_shards=2, seed=7
+        )
+        with Executor(3, 2, gpu_memory_bytes=1 << 22) as ex:
+            ex.run(flow.graph).result(timeout=120)
+        assert np.array_equal(flow.categories, reference_categories(flow))
+
+    def test_sequential_oracle_agrees(self):
+        flow = build_inference_flow(
+            width=32, num_layers=4, batch_size=16, num_blocks=2, num_shards=1, seed=3
+        )
+        with SequentialExecutor(num_gpus=1, gpu_memory_bytes=1 << 22) as seq:
+            seq.run(flow.graph)
+        assert np.array_equal(flow.categories, reference_categories(flow))
+
+    def test_shards_spread_over_gpus(self):
+        flow = build_inference_flow(
+            width=32, num_layers=3, batch_size=16, num_blocks=4, num_shards=4, seed=1
+        )
+        obs = TraceObserver()
+        with Executor(3, 4, observers=[obs], gpu_memory_bytes=1 << 22) as ex:
+            ex.run(flow.graph).result(timeout=120)
+        assert len(obs.tasks_per_device()) == 4
+        assert np.array_equal(flow.categories, reference_categories(flow))
+
+    def test_task_counts(self):
+        flow = build_inference_flow(
+            width=32, num_layers=3, batch_size=16, num_blocks=2, num_shards=2
+        )
+        hf = flow.graph
+        # weights: 2 shards x 3 layers x 4 pulls; acts: 2 blocks x 2;
+        # idx: 2 pulls
+        assert hf.num_tasks_of(TaskType.PULL) == 2 * 3 * 4 + 2 * 2 + 2
+        # layer kernels + readout kernels
+        assert hf.num_tasks_of(TaskType.KERNEL) == 2 * 3 + 2
+        assert hf.num_tasks_of(TaskType.PUSH) == 2
+        hf.validate()
+
+    def test_activation_residency(self):
+        """Activations never round-trip: exactly one push per block."""
+        flow = build_inference_flow(
+            width=32, num_layers=8, batch_size=16, num_blocks=2, num_shards=1
+        )
+        assert flow.graph.num_tasks_of(TaskType.PUSH) == flow.num_blocks
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            build_inference_flow(num_blocks=0)
+        with pytest.raises(ValueError):
+            build_inference_flow(batch_size=2, num_blocks=4)
+
+    def test_shards_capped_at_blocks(self):
+        flow = build_inference_flow(
+            width=32, num_layers=2, batch_size=8, num_blocks=2, num_shards=8
+        )
+        assert flow.num_shards == 2
+
+    @settings(max_examples=6, deadline=None)
+    @given(
+        seed=st.integers(0, 1000),
+        blocks=st.integers(1, 4),
+        layers=st.integers(1, 5),
+    )
+    def test_property_differential(self, seed, blocks, layers):
+        flow = build_inference_flow(
+            width=24,
+            num_layers=layers,
+            batch_size=12,
+            num_blocks=blocks,
+            num_shards=min(blocks, 2),
+            seed=seed,
+        )
+        with Executor(2, 2, gpu_memory_bytes=1 << 22) as ex:
+            ex.run(flow.graph).result(timeout=120)
+        assert np.array_equal(flow.categories, reference_categories(flow))

@@ -1,0 +1,215 @@
+"""Tests for incremental STA (OpenTimer-2.0-style repropagation)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.apps.timing import TimingGraph, generate_netlist, run_sta
+from repro.apps.timing.incremental import IncrementalTimer
+from repro.apps.timing.sta import StaResult
+
+
+@pytest.fixture
+def tg():
+    return TimingGraph.from_netlist(generate_netlist(150, seed=11))
+
+
+def full_recompute(timer: IncrementalTimer) -> StaResult:
+    """Oracle: fresh full STA over the timer's current delays."""
+    g = timer.graph
+    edited = TimingGraph(
+        num_nodes=g.num_nodes,
+        num_inputs=g.num_inputs,
+        arc_src=g.arc_src,
+        arc_dst=g.arc_dst,
+        arc_delay=timer.delays.copy(),
+        level_of=g.level_of,
+        level_arcs=g.level_arcs,
+        outputs=g.outputs,
+    )
+    return run_sta(edited, clock_period=timer.clock_period)
+
+
+class TestConsistency:
+    def test_initial_state_matches_full_sta(self, tg):
+        timer = IncrementalTimer(tg)
+        ref = run_sta(tg)
+        assert np.allclose(timer.arrival, ref.arrival)
+        assert np.allclose(timer.required, ref.required)
+
+    def test_single_edit_matches_full(self, tg):
+        timer = IncrementalTimer(tg)
+        timer.update_arc_delay(0, float(timer.delays[0]) * 3 + 10)
+        ref = full_recompute(timer)
+        timer.update_timing()
+        assert np.allclose(timer.arrival, ref.arrival)
+        assert np.allclose(timer.required, ref.required)
+
+    def test_delay_decrease_matches_full(self, tg):
+        timer = IncrementalTimer(tg)
+        arc = tg.num_arcs // 2
+        timer.update_arc_delay(arc, 0.0)
+        ref = full_recompute(timer)
+        timer.update_timing()
+        assert np.allclose(timer.arrival, ref.arrival)
+        assert np.allclose(timer.required, ref.required)
+
+    def test_batched_edits_match_full(self, tg):
+        timer = IncrementalTimer(tg)
+        rng = np.random.default_rng(0)
+        for arc in rng.choice(tg.num_arcs, size=10, replace=False):
+            timer.scale_arc_delay(int(arc), float(rng.uniform(0.3, 3.0)))
+        ref = full_recompute(timer)
+        timer.update_timing()
+        assert np.allclose(timer.arrival, ref.arrival)
+        assert np.allclose(timer.required, ref.required)
+
+    def test_revert_restores_original(self, tg):
+        timer = IncrementalTimer(tg)
+        original = float(timer.delays[5])
+        before = timer.arrival.copy()
+        timer.update_arc_delay(5, original * 10)
+        timer.update_timing()
+        timer.update_arc_delay(5, original)
+        timer.update_timing()
+        assert np.allclose(timer.arrival, before)
+
+    def test_snapshot_is_full_sta_result(self, tg):
+        timer = IncrementalTimer(tg)
+        timer.scale_arc_delay(3, 2.0)
+        snap = timer.snapshot()
+        ref = full_recompute(timer)
+        assert np.allclose(snap.arrival, ref.arrival)
+        assert np.allclose(snap.slack, ref.slack)
+        assert snap.clock_period == timer.clock_period
+
+    def test_wns_and_slack_queries_autopropagate(self, tg):
+        timer = IncrementalTimer(tg)
+        wns_before = timer.wns
+        # lengthen the current critical arc substantially
+        crit_ep = int(tg.outputs[np.argmin(timer.snapshot().endpoint_slacks(tg))])
+        arcs = np.nonzero(tg.arc_dst == crit_ep)[0]
+        timer.update_arc_delay(int(arcs[0]), float(timer.delays[arcs[0]]) + 100.0)
+        assert timer.wns < wns_before  # query triggered repropagation
+
+
+class TestLaziness:
+    def test_noop_edit_propagates_nothing(self, tg):
+        timer = IncrementalTimer(tg)
+        timer.update_arc_delay(0, float(timer.delays[0]))
+        assert timer.update_timing() == 0
+
+    def test_local_edit_touches_local_cone_only(self, tg):
+        """An edit near the outputs must not re-evaluate the graph."""
+        timer = IncrementalTimer(tg)
+        # pick an arc whose destination is an endpoint (deepest level)
+        ep = int(tg.outputs[-1])
+        arcs = np.nonzero(tg.arc_dst == ep)[0]
+        timer.update_arc_delay(int(arcs[0]), float(timer.delays[arcs[0]]) * 1.01)
+        touched = timer.update_timing()
+        assert touched < tg.num_nodes / 2
+
+    def test_second_update_is_free(self, tg):
+        timer = IncrementalTimer(tg)
+        timer.scale_arc_delay(0, 2.0)
+        timer.update_timing()
+        assert timer.update_timing() == 0
+
+    def test_propagation_counters(self, tg):
+        timer = IncrementalTimer(tg)
+        timer.scale_arc_delay(0, 2.0)
+        a = timer.update_timing()
+        assert timer.last_propagation_count == a
+        timer.scale_arc_delay(1, 2.0)
+        b = timer.update_timing()
+        assert timer.total_propagations == a + b
+
+
+class TestValidation:
+    def test_rejects_bad_arc(self, tg):
+        timer = IncrementalTimer(tg)
+        with pytest.raises(IndexError):
+            timer.update_arc_delay(tg.num_arcs, 1.0)
+
+    def test_rejects_negative_delay(self, tg):
+        timer = IncrementalTimer(tg)
+        with pytest.raises(ValueError):
+            timer.update_arc_delay(0, -1.0)
+
+    def test_view_derates_applied(self, tg):
+        from repro.apps.timing import enumerate_views
+
+        view = enumerate_views(3, seed=2)[0]
+        timer = IncrementalTimer(tg, view=view)
+        ref = run_sta(tg, view, clock_period=timer.clock_period)
+        assert np.allclose(timer.arrival, ref.arrival)
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    seed=st.integers(0, 500),
+    n_edits=st.integers(1, 12),
+)
+def test_property_incremental_equals_full(seed, n_edits):
+    """Any sequence of random edits leaves the timer equal to a full
+    recompute over the edited delays."""
+    tg = TimingGraph.from_netlist(generate_netlist(60, seed=7))
+    timer = IncrementalTimer(tg)
+    rng = np.random.default_rng(seed)
+    for _ in range(n_edits):
+        arc = int(rng.integers(0, tg.num_arcs))
+        timer.update_arc_delay(arc, float(rng.uniform(0.0, 50.0)))
+        if rng.uniform() < 0.5:
+            timer.update_timing()  # interleave eager and lazy updates
+    ref = full_recompute(timer)
+    timer.update_timing()
+    assert np.allclose(timer.arrival, ref.arrival)
+    assert np.allclose(timer.required, ref.required)
+
+
+class TestSequentialBoundaries:
+    def test_sequential_timer_matches_analysis(self):
+        from repro.apps.timing.incremental import for_sequential_design
+        from repro.apps.timing.sequential import analyze_sequential, build_sequential_design
+
+        design = build_sequential_design(generate_netlist(80, seed=21), seed=21)
+        period = 600.0
+        timer = for_sequential_design(design, period)
+        res = analyze_sequential(design, period)
+        # pessimistic slacks agree endpoint by endpoint
+        eps = design.graph.outputs
+        assert np.allclose(
+            timer.required[eps] - timer.arrival[eps], res.slack_pessimistic
+        )
+
+    def test_sequential_timer_incremental_edit(self):
+        from repro.apps.timing.incremental import for_sequential_design
+        from repro.apps.timing.sequential import build_sequential_design
+
+        design = build_sequential_design(generate_netlist(80, seed=22), seed=22)
+        timer = for_sequential_design(design, 600.0)
+        arc = design.graph.num_arcs // 3
+        timer.scale_arc_delay(arc, 4.0)
+        # oracle: a fresh sequential timer over the edited delays
+        fresh = for_sequential_design(design, 600.0)
+        fresh.update_arc_delay(arc, float(timer.delays[arc]))
+        fresh.update_timing()
+        timer.update_timing()
+        assert np.allclose(timer.arrival, fresh.arrival)
+        assert np.allclose(timer.required, fresh.required)
+
+    def test_boundary_conditions_survive_edits_and_reverts(self):
+        from repro.apps.timing.incremental import for_sequential_design
+        from repro.apps.timing.sequential import build_sequential_design
+
+        design = build_sequential_design(generate_netlist(60, seed=23), seed=23)
+        timer = for_sequential_design(design, 500.0)
+        before_arr = timer.arrival.copy()
+        before_req = timer.required.copy()
+        original = float(timer.delays[3])
+        timer.update_arc_delay(3, original * 5)
+        timer.update_timing()
+        timer.update_arc_delay(3, original)
+        timer.update_timing()
+        assert np.allclose(timer.arrival, before_arr)
+        assert np.allclose(timer.required, before_req)

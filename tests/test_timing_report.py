@@ -1,0 +1,84 @@
+"""Tests for the report_timing text reports."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.apps.timing import (
+    TimingGraph,
+    enumerate_views,
+    generate_netlist,
+    k_worst_paths,
+    report_timing,
+    run_sta,
+)
+from repro.apps.timing.report import report_path
+
+
+@pytest.fixture
+def setup():
+    tg = TimingGraph.from_netlist(generate_netlist(120, seed=4))
+    return tg, run_sta(tg)
+
+
+class TestReportPath:
+    def test_header_fields(self, setup):
+        tg, sta = setup
+        p = k_worst_paths(tg, sta, 1)[0]
+        text = report_path(tg, sta, p)
+        assert f"Endpoint    : node {p.endpoint}" in text
+        assert f"Startpoint  : node {p.startpoint}" in text
+        assert "Slack" in text
+
+    def test_violated_flag(self, setup):
+        tg, sta = setup
+        p = k_worst_paths(tg, sta, 1)[0]
+        text = report_path(tg, sta, p)
+        assert ("VIOLATED" in text) == (p.slack < 0)
+
+    def test_stage_arrival_telescopes(self, setup):
+        """The last cumulative arrival equals the path arrival."""
+        tg, sta = setup
+        p = k_worst_paths(tg, sta, 1)[0]
+        text = report_path(tg, sta, p)
+        last = text.strip().splitlines()[-1].split()
+        assert float(last[-1]) == pytest.approx(p.arrival, abs=5e-3)
+
+    def test_stage_count(self, setup):
+        tg, sta = setup
+        p = k_worst_paths(tg, sta, 1)[0]
+        lines = report_path(tg, sta, p).strip().splitlines()
+        stage_lines = [l for l in lines if l.split()[0].isdigit()]
+        assert len(stage_lines) == len(p.nodes)
+
+    def test_view_name_in_report(self):
+        tg = TimingGraph.from_netlist(generate_netlist(80, seed=1))
+        view = enumerate_views(2, seed=1)[0]
+        sta = run_sta(tg, view)
+        p = k_worst_paths(tg, sta, 1)[0]
+        assert view.name in report_path(tg, sta, p)
+
+
+class TestReportTiming:
+    def test_k_blocks(self, setup):
+        tg, sta = setup
+        text = report_timing(tg, sta, k=3)
+        assert text.count("# Path") == 3
+
+    def test_wns_matches_worst_path(self, setup):
+        tg, sta = setup
+        paths = k_worst_paths(tg, sta, 2)
+        text = report_timing(tg, sta, k=2)
+        assert f"WNS {paths[0].slack:.3f}" in text
+
+    def test_writes_stream(self, setup):
+        tg, sta = setup
+        buf = io.StringIO()
+        text = report_timing(tg, sta, k=1, stream=buf)
+        assert buf.getvalue() == text
+
+    def test_zero_paths(self, setup):
+        tg, sta = setup
+        text = report_timing(tg, sta, k=0)
+        assert "0 path(s)" in text

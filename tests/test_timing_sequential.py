@@ -1,0 +1,246 @@
+"""Tests for register-to-register timing with path-based CPPR."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.apps.timing import generate_netlist, run_sta
+from repro.apps.timing.graph import TimingGraph
+from repro.apps.timing.sequential import (
+    analyze_sequential,
+    build_sequential_design,
+    min_feasible_period,
+)
+
+
+@pytest.fixture
+def design():
+    return build_sequential_design(generate_netlist(150, seed=17), seed=17)
+
+
+class TestStaBoundaryHooks:
+    def test_source_arrivals_shift_downstream(self):
+        tg = TimingGraph.from_netlist(generate_netlist(60, seed=1))
+        base = run_sta(tg, clock_period=1e9)
+        seeds = np.zeros(tg.num_nodes)
+        seeds[: tg.num_inputs] = 100.0
+        shifted = run_sta(tg, clock_period=1e9, source_arrivals=seeds)
+        # every node fed (transitively) only by PIs moves by exactly 100
+        assert np.all(shifted.arrival >= base.arrival - 1e-9)
+        assert shifted.arrival[tg.outputs].max() == pytest.approx(
+            base.arrival[tg.outputs].max() + 100.0
+        )
+
+    def test_endpoint_required_vector(self):
+        tg = TimingGraph.from_netlist(generate_netlist(60, seed=1))
+        req = np.linspace(100, 200, tg.outputs.size)
+        sta = run_sta(tg, clock_period=1.0, endpoint_required=req)
+        assert np.allclose(sta.required[tg.outputs], req)
+
+    def test_shape_validation(self):
+        tg = TimingGraph.from_netlist(generate_netlist(30, seed=0))
+        with pytest.raises(ValueError):
+            run_sta(tg, source_arrivals=np.zeros(3))
+        with pytest.raises(ValueError):
+            run_sta(tg, endpoint_required=np.zeros(1 + tg.outputs.size))
+
+
+class TestSequentialDesign:
+    def test_every_boundary_node_has_a_flop(self, design):
+        tg = design.graph
+        assert set(design.launch_flop_of) == set(range(tg.num_inputs))
+        assert set(design.capture_flop_of) == {int(o) for o in tg.outputs}
+
+    def test_flop_count(self, design):
+        assert design.num_flops == design.graph.num_inputs + design.graph.outputs.size
+
+
+class TestAnalysis:
+    def test_cppr_never_hurts(self, design):
+        res = analyze_sequential(design)
+        assert np.all(res.slack_cppr >= res.slack_pessimistic - 1e-9)
+        assert res.wns_cppr >= res.wns_pessimistic
+
+    def test_credit_bounded_by_derate_window(self, design):
+        """Credit cannot exceed (late-early) x the launch insertion
+        delay (the common path is a prefix of the launch path)."""
+        res = analyze_sequential(design, early_derate=0.9, late_derate=1.1)
+        credits = res.slack_cppr - res.slack_pessimistic
+        for i, ep in enumerate(res.endpoints):
+            launch = int(res.launch_of_endpoint[i])
+            if launch < 0:
+                assert credits[i] == 0.0
+                continue
+            bound = 0.2 * min(
+                design.tree.insertion_delay(launch),
+                design.tree.insertion_delay(design.capture_flop_of[int(ep)]),
+            )
+            assert credits[i] <= bound + 1e-9
+
+    def test_zero_latency_tree_reduces_to_combinational(self):
+        """With a zero-delay clock tree and zero flop constants, the
+        reg-to-reg slacks equal plain combinational slacks."""
+        nl = generate_netlist(80, seed=3)
+        design = build_sequential_design(nl, clk_to_q=0.0, setup=0.0)
+        design.tree.delay[:] = 0.0
+        tg = design.graph
+        period = 500.0
+        res = analyze_sequential(design, period)
+        comb = run_sta(tg, clock_period=period)
+        assert np.allclose(
+            res.slack_pessimistic, comb.slack[tg.outputs], atol=1e-9
+        )
+        assert np.allclose(res.slack_cppr, res.slack_pessimistic)
+
+    def test_period_shifts_slack_one_to_one(self, design):
+        r1 = analyze_sequential(design, 500.0)
+        r2 = analyze_sequential(design, 600.0)
+        assert np.allclose(r2.slack_pessimistic - r1.slack_pessimistic, 100.0)
+        assert np.allclose(r2.slack_cppr - r1.slack_cppr, 100.0)
+
+    def test_default_period_creates_violations(self, design):
+        res = analyze_sequential(design)
+        assert res.wns_pessimistic < 0
+
+    def test_recovered_violations_counted(self, design):
+        """At a period between the pessimistic and credited WNS, CPPR
+        recovers at least one false violation."""
+        res0 = analyze_sequential(design, 1000.0)
+        # choose a period that makes the worst endpoint pessimistically
+        # fail by less than its credit
+        worst = int(np.argmin(res0.slack_cppr))
+        credit = float(res0.slack_cppr[worst] - res0.slack_pessimistic[worst])
+        assume_ok = credit > 1.0
+        if not assume_ok:
+            pytest.skip("no credit on the worst endpoint for this seed")
+        period = 1000.0 - float(res0.slack_pessimistic[worst]) - credit / 2
+        res = analyze_sequential(design, period)
+        assert res.recovered_violations() >= 1
+
+    def test_rejects_inverted_derates(self, design):
+        with pytest.raises(ValueError):
+            analyze_sequential(design, 500.0, early_derate=1.1, late_derate=0.9)
+
+    def test_symmetric_derates_no_credit(self, design):
+        res = analyze_sequential(design, 500.0, early_derate=1.0, late_derate=1.0)
+        assert np.allclose(res.slack_cppr, res.slack_pessimistic)
+
+
+class TestMinFeasiblePeriod:
+    def test_cppr_buys_a_faster_clock(self, design):
+        with_cppr = min_feasible_period(design, use_cppr=True)
+        without = min_feasible_period(design, use_cppr=False)
+        assert with_cppr <= without + 0.01
+        # at this design's skews, strictly faster
+        assert without - with_cppr > 0.5
+
+    def test_result_is_feasible_and_tight(self, design):
+        period = min_feasible_period(design, use_cppr=True, tolerance=0.01)
+        assert analyze_sequential(design, period).wns_cppr >= 0
+        assert analyze_sequential(design, period - 1.0).wns_cppr < 0
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(0, 300), period=st.floats(200, 2000))
+def test_property_cppr_monotone_and_bounded(seed, period):
+    design = build_sequential_design(generate_netlist(50, seed=seed), seed=seed)
+    res = analyze_sequential(design, period)
+    credits = res.slack_cppr - res.slack_pessimistic
+    assert np.all(credits >= -1e-9)
+    max_latency = max(
+        design.tree.insertion_delay(f)
+        for f in list(design.launch_flop_of.values())
+    )
+    assert np.all(credits <= 0.1 * max_latency + 1e-9)
+
+
+class TestMinArrivals:
+    def test_min_leq_max_everywhere(self):
+        from repro.apps.timing.sta import min_arrivals
+
+        tg = TimingGraph.from_netlist(generate_netlist(100, seed=2))
+        early = min_arrivals(tg)
+        late = run_sta(tg).arrival
+        assert np.all(early <= late + 1e-9)
+
+    def test_min_monotone_along_arcs(self):
+        from repro.apps.timing.sta import min_arrivals
+
+        tg = TimingGraph.from_netlist(generate_netlist(100, seed=2))
+        early = min_arrivals(tg)
+        # min-plus: arrival[dst] <= arrival[src] + delay for every arc
+        assert np.all(
+            early[tg.arc_dst] <= early[tg.arc_src] + tg.arc_delay + 1e-9
+        )
+
+    def test_matches_networkx_shortest_path(self):
+        import networkx as nx
+        from repro.apps.timing.sta import min_arrivals
+
+        tg = TimingGraph.from_netlist(generate_netlist(80, seed=4))
+        early = min_arrivals(tg)
+        g = nx.DiGraph()
+        g.add_nodes_from(range(tg.num_nodes))
+        for s, d, w in zip(tg.arc_src, tg.arc_dst, tg.arc_delay):
+            if not g.has_edge(int(s), int(d)) or g[int(s)][int(d)]["weight"] > w:
+                g.add_edge(int(s), int(d), weight=float(w))
+        for ep in tg.outputs[:5]:
+            best = min(
+                nx.shortest_path_length(g, src, int(ep), weight="weight")
+                for src in range(tg.num_inputs)
+                if nx.has_path(g, src, int(ep))
+            )
+            assert early[ep] == pytest.approx(best)
+
+
+class TestHoldAnalysis:
+    @pytest.fixture
+    def design(self):
+        return build_sequential_design(generate_netlist(120, seed=31), seed=31)
+
+    def test_cppr_never_hurts_hold(self, design):
+        from repro.apps.timing.sequential import analyze_hold
+
+        res = analyze_hold(design)
+        assert np.all(res.slack_cppr >= res.slack_pessimistic - 1e-9)
+        assert res.whs_cppr >= res.whs_pessimistic
+
+    def test_symmetric_derates_no_credit(self, design):
+        from repro.apps.timing.sequential import analyze_hold
+
+        res = analyze_hold(design, early_derate=1.0, late_derate=1.0)
+        assert np.allclose(res.slack_cppr, res.slack_pessimistic)
+
+    def test_hold_insensitive_to_period(self, design):
+        """Hold is a same-cycle race: the clock period must not appear
+        anywhere in the slack."""
+        from repro.apps.timing.sequential import analyze_hold
+
+        a = analyze_hold(design)
+        b = analyze_hold(design)  # period is not even a parameter
+        assert np.allclose(a.slack_pessimistic, b.slack_pessimistic)
+
+    def test_larger_hold_requirement_reduces_slack(self, design):
+        from repro.apps.timing.sequential import analyze_hold
+
+        a = analyze_hold(design, hold=5.0)
+        b = analyze_hold(design, hold=15.0)
+        assert np.allclose(a.slack_pessimistic - b.slack_pessimistic, 10.0)
+
+    def test_min_paths_make_hold_tighter_than_setup_paths(self, design):
+        """The hold slack uses the earliest path: it must be computed
+        from min arrivals, never from the setup (max) arrivals."""
+        from repro.apps.timing.sequential import analyze_hold, analyze_sequential
+        from repro.apps.timing.sta import min_arrivals
+
+        hold_res = analyze_hold(design, hold=0.0, early_derate=1.0, late_derate=1.0)
+        # reconstruct with max arrivals: slacks would be larger
+        tree = design.tree
+        sources = np.zeros(design.graph.num_nodes)
+        for pi, flop in design.launch_flop_of.items():
+            sources[pi] = tree.insertion_delay(flop) + design.clk_to_q
+        late = run_sta(design.graph, clock_period=1.0, source_arrivals=sources).arrival
+        early = min_arrivals(design.graph, source_arrivals=sources)
+        eps = design.graph.outputs
+        assert np.all(early[eps] <= late[eps] + 1e-9)
+        assert np.any(early[eps] < late[eps] - 1e-9)

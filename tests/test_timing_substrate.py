@@ -1,0 +1,301 @@
+"""Tests for the timing-analysis substrate: netlist, graph, STA, views,
+paths, CPPR, regression."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.apps.timing import (
+    TimingGraph,
+    enumerate_views,
+    generate_clock_tree,
+    generate_netlist,
+    k_worst_paths,
+    run_sta,
+    views_for_node,
+)
+from repro.apps.timing.cppr import cppr_credit
+from repro.apps.timing.paths import trace_critical_path
+from repro.apps.timing.regression import (
+    accuracy,
+    gd_step,
+    logreg_loss,
+    sigmoid,
+    standardize,
+    train_logreg_host,
+)
+from repro.apps.timing.views import FIG4_NODES
+
+
+class TestNetlist:
+    def test_deterministic(self):
+        a = generate_netlist(100, seed=1)
+        b = generate_netlist(100, seed=1)
+        assert [g.fanin for g in a.gates] == [g.fanin for g in b.gates]
+
+    def test_seed_changes_structure(self):
+        a = generate_netlist(100, seed=1)
+        b = generate_netlist(100, seed=2)
+        assert [g.fanin for g in a.gates] != [g.fanin for g in b.gates]
+
+    def test_validates(self):
+        generate_netlist(200, seed=0).validate()
+
+    def test_outputs_nonempty(self):
+        assert generate_netlist(50).outputs
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            generate_netlist(0)
+
+    def test_depth_grows_with_size(self):
+        small = generate_netlist(30, seed=0)
+        big = generate_netlist(3000, seed=0)
+        assert big.depth > small.depth
+
+    @given(st.integers(1, 400), st.integers(0, 5))
+    @settings(max_examples=20, deadline=None)
+    def test_topological_fanins(self, n, seed):
+        nl = generate_netlist(n, seed=seed)
+        nl.validate()
+        for g in nl.gates:
+            for f in g.fanin:
+                assert nl.node_level(f) < g.level
+
+
+class TestTimingGraph:
+    def test_arc_counts_match_fanins(self):
+        nl = generate_netlist(80, seed=3)
+        tg = TimingGraph.from_netlist(nl)
+        assert tg.num_arcs == sum(len(g.fanin) for g in nl.gates)
+
+    def test_level_slices_cover_all_arcs(self):
+        tg = TimingGraph.from_netlist(generate_netlist(80, seed=3))
+        covered = sum(end - start for start, end in tg.level_arcs)
+        assert covered == tg.num_arcs
+
+    def test_arcs_sorted_by_destination_level(self):
+        tg = TimingGraph.from_netlist(generate_netlist(120, seed=4))
+        lv = tg.level_of[tg.arc_dst]
+        assert np.all(np.diff(lv) >= 0)
+
+    def test_positive_delays(self):
+        tg = TimingGraph.from_netlist(generate_netlist(60, seed=1))
+        assert np.all(tg.arc_delay > 0)
+
+
+class TestSta:
+    @pytest.fixture
+    def tg(self):
+        return TimingGraph.from_netlist(generate_netlist(150, seed=7))
+
+    def test_arrival_monotone_along_arcs(self, tg):
+        """arrival[dst] >= arrival[src] + delay for every arc."""
+        sta = run_sta(tg)
+        assert np.all(
+            sta.arrival[tg.arc_dst] >= sta.arrival[tg.arc_src] + tg.arc_delay - 1e-9
+        )
+
+    def test_required_monotone_along_arcs(self, tg):
+        sta = run_sta(tg)
+        assert np.all(
+            sta.required[tg.arc_src] <= sta.required[tg.arc_dst] - tg.arc_delay + 1e-9
+        )
+
+    def test_pi_arrival_zero(self, tg):
+        sta = run_sta(tg)
+        assert np.all(sta.arrival[: tg.num_inputs] == 0)
+
+    def test_default_period_creates_violations(self, tg):
+        sta = run_sta(tg)
+        assert sta.wns < 0  # 90% of critical delay guarantees failures
+
+    def test_relaxed_period_no_violations(self, tg):
+        sta = run_sta(tg, clock_period=1e9)
+        assert sta.wns >= 0
+        assert sta.tns(tg) == 0
+
+    def test_slow_view_increases_arrivals(self, tg):
+        base = run_sta(tg)
+        views = enumerate_views(3, seed=1)
+        ss = next(v for v in views if v.corner == "ss")
+        derated = run_sta(tg, ss, clock_period=base.clock_period)
+        assert derated.arrival.sum() > base.arrival.sum()
+
+    def test_view_determinism(self, tg):
+        v = enumerate_views(2, seed=5)[0]
+        a = run_sta(tg, v)
+        b = run_sta(tg, v)
+        assert np.array_equal(a.arrival, b.arrival)
+
+    def test_critical_arc_realizes_arrival(self, tg):
+        sta = run_sta(tg)
+        for node in tg.outputs[:10]:
+            arc = sta.critical_arc[node]
+            if arc >= 0:
+                src = tg.arc_src[arc]
+                # this arc realizes the node arrival (possibly derated)
+                assert sta.arrival[node] == pytest.approx(
+                    sta.arrival[src] + tg.arc_delay[arc]
+                )
+
+
+class TestViews:
+    def test_fig4_monotone_growth(self):
+        nodes = sorted(FIG4_NODES, reverse=True)  # 180 -> 7
+        counts = [views_for_node(n) for n in nodes]
+        assert counts == sorted(counts)
+        assert counts[-1] / counts[0] > 100  # "exponential" growth
+
+    def test_unknown_node_rejected(self):
+        with pytest.raises(ValueError):
+            views_for_node(3)
+
+    def test_enumerate_counts_and_names(self):
+        views = enumerate_views(10, seed=0)
+        assert len(views) == 10
+        assert len({v.name for v in views}) == 10
+
+    def test_derates_shape_and_positivity(self):
+        v = enumerate_views(1, seed=0)[0]
+        d = v.derates(500)
+        assert d.shape == (500,)
+        assert np.all(d > 0)
+
+    def test_slow_corner_derates_above_fast(self):
+        views = enumerate_views(6, seed=0)
+        ss = next(v for v in views if v.corner == "ss")
+        ff = next(v for v in views if v.corner == "ff")
+        assert ss.derates(100).mean() > ff.derates(100).mean()
+
+    def test_rejects_zero_views(self):
+        with pytest.raises(ValueError):
+            enumerate_views(0)
+
+
+class TestPaths:
+    @pytest.fixture
+    def setup(self):
+        tg = TimingGraph.from_netlist(generate_netlist(200, seed=9))
+        return tg, run_sta(tg)
+
+    def test_path_delay_telescopes(self, setup):
+        """Sum of arc delays along the traced path equals the endpoint
+        arrival (paths start at a zero-arrival node)."""
+        tg, sta = setup
+        p = trace_critical_path(tg, sta, int(tg.outputs[-1]))
+        assert sta.arrival[p.startpoint] == 0
+        total = 0.0
+        for a, b in zip(p.nodes, p.nodes[1:]):
+            arcs = np.nonzero((tg.arc_src == a) & (tg.arc_dst == b))[0]
+            total += tg.arc_delay[arcs].max()
+        assert total == pytest.approx(p.arrival)
+
+    def test_k_worst_sorted_by_slack(self, setup):
+        tg, sta = setup
+        paths = k_worst_paths(tg, sta, 10)
+        slacks = [p.slack for p in paths]
+        assert slacks == sorted(slacks)
+
+    def test_k_caps_at_endpoints(self, setup):
+        tg, sta = setup
+        paths = k_worst_paths(tg, sta, 10**6)
+        assert len(paths) == tg.outputs.size
+
+    def test_k_zero(self, setup):
+        tg, sta = setup
+        assert k_worst_paths(tg, sta, 0) == []
+
+    def test_worst_path_has_global_min_endpoint_slack(self, setup):
+        tg, sta = setup
+        worst = k_worst_paths(tg, sta, 1)[0]
+        assert worst.slack == pytest.approx(float(sta.endpoint_slacks(tg).min()))
+
+
+class TestCppr:
+    @pytest.fixture
+    def tree(self):
+        return generate_clock_tree(list(range(16)), seed=2)
+
+    def test_lca_is_symmetric(self, tree):
+        assert tree.lca(0, 9) == tree.lca(9, 0)
+
+    def test_lca_self_is_leaf(self, tree):
+        assert tree.lca(3, 3) == tree.leaf_of[3]
+
+    def test_common_delay_self_is_insertion_delay(self, tree):
+        assert tree.common_path_delay(3, 3) == pytest.approx(tree.insertion_delay(3))
+
+    def test_common_delay_bounded_by_insertion(self, tree):
+        for a, b in [(0, 1), (0, 15), (4, 7)]:
+            assert tree.common_path_delay(a, b) <= min(
+                tree.insertion_delay(a), tree.insertion_delay(b)
+            ) + 1e-9
+
+    def test_sibling_pairs_share_more_than_distant(self, tree):
+        # leaves 0,1 share a parent; 0 and 15 only share the root side
+        assert tree.common_path_delay(0, 1) > tree.common_path_delay(0, 15)
+
+    def test_credit_nonnegative_and_scales(self, tree):
+        c = cppr_credit(tree, 0, 1)
+        assert c >= 0
+        assert cppr_credit(tree, 0, 1, early_derate=0.9, late_derate=1.1) == pytest.approx(2 * c)
+
+    def test_credit_rejects_inverted_derates(self, tree):
+        with pytest.raises(ValueError):
+            cppr_credit(tree, 0, 1, early_derate=1.1, late_derate=0.9)
+
+    def test_empty_tree_rejected(self):
+        with pytest.raises(ValueError):
+            generate_clock_tree([])
+
+    def test_single_sink(self):
+        t = generate_clock_tree([42])
+        assert t.insertion_delay(42) > 0
+
+
+class TestRegression:
+    def test_sigmoid_range_and_symmetry(self):
+        z = np.linspace(-50, 50, 101)
+        s = sigmoid(z)
+        assert np.all((s >= 0) & (s <= 1))
+        assert np.allclose(s + sigmoid(-z), 1.0)
+
+    @given(st.floats(-700, 700))
+    def test_sigmoid_stable(self, z):
+        val = sigmoid(np.asarray([z]))[0]
+        assert 0.0 <= val <= 1.0 and np.isfinite(val)
+
+    def test_gd_decreases_loss(self):
+        rng = np.random.default_rng(0)
+        X = np.hstack([np.ones((200, 1)), rng.normal(size=(200, 2))])
+        true_w = np.asarray([0.5, 2.0, -1.0])
+        y = (sigmoid(X @ true_w) > rng.uniform(size=200)).astype(float)
+        w = np.zeros(3)
+        losses = [logreg_loss(X, y, w)]
+        for _ in range(50):
+            w = gd_step(X, y, w, lr=0.5)
+            losses.append(logreg_loss(X, y, w))
+        assert losses[-1] < losses[0]
+        assert all(b <= a + 1e-9 for a, b in zip(losses, losses[1:]))
+
+    def test_learns_separable_data(self):
+        rng = np.random.default_rng(1)
+        X = np.hstack([np.ones((300, 1)), rng.normal(size=(300, 1))])
+        y = (X[:, 1] > 0).astype(float)
+        w = train_logreg_host(X, y, epochs=300, lr=1.0)
+        assert accuracy(X, y, w) > 0.95
+
+    def test_standardize_zero_mean_unit_std(self):
+        rng = np.random.default_rng(2)
+        X = rng.normal(5, 3, size=(100, 4))
+        Xs, mean, std = standardize(X)
+        assert np.allclose(Xs.mean(axis=0), 0, atol=1e-9)
+        assert np.allclose(Xs.std(axis=0), 1, atol=1e-9)
+
+    def test_standardize_constant_column_passthrough(self):
+        X = np.ones((10, 2))
+        X[:, 1] = np.arange(10)
+        Xs, _, std = standardize(X)
+        assert std[0] == 1.0
+        assert np.allclose(Xs[:, 0], 0)

@@ -1,0 +1,70 @@
+"""Tests for the DOT writer and RNG helpers."""
+
+import io
+
+from hypothesis import given, strategies as st
+
+from repro.utils.dot import DotWriter
+from repro.utils.rng import derive_seed, seeded_rng
+
+
+class TestDotWriter:
+    def test_renders_digraph_header(self):
+        assert DotWriter("g").render().startswith('digraph "g"')
+
+    def test_nodes_and_edges_present(self):
+        w = DotWriter()
+        w.add_node("a", "task_a")
+        w.add_node("b", "task_b")
+        w.add_edge("a", "b")
+        text = w.render()
+        assert 'label="task_a"' in text
+        assert "n0 -> n1;" in text
+
+    def test_stable_node_ids(self):
+        w = DotWriter()
+        assert w.node_id("x") == w.node_id("x")
+        assert w.node_id("x") != w.node_id("y")
+
+    def test_quotes_special_characters(self):
+        w = DotWriter()
+        w.add_node("a", 'say "hi"')
+        assert '\\"hi\\"' in w.render()
+
+    def test_writes_to_stream(self):
+        w = DotWriter()
+        w.add_node(1, "n")
+        buf = io.StringIO()
+        text = w.render(buf)
+        assert buf.getvalue() == text
+
+    def test_edge_attributes(self):
+        w = DotWriter()
+        w.add_edge("a", "b", color="red")
+        assert 'color="red"' in w.render()
+
+
+class TestRng:
+    def test_seeded_rng_deterministic(self):
+        a = seeded_rng(3).integers(0, 100, 10)
+        b = seeded_rng(3).integers(0, 100, 10)
+        assert list(a) == list(b)
+
+    def test_seeded_rng_passthrough(self):
+        rng = seeded_rng(0)
+        assert seeded_rng(rng) is rng
+
+    def test_derive_seed_deterministic(self):
+        assert derive_seed(1, "a", 2) == derive_seed(1, "a", 2)
+
+    def test_derive_seed_label_sensitivity(self):
+        assert derive_seed(1, "a") != derive_seed(1, "b")
+        assert derive_seed(1, "a") != derive_seed(2, "a")
+
+    def test_derive_seed_order_matters(self):
+        assert derive_seed(1, "a", "b") != derive_seed(1, "b", "a")
+
+    @given(st.integers(0, 2**62), st.text(max_size=20))
+    def test_derive_seed_in_range(self, seed, label):
+        d = derive_seed(seed, label)
+        assert 0 <= d < 2**63

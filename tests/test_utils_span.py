@@ -1,0 +1,153 @@
+"""Tests for the stateful span abstraction."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.utils.span import Late, Span, SpanError, make_span
+
+
+class TestConstruction:
+    def test_rejects_empty_args(self):
+        with pytest.raises(SpanError):
+            Span()
+
+    def test_rejects_three_args(self):
+        with pytest.raises(SpanError):
+            Span([1], 1, 1)
+
+    def test_rejects_non_integer_count(self):
+        with pytest.raises(SpanError):
+            Span([1, 2], "two")
+
+    def test_rejects_negative_count(self):
+        with pytest.raises(SpanError):
+            Span([1, 2], -1)
+
+    def test_rejects_unspannable_object(self):
+        with pytest.raises(SpanError):
+            Span({"a": 1}).host_array()
+
+    def test_rejects_non_contiguous_array(self):
+        arr = np.zeros((4, 4))[:, 1]
+        with pytest.raises(SpanError):
+            Span(arr).host_array()
+
+    def test_make_span_passthrough(self):
+        s = Span([1, 2])
+        assert make_span(s) is s
+
+
+class TestResolution:
+    def test_ndarray_is_zero_copy(self):
+        arr = np.arange(8, dtype=np.float64)
+        view = Span(arr).host_array()
+        assert view.base is arr or view is arr
+
+    def test_ndarray_count_prefix(self):
+        arr = np.arange(10, dtype=np.int64)
+        s = Span(arr, 4)
+        assert list(s.host_array()) == [0, 1, 2, 3]
+        assert s.size_bytes() == 4 * 8
+
+    def test_int_list_becomes_int64(self):
+        assert Span([1, 2, 3]).host_array().dtype == np.int64
+
+    def test_float_list_becomes_float64(self):
+        assert Span([1.5, 2]).host_array().dtype == np.float64
+
+    def test_bytearray_views_as_uint8(self):
+        s = Span(bytearray(b"abcd"))
+        assert s.host_array().dtype == np.uint8
+        assert s.size_bytes() == 4
+
+    def test_len_and_dtype(self):
+        s = Span(np.zeros(5, dtype=np.float32))
+        assert len(s) == 5
+        assert s.dtype == np.float32
+
+
+class TestStatefulness:
+    def test_list_growth_visible_at_resolution(self):
+        """The paper's host_x -> pull_x pattern: data created after the
+        span exists must be visible when the span resolves."""
+        data: list = []
+        s = Span(data)
+        data.extend([7, 7, 7])
+        assert list(s.host_array()) == [7, 7, 7]
+
+    def test_callable_late_binding(self):
+        box = {"arr": np.zeros(2)}
+        s = Span(lambda: box["arr"])
+        box["arr"] = np.arange(6, dtype=np.float64)
+        assert len(s) == 6
+
+    def test_callable_returning_pair(self):
+        arr = np.arange(10, dtype=np.float64)
+        s = Span(lambda: (arr, 3))
+        assert len(s) == 3
+
+
+class TestWriteBack:
+    def test_ndarray_write_back_in_place(self):
+        arr = np.zeros(4)
+        Span(arr).write_back(np.arange(4, dtype=np.float64))
+        assert list(arr) == [0, 1, 2, 3]
+
+    def test_list_write_back_keeps_identity(self):
+        data = [0, 0, 0]
+        s = Span(data)
+        original = data
+        s.write_back(np.asarray([5, 6, 7]))
+        assert data == [5, 6, 7]
+        assert data is original
+
+    def test_write_back_truncates_to_target(self):
+        data = [0, 0]
+        Span(data).write_back(np.asarray([1, 2, 3, 4]))
+        assert data == [1, 2]
+
+    def test_write_back_partial_source(self):
+        arr = np.full(4, 9.0)
+        Span(arr).write_back(np.asarray([1.0]))
+        assert list(arr) == [1.0, 9.0, 9.0, 9.0]
+
+    def test_tuple_target_rejected(self):
+        with pytest.raises(SpanError):
+            Span((1, 2)).write_back(np.asarray([3, 4]))
+
+    def test_write_back_casts_dtype(self):
+        arr = np.zeros(3, dtype=np.int64)
+        Span(arr).write_back(np.asarray([1.9, 2.1, 3.7]))
+        assert list(arr) == [1, 2, 3]
+
+
+class TestLate:
+    def test_resolves_callable(self):
+        assert Late(lambda: 5).resolve() == 5
+
+    def test_rejects_non_callable(self):
+        with pytest.raises(SpanError):
+            Late(3)
+
+
+@given(st.lists(st.integers(-(2**40), 2**40), min_size=1, max_size=64))
+def test_int_roundtrip_through_span(values):
+    """host -> span -> write_back round-trips integers exactly."""
+    target = [0] * len(values)
+    Span(target).write_back(Span(values).host_array())
+    assert target == values
+
+
+@given(
+    st.lists(
+        st.floats(allow_nan=False, allow_infinity=False, width=32),
+        min_size=1,
+        max_size=64,
+    )
+)
+def test_float_roundtrip_through_span(values):
+    arr = np.asarray(values, dtype=np.float64)
+    out = np.zeros_like(arr)
+    Span(out).write_back(Span(arr).host_array())
+    assert np.array_equal(out, arr)

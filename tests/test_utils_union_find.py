@@ -1,0 +1,105 @@
+"""Unit and property tests for the union-find substrate."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.utils.union_find import UnionFind
+
+
+class TestBasics:
+    def test_singletons_are_their_own_roots(self):
+        uf = UnionFind(["a", "b"])
+        assert uf.find("a") == "a"
+        assert uf.find("b") == "b"
+        assert not uf.connected("a", "b")
+
+    def test_find_adds_unseen_elements(self):
+        uf = UnionFind()
+        assert uf.find(42) == 42
+        assert 42 in uf
+        assert len(uf) == 1
+
+    def test_union_connects(self):
+        uf = UnionFind()
+        uf.union(1, 2)
+        assert uf.connected(1, 2)
+        assert uf.set_size(1) == 2
+
+    def test_union_is_idempotent(self):
+        uf = UnionFind()
+        uf.union(1, 2)
+        root = uf.find(1)
+        assert uf.union(1, 2) == root
+        assert uf.set_size(2) == 2
+
+    def test_transitive_union(self):
+        uf = UnionFind()
+        uf.union("a", "b")
+        uf.union("b", "c")
+        assert uf.connected("a", "c")
+        assert uf.set_size("c") == 3
+
+    def test_disjoint_sets_stay_disjoint(self):
+        uf = UnionFind()
+        uf.union(1, 2)
+        uf.union(3, 4)
+        assert not uf.connected(1, 3)
+        assert sorted(len(m) for m in uf.groups().values()) == [2, 2]
+
+    def test_roots_one_per_group(self):
+        uf = UnionFind(range(6))
+        uf.union(0, 1)
+        uf.union(2, 3)
+        assert len(uf.roots()) == 4
+
+    def test_groups_cover_all_elements(self):
+        uf = UnionFind(range(5))
+        uf.union(0, 4)
+        members = [x for g in uf.groups().values() for x in g]
+        assert sorted(members) == list(range(5))
+
+    def test_iteration_yields_every_element(self):
+        uf = UnionFind("xyz")
+        assert sorted(uf) == ["x", "y", "z"]
+
+
+@given(
+    edges=st.lists(
+        st.tuples(st.integers(0, 30), st.integers(0, 30)), max_size=80
+    )
+)
+def test_matches_naive_partition(edges):
+    """Union-find agrees with a brute-force connected-components pass."""
+    uf = UnionFind(range(31))
+    for a, b in edges:
+        uf.union(a, b)
+
+    # brute force: iterate to fixpoint over an explicit partition
+    labels = list(range(31))
+
+    def root(v):
+        while labels[v] != v:
+            v = labels[v]
+        return v
+
+    for a, b in edges:
+        ra, rb = root(a), root(b)
+        if ra != rb:
+            labels[rb] = ra
+
+    for a in range(31):
+        for b in range(31):
+            assert uf.connected(a, b) == (root(a) == root(b))
+
+
+@given(
+    edges=st.lists(
+        st.tuples(st.integers(0, 20), st.integers(0, 20)), max_size=60
+    )
+)
+def test_set_sizes_partition_the_universe(edges):
+    uf = UnionFind(range(21))
+    for a, b in edges:
+        uf.union(a, b)
+    sizes = {uf.find(x) for x in range(21)}
+    assert sum(uf.set_size(r) for r in sizes) == 21
