@@ -62,6 +62,7 @@ from repro.errors import (
     HeteroflowError,
     KernelError,
     SimulationError,
+    ValidationError,
 )
 from repro.utils.span import Late, Span
 
@@ -88,5 +89,6 @@ __all__ = [
     "Task",
     "TaskType",
     "TraceObserver",
+    "ValidationError",
     "__version__",
 ]

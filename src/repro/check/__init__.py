@@ -1,0 +1,51 @@
+"""repro.check — schedule validation and stress testing.
+
+A race/invariant checker for the executor, GPU runtime, and allocator:
+
+- :mod:`repro.check.generator` — seeded random Heteroflow graphs with
+  host-side reference oracles;
+- :mod:`repro.check.validate` — whole-execution invariants (exact-once,
+  happens-before, stream FIFO order, placement consistency) over
+  :class:`~repro.core.observer.TraceObserver` traces;
+- :mod:`repro.check.audit` — allocator auditing (alignment, no-overlap,
+  matched frees, zero leaks, full coalescing) via buddy trace hooks;
+- :mod:`repro.check.mutants` — deliberately-buggy executors proving the
+  validator catches real scheduler bugs;
+- :mod:`repro.check.stress` — the config x seed sweep behind
+  ``python -m repro check --stress``.
+"""
+
+from repro.check.audit import AllocatorAuditor, AuditReport, AllocEvent
+from repro.check.generator import GeneratedGraph, generate_graph
+from repro.check.mutants import MutantExecutor, SelftestResult, run_mutant_selftest
+from repro.check.stress import (
+    DEFAULT_CONFIGS,
+    RunOutcome,
+    StressReport,
+    run_determinism_check,
+    run_stress,
+)
+from repro.check.validate import (
+    ScheduleReport,
+    Violation,
+    validate_schedule,
+)
+
+__all__ = [
+    "AllocEvent",
+    "AllocatorAuditor",
+    "AuditReport",
+    "DEFAULT_CONFIGS",
+    "GeneratedGraph",
+    "MutantExecutor",
+    "RunOutcome",
+    "ScheduleReport",
+    "SelftestResult",
+    "StressReport",
+    "Violation",
+    "generate_graph",
+    "run_determinism_check",
+    "run_mutant_selftest",
+    "run_stress",
+    "validate_schedule",
+]

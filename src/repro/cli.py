@@ -9,7 +9,10 @@ Commands:
 - ``dot {saxpy,timing,placement,sparsenn}`` — print a workload's task
   graph in GraphViz DOT;
 - ``trace OUTPUT.json`` — run saxpy under a trace observer and write a
-  chrome://tracing / Perfetto JSON file.
+  chrome://tracing / Perfetto JSON file;
+- ``check [--stress]`` — run the schedule-validation subsystem: the
+  mutant self-test, and optionally the full config x seed stress sweep
+  (see docs/testing.md).
 """
 
 from __future__ import annotations
@@ -165,6 +168,75 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_configs(spec: str):
+    """Parse ``"1x1,2x2,4x2"`` into ``[(1, 1), (2, 2), (4, 2)]``."""
+    configs = []
+    for part in spec.split(","):
+        part = part.strip().lower()
+        if not part:
+            continue
+        try:
+            workers, gpus = (int(v) for v in part.split("x"))
+        except ValueError:
+            raise argparse.ArgumentTypeError(
+                f"bad config {part!r}: expected WORKERSxGPUS, e.g. 2x2"
+            )
+        if workers < 1 or gpus < 0:
+            raise argparse.ArgumentTypeError(
+                f"bad config {part!r}: need >=1 worker and >=0 GPUs"
+            )
+        configs.append((workers, gpus))
+    if not configs:
+        raise argparse.ArgumentTypeError("empty config list")
+    return configs
+
+
+def _cmd_check(args: argparse.Namespace) -> int:
+    from repro.check import run_mutant_selftest, run_stress
+
+    failures = 0
+
+    print("mutant self-test: validating a deliberately-buggy scheduler ...")
+    selftest = run_mutant_selftest()
+    mutant = selftest.reports["mutant"]
+    reference = selftest.reports["reference"]
+    if selftest.caught:
+        print(f"  caught: {len(mutant.violations)} violation(s) flagged on the "
+              f"mutant, 0 on the reference executor")
+        for v in mutant.violations[:4]:
+            print(f"    {v}")
+    else:
+        failures += 1
+        print("  FAILED: the validator did not distinguish the buggy "
+              "scheduler from the correct one")
+        print(f"    mutant: {len(mutant.violations)} violation(s), "
+              f"reference: {len(reference.violations)}")
+        for v in reference.violations[:4]:
+            print(f"    [reference] {v}")
+
+    if args.stress:
+        configs = args.configs or None
+        n_cfg = len(configs) if configs else 3
+        print(f"\nstress sweep: {args.seeds} seed(s) x {n_cfg} config(s)"
+              f"{' with fault injection' if args.faults else ''} ...")
+        report = run_stress(
+            args.seeds, configs, faults=args.faults, log=print
+        )
+        print(f"  total: {report.num_runs} run(s), "
+              f"{report.num_allocs} allocation(s) / {report.num_frees} free(s) "
+              f"audited, {len(report.violations)} violation(s)")
+        if not report.ok:
+            failures += 1
+            for v in report.violations[:20]:
+                print(f"    {v}")
+            more = len(report.violations) - 20
+            if more > 0:
+                print(f"    ... and {more} more")
+
+    print(f"\ncheck: {'OK' if failures == 0 else 'FAILED'}")
+    return 0 if failures == 0 else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -201,6 +273,27 @@ def build_parser() -> argparse.ArgumentParser:
     gantt.add_argument("--gpus", type=int, default=2)
     gantt.add_argument("--size", type=int, default=0, help="views/iterations/layers")
     gantt.add_argument("--width", type=int, default=100)
+
+    check = sub.add_parser(
+        "check", help="run the schedule/allocator invariant checker"
+    )
+    check.add_argument(
+        "--stress", action="store_true",
+        help="sweep random graphs over worker/GPU configs and validate "
+             "every trace",
+    )
+    check.add_argument(
+        "--seeds", type=int, default=25,
+        help="random graphs per configuration (default 25)",
+    )
+    check.add_argument(
+        "--configs", type=_parse_configs, default=None, metavar="WxG,...",
+        help="worker/GPU configurations, e.g. 1x1,2x2,4x2 (the default)",
+    )
+    check.add_argument(
+        "--faults", action="store_true",
+        help="also run fault-injection and cancellation variants",
+    )
     return parser
 
 
@@ -214,6 +307,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "dot": _cmd_dot,
         "trace": _cmd_trace,
         "gantt": _cmd_gantt,
+        "check": _cmd_check,
     }
     if args.command is None:
         parser.print_help()

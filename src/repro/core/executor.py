@@ -359,9 +359,18 @@ class Executor:
             topology.fail(exc)
             self._task_done(wid, topology, node)
 
-    def _task_done(self, wid: int, topology: Topology, node: Node) -> None:
+    def _task_done(
+        self,
+        wid: int,
+        topology: Topology,
+        node: Node,
+        stream: Optional[Stream] = None,
+    ) -> None:
+        # for GPU tasks this runs on the stream dispatcher thread, so
+        # ops_executed is stable and identifies the completing op
+        seq = stream.ops_executed if stream is not None else None
         for obs in self._observers:
-            obs.on_task_end(wid, node)
+            obs.on_task_end(wid, node, stream=stream, stream_seq=seq)
         self._finish_node(topology, node)
 
     def _finish_node(self, topology: Topology, node: Node) -> None:
@@ -386,11 +395,13 @@ class Executor:
                     streams[device_ordinal] = s
         return s
 
-    def _gpu_callback(self, wid: int, topology: Topology, node: Node) -> Callable:
+    def _gpu_callback(
+        self, wid: int, topology: Topology, node: Node, stream: Stream
+    ) -> Callable:
         def done(err: Optional[BaseException]) -> None:
             if err is not None:
                 topology.fail(err)
-            self._task_done(wid, topology, node)
+            self._task_done(wid, topology, node, stream=stream)
 
         return done
 
@@ -411,7 +422,7 @@ class Executor:
             else:
                 buf.dtype = host.dtype
             self._gpu.memcpy_h2d_async(
-                buf, host, stream, callback=self._gpu_callback(wid, topology, node)
+                buf, host, stream, callback=self._gpu_callback(wid, topology, node, stream)
             )
 
     def _invoke_push(self, wid: int, topology: Topology, node: Node) -> None:
@@ -427,7 +438,7 @@ class Executor:
             stream = self._stream_for(wid, device.ordinal)
             staging = np.empty(src.size, dtype=src.dtype)
             span = node.span
-            inner = self._gpu_callback(wid, topology, node)
+            inner = self._gpu_callback(wid, topology, node, stream)
 
             def done(err: Optional[BaseException]) -> None:
                 if err is None:
@@ -461,5 +472,5 @@ class Executor:
                 node.launch,
                 node.kernel_fn,
                 *converted,
-                callback=self._gpu_callback(wid, topology, node),
+                callback=self._gpu_callback(wid, topology, node, stream),
             )

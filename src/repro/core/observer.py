@@ -1,9 +1,16 @@
 """Executor observers: task lifecycle hooks for tracing and profiling.
 
 The benchmark harness and tests need visibility into when each task ran
-and where (worker, device).  Observers receive begin/end callbacks on
-the executing thread; :class:`TraceObserver` records them into an
-in-memory trace suitable for Gantt rendering and utilization stats.
+and where (worker, device, stream).  Observers receive begin/end
+callbacks on the executing thread; :class:`TraceObserver` records them
+into an in-memory trace suitable for Gantt rendering, utilization
+stats, and schedule validation (:mod:`repro.check`).
+
+Each :class:`TaskRecord` carries enough identity for a validator to
+reconstruct the schedule exactly: the node id (names may repeat), the
+device ordinal, the stream id, the stream-local sequence number of the
+operation that completed the task, and monotonic begin/end stamps
+(``time.perf_counter``, comparable across threads).
 """
 
 from __future__ import annotations
@@ -15,6 +22,7 @@ from typing import TYPE_CHECKING, Dict, List, Optional
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.node import Node
+    from repro.gpu.stream import Stream
 
 
 class ExecutorObserver:
@@ -27,8 +35,19 @@ class ExecutorObserver:
     def on_task_begin(self, worker_id: int, node: "Node") -> None:
         """Called just before a task's work executes."""
 
-    def on_task_end(self, worker_id: int, node: "Node") -> None:
-        """Called after the task (including async GPU part) completes."""
+    def on_task_end(
+        self,
+        worker_id: int,
+        node: "Node",
+        stream: Optional["Stream"] = None,
+        stream_seq: Optional[int] = None,
+    ) -> None:
+        """Called after the task (including async GPU part) completes.
+
+        For GPU tasks *stream* is the stream the operation ran on and
+        *stream_seq* its stream-local completion index; both are
+        ``None`` for host tasks.
+        """
 
     def on_topology_begin(self, graph_name: str, num_nodes: int) -> None:
         """Called when a submitted graph starts an execution pass."""
@@ -47,6 +66,12 @@ class TaskRecord:
     device: Optional[int]
     begin: float
     end: float
+    #: node id of the executed task (stable across passes)
+    nid: int = -1
+    #: stream id the GPU operation ran on (None for host tasks)
+    stream: Optional[int] = None
+    #: stream-local completion sequence number (None for host tasks)
+    stream_seq: Optional[int] = None
 
     @property
     def duration(self) -> float:
@@ -54,7 +79,7 @@ class TaskRecord:
 
 
 class TraceObserver(ExecutorObserver):
-    """Collects :class:`TaskRecord` entries with wall-clock stamps."""
+    """Collects :class:`TaskRecord` entries with monotonic stamps."""
 
     def __init__(self) -> None:
         self._lock = threading.Lock()
@@ -67,7 +92,13 @@ class TraceObserver(ExecutorObserver):
         with self._lock:
             self._open[node.nid] = (worker_id, time.perf_counter())
 
-    def on_task_end(self, worker_id: int, node: "Node") -> None:
+    def on_task_end(
+        self,
+        worker_id: int,
+        node: "Node",
+        stream: Optional["Stream"] = None,
+        stream_seq: Optional[int] = None,
+    ) -> None:
         now = time.perf_counter()
         with self._lock:
             wid, begin = self._open.pop(node.nid, (worker_id, now))
@@ -79,6 +110,9 @@ class TraceObserver(ExecutorObserver):
                     device=node.device,
                     begin=begin,
                     end=now,
+                    nid=node.nid,
+                    stream=stream.sid if stream is not None else None,
+                    stream_seq=stream_seq,
                 )
             )
 

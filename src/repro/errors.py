@@ -50,6 +50,13 @@ class KernelError(DeviceError):
     conversion failure, or an exception raised inside a kernel."""
 
 
+class ValidationError(HeteroflowError):
+    """A whole-execution invariant was violated: a task ran the wrong
+    number of times, began before a predecessor ended, broke in-order
+    stream semantics, landed on the wrong device, or the allocator
+    auditor found an overlap/leak (see :mod:`repro.check`)."""
+
+
 class SimulationError(HeteroflowError):
     """Virtual-time simulator errors: missing cost annotations, invalid
     machine specifications, or non-quiescent event queues."""

@@ -16,9 +16,17 @@ backing store (:class:`repro.gpu.memory.DeviceHeap`).
 from __future__ import annotations
 
 import threading
-from typing import Dict, List
+from typing import Callable, Dict, List, Optional
 
 from repro.errors import AllocationError
+
+#: Trace-hook signature: ``hook(kind, offset, block_size, requested)``
+#: with ``kind`` in {"alloc", "free"}; ``requested`` is the caller's
+#: byte count for allocs and the block size for frees.  Hooks run
+#: *inside* the allocator lock so the event stream is linearized with
+#: the actual alloc/free order; they must be fast and must not call
+#: back into the allocator.
+TraceHook = Callable[[str, int, int, int], None]
 
 
 def _ceil_pow2(n: int) -> int:
@@ -52,6 +60,9 @@ class BuddyAllocator:
         self._lock = threading.Lock()
         self._in_use = 0
         self._peak = 0
+        #: optional audit hook (see :data:`TraceHook`); set by the
+        #: allocator auditor in :mod:`repro.check.audit`
+        self.trace_hook: Optional[TraceHook] = None
 
     # -- introspection ----------------------------------------------
     @property
@@ -63,6 +74,17 @@ class BuddyAllocator:
     def peak_bytes(self) -> int:
         """High-water mark of :attr:`bytes_in_use`."""
         return self._peak
+
+    @property
+    def fully_coalesced(self) -> bool:
+        """True when nothing is allocated and every split has merged
+        back into the single arena-sized root block."""
+        with self._lock:
+            return (
+                not self._allocated
+                and len(self._free[self._max_order]) == 1
+                and all(not lst for lst in self._free[: self._max_order])
+            )
 
     def block_size(self, nbytes: int) -> int:
         """Rounded block size that a request of *nbytes* consumes."""
@@ -105,6 +127,8 @@ class BuddyAllocator:
             size = self.min_block << order
             self._in_use += size
             self._peak = max(self._peak, self._in_use)
+            if self.trace_hook is not None:
+                self.trace_hook("alloc", offset, size, int(nbytes))
             return offset
 
     def free(self, offset: int) -> None:
@@ -114,6 +138,9 @@ class BuddyAllocator:
                 raise AllocationError(f"invalid free at offset {offset}")
             order = self._allocated.pop(offset)
             self._in_use -= self.min_block << order
+            if self.trace_hook is not None:
+                size = self.min_block << order
+                self.trace_hook("free", offset, size, size)
             while order < self._max_order:
                 size = self.min_block << order
                 buddy = offset ^ size

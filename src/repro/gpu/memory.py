@@ -91,6 +91,16 @@ class DeviceHeap:
         """Number of successful allocations (pool-hit statistics)."""
         return self._alloc_count
 
+    @property
+    def free_count(self) -> int:
+        """Number of buffers returned to the pool so far."""
+        return self._free_count
+
+    @property
+    def outstanding(self) -> int:
+        """Live buffer count; nonzero at teardown indicates a leak."""
+        return self._alloc_count - self._free_count
+
     def allocate(self, nbytes: int, dtype: np.dtype = np.uint8) -> DeviceBuffer:
         """Allocate *nbytes* from the pool and wrap it in a buffer."""
         dt = np.dtype(dtype)

@@ -82,6 +82,55 @@ class TestWsqConcurrent:
             t.join(timeout=30)
         assert sorted(consumed) == list(range(n))
 
+    def test_owner_plus_four_thieves_steal_oldest_first(self):
+        """1 owner + 4 thieves hammering one queue: every item is
+        consumed exactly once, and each thief's stolen sequence is
+        strictly increasing — steals always take the oldest remaining
+        item, so no thief can ever observe items out of age order."""
+        q = WorkStealingQueue()
+        n = 5000
+        owner_got = []
+        done = threading.Event()
+
+        def owner():
+            for i in range(n):
+                q.push(i)
+                if i % 5 == 0:
+                    item = q.pop()
+                    if item is not None:
+                        owner_got.append(item)
+            done.set()
+
+        num_thieves = 4
+        stolen = [[] for _ in range(num_thieves)]
+
+        def thief(tid):
+            while not (done.is_set() and q.empty):
+                item = q.steal()
+                if item is not None:
+                    stolen[tid].append(item)
+
+        threads = [threading.Thread(target=owner)] + [
+            threading.Thread(target=thief, args=(t,)) for t in range(num_thieves)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=60)
+
+        consumed = owner_got + [x for s in stolen for x in s]
+        assert sorted(consumed) == list(range(n)), "items lost or duplicated"
+        # the queue front only ever advances, so a single thief's view
+        # of it is monotone: any out-of-order pair means a steal
+        # returned a non-oldest item
+        for tid, seq in enumerate(stolen):
+            assert all(a < b for a, b in zip(seq, seq[1:])), (
+                f"thief {tid} stole out of age order"
+            )
+        # with 4 competing thieves against one owner, work must
+        # actually have been distributed
+        assert sum(len(s) for s in stolen) > 0
+
 
 @given(st.lists(st.sampled_from(["push", "pop", "steal"]), max_size=200))
 def test_wsq_matches_deque_model(ops):

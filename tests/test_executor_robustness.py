@@ -247,3 +247,96 @@ class TestCancellation:
             with pytest.raises(CancelledError):
                 fut.result(timeout=30)
             assert ex.gpu_runtime.device(0).heap.bytes_in_use == 0
+
+
+class TestValidatedRecovery:
+    """Failure paths checked through the schedule validator: whatever
+    part of the graph did run must still form a consistent schedule."""
+
+    def _diamond_with_gpu(self):
+        hf = Heteroflow()
+        data = np.arange(64, dtype=np.float64)
+
+        def double(x):
+            x *= 2
+
+        gate = threading.Event()
+        head = hf.host(gate.wait, name="head")
+        p = hf.pull(data, name="pull")
+        k = hf.kernel(double, p, name="kernel")
+        s = hf.push(p, data, name="push")
+        head.precede(p)
+        p.precede(k)
+        k.precede(s)
+        return hf, gate
+
+    def test_cancel_mid_flight_leaves_consistent_partial_trace(self):
+        from concurrent.futures import CancelledError
+
+        from repro.check import AllocatorAuditor, validate_schedule
+
+        hf, gate = self._diamond_with_gpu()
+        obs = TraceObserver()
+        auditor = AllocatorAuditor()
+        with Executor(2, 1, observers=[obs]) as ex:
+            auditor.attach_runtime(ex.gpu_runtime)
+            fut = ex.run(hf)
+            ex.cancel(fut)
+            gate.set()
+            with pytest.raises(CancelledError):
+                fut.result(timeout=30)
+        validate_schedule(
+            hf, obs.records, passes=1, num_gpus=1, allow_partial=True
+        ).raise_if_failed()
+        auditor.finish().raise_if_failed()  # zero leaks after cancel
+
+    def test_shutdown_no_wait_trace_stays_consistent(self):
+        """shutdown(wait=False) stops accepting sleepers but lets the
+        workers drain queued work; whatever ran must form a valid
+        (possibly partial) schedule.  The future is deliberately not
+        waited on: with GPU callbacks in flight it may never resolve."""
+        from repro.check import validate_schedule
+
+        hf = Heteroflow()
+        prev = None
+        for i in range(20):
+            t = hf.host(lambda: time.sleep(0.002), name=f"n{i}")
+            if prev is not None:
+                prev.precede(t)
+            prev = t
+        obs = TraceObserver()
+        ex = Executor(2, 0, observers=[obs])
+        ex.run(hf)
+        ex.shutdown(wait=False)
+        validate_schedule(
+            hf, obs.records, passes=1, num_gpus=0, allow_partial=True
+        ).raise_if_failed()
+
+    def test_kernel_callback_exception_validated(self):
+        """A kernel function raising inside the stream callback fails
+        the future with that error, flushes the rest of the graph, and
+        leaves a consistent partial trace and a leak-free heap."""
+        from repro.check import AllocatorAuditor, validate_schedule
+
+        hf = Heteroflow()
+        data = np.zeros(64)
+
+        def bad_kernel(x):
+            raise ValueError("kernel exploded")
+
+        p = hf.pull(data, name="pull")
+        k = hf.kernel(bad_kernel, p, name="bad")
+        s = hf.push(p, data, name="push")
+        p.precede(k)
+        k.precede(s)
+        obs = TraceObserver()
+        auditor = AllocatorAuditor()
+        with Executor(2, 1, observers=[obs]) as ex:
+            auditor.attach_runtime(ex.gpu_runtime)
+            with pytest.raises(ValueError, match="kernel exploded"):
+                ex.run(hf).result(timeout=30)
+            assert ex.gpu_runtime.device(0).heap.bytes_in_use == 0
+        validate_schedule(
+            hf, obs.records, passes=1, num_gpus=1, allow_partial=True
+        ).raise_if_failed()
+        auditor.finish().raise_if_failed()

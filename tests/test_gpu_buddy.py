@@ -1,5 +1,7 @@
 """Unit and property tests for the Knowlton buddy allocator."""
 
+import random
+
 import pytest
 from hypothesis import given, settings, strategies as st
 
@@ -93,6 +95,49 @@ class TestBasics:
         for off in offs[::2] + offs[1::2]:
             a.free(off)
         assert a.allocate(512) == 0
+
+
+@pytest.mark.parametrize("seed", range(12))
+def test_seeded_random_sequence_alignment_overlap_coalescing(seed):
+    """Seeded random alloc/free interleavings (reproducible from the
+    seed alone): every block handed out is naturally aligned and
+    disjoint from all live blocks, and once everything is freed the
+    arena coalesces back into a single root block."""
+    rng = random.Random(seed)
+    a = BuddyAllocator(1 << 14, min_block=64)
+    live = {}  # offset -> block size
+
+    for _ in range(400):
+        if live and rng.random() < 0.45:
+            off = rng.choice(list(live))
+            del live[off]
+            a.free(off)
+        else:
+            request = rng.randint(1, 1500)
+            try:
+                off = a.allocate(request)
+            except AllocationError:
+                continue  # exhaustion is legal; keep going
+            size = a.allocation_size(off)
+            # alignment: power-of-two block, naturally aligned, in range
+            assert size >= request
+            assert size & (size - 1) == 0 and size >= 64
+            assert off % size == 0
+            assert 0 <= off and off + size <= a.capacity
+            # no-overlap with every currently-live block
+            for o, s in live.items():
+                assert off + size <= o or o + s <= off, (
+                    f"[{off},{off + size}) overlaps [{o},{o + s})"
+                )
+            live[off] = size
+
+        a.check_invariants()
+
+    for off in list(live):
+        a.free(off)
+    assert a.bytes_in_use == 0
+    assert a.fully_coalesced, "free blocks failed to merge to the root"
+    assert a.allocate(a.capacity) == 0
 
 
 @settings(max_examples=60, deadline=None)
