@@ -17,12 +17,17 @@ from repro.core import Executor
 from repro.sim import SimExecutor, paper_testbed
 
 
+def build(cells: int = 300, iterations: int = 6):
+    """Construct the example's flow (graph inspectable without running)."""
+    return build_placement_flow(num_cells=cells, iterations=iterations, window_size=8)
+
+
 def main() -> int:
     cells = int(sys.argv[1]) if len(sys.argv) > 1 else 300
     iterations = int(sys.argv[2]) if len(sys.argv) > 2 else 6
 
     print(f"building placement flow: {cells} cells, {iterations} iterations")
-    flow = build_placement_flow(num_cells=cells, iterations=iterations, window_size=8)
+    flow = build(cells, iterations)
     print(f"  nets: {flow.db.num_nets}, grid: {flow.db.num_sites}x{flow.db.num_rows}")
     print(f"  task graph: {flow.graph.num_nodes} tasks")
 

@@ -32,9 +32,15 @@ def sweep(name, flow):
         )
 
 
-def main() -> int:
+def build():
+    """Construct both evaluation flows; returns ``(tflow, pflow)``."""
     tflow = build_timing_flow(num_views=256, num_gates=40, paths_per_view=4)
     pflow = build_placement_flow(num_cells=30, iterations=20, num_matchers=32, window_size=1)
+    return tflow, pflow
+
+
+def main() -> int:
+    tflow, pflow = build()
 
     sweep("timing correlation (view-parallel)", tflow)
     sweep("detailed placement (iteration chain)", pflow)

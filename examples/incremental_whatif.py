@@ -14,6 +14,8 @@ worst-view improvement wins.
 Run:  python examples/incremental_whatif.py
 """
 
+from types import SimpleNamespace
+
 import numpy as np
 
 from repro.apps.timing import (
@@ -27,10 +29,15 @@ from repro.apps.timing import (
 from repro.core import Executor, Heteroflow
 
 
-def main() -> int:
-    nl = generate_netlist(400, seed=21)
+def build(num_gates: int = 400, num_views: int = 4, seed: int = 21):
+    """Construct the what-if graph and its shared analysis state.
+
+    Returns a namespace whose ``.graph`` is the Heteroflow (so the
+    graph can be linted/inspected without running the analysis).
+    """
+    nl = generate_netlist(num_gates, seed=seed)
     tg = TimingGraph.from_netlist(nl)
-    views = enumerate_views(4, seed=21)
+    views = enumerate_views(num_views, seed=seed)
     base_period = run_sta(tg).clock_period
 
     # candidate edits: arcs on the worst paths (where gains can exist),
@@ -38,7 +45,7 @@ def main() -> int:
     from repro.apps.timing import k_worst_paths
 
     base_sta = run_sta(tg)
-    rng = np.random.default_rng(21)
+    rng = np.random.default_rng(seed)
     on_path = []
     for p in k_worst_paths(tg, base_sta, 3):
         for a, b in zip(p.nodes, p.nodes[1:]):
@@ -46,8 +53,6 @@ def main() -> int:
             on_path.extend(int(x) for x in arcs)
     controls = [int(a) for a in rng.choice(tg.num_arcs, size=3, replace=False)]
     candidates = np.asarray(sorted(set(on_path[:9] + controls)))
-    print(f"circuit: {nl.num_gates} gates, {tg.num_arcs} arcs, "
-          f"{len(views)} views, {len(candidates)} candidate edits")
 
     # improvement[e][v] = WNS gain of edit e in view v
     improvement = np.zeros((len(candidates), len(views)))
@@ -73,8 +78,26 @@ def main() -> int:
     for vi in range(len(views)):
         hf.host(make_view_task(vi), name=f"view_{vi}").precede(report)
 
+    return SimpleNamespace(
+        graph=hf,
+        netlist=nl,
+        timing_graph=tg,
+        views=views,
+        candidates=candidates,
+        improvement=improvement,
+        timers=timers,
+    )
+
+
+def main() -> int:
+    wf = build()
+    nl, tg, views = wf.netlist, wf.timing_graph, wf.views
+    candidates, improvement, timers = wf.candidates, wf.improvement, wf.timers
+    print(f"circuit: {nl.num_gates} gates, {tg.num_arcs} arcs, "
+          f"{len(views)} views, {len(candidates)} candidate edits")
+
     with Executor(num_workers=4, num_gpus=0) as executor:
-        executor.run(hf).result()
+        executor.run(wf.graph).result()
 
     worst_view_gain = improvement.min(axis=1)
     best = int(np.argmax(worst_view_gain))

@@ -39,24 +39,36 @@ def sharpen(ctx, n, amount, blurred, img):
     img[i] = img[i] + amount * (img[i] - blurred[i])
 
 
-def main() -> int:
-    rng = np.random.default_rng(0)
-    tiles = [np.ascontiguousarray(rng.normal(0.0, 1.0, TILE)) for _ in range(TILES)]
-    scratch = [np.zeros(TILE) for _ in range(TILES)]
+def build(num_tiles: int = TILES, tile: int = TILE, seed: int = 0):
+    """Construct the pipeline; returns (graph, tiles, scratch, kernels).
+
+    Separate from :func:`main` so ``python -m repro lint`` and the
+    test corpus can inspect the graph without running it.
+    """
+    rng = np.random.default_rng(seed)
+    tiles = [np.ascontiguousarray(rng.normal(0.0, 1.0, tile)) for _ in range(num_tiles)]
+    scratch = [np.zeros(tile) for _ in range(num_tiles)]
 
     hf = Heteroflow("sharpen-pipeline")
     kernels = []
-    for b in range(TILES):
+    for b in range(num_tiles):
         pull_img = hf.pull(tiles[b], name=f"pull_img_{b}")
         pull_tmp = hf.pull(scratch[b], name=f"pull_tmp_{b}")
-        k_blur = hf.kernel(blur3, TILE, pull_img, pull_tmp, name=f"blur_{b}")
-        k_sharp = hf.kernel(sharpen, TILE, 0.5, pull_tmp, pull_img, name=f"sharpen_{b}")
+        k_blur = hf.kernel(blur3, tile, pull_img, pull_tmp, name=f"blur_{b}")
+        k_blur.reads(pull_img)  # blur only reads the image span
+        k_sharp = hf.kernel(sharpen, tile, 0.5, pull_tmp, pull_img, name=f"sharpen_{b}")
+        k_sharp.reads(pull_tmp)  # sharpen only reads the blurred span
         push = hf.push(pull_img, tiles[b], name=f"push_{b}")
         pull_img.precede(k_blur)
         pull_tmp.precede(k_blur)
         k_blur.precede(k_sharp)
         k_sharp.precede(push)
         kernels.append((k_blur, k_sharp))
+    return hf, tiles, scratch, kernels
+
+
+def main() -> int:
+    hf, tiles, scratch, kernels = build()
 
     obs = TraceObserver()
     with Executor(num_workers=4, num_gpus=4, observers=[obs]) as executor:

@@ -21,20 +21,24 @@ def saxpy(ctx, n, a, x, y):
     y[i] = a * x[i] + y[i]
 
 
-def main() -> int:
-    N = 65536
+def build(n: int = 65536):
+    """Construct the saxpy graph; returns (graph, x, y, kernel task).
+
+    Kept separate from :func:`main` so tooling (``python -m repro
+    lint``, the test corpus) can inspect the graph without running it.
+    """
     x: list = []
     y: list = []
 
     hf = Heteroflow("saxpy")
-    host_x = hf.host(lambda: x.extend([1] * N), name="host_x")
-    host_y = hf.host(lambda: y.extend([2] * N), name="host_y")
+    host_x = hf.host(lambda: x.extend([1] * n), name="host_x")
+    host_y = hf.host(lambda: y.extend([2] * n), name="host_y")
     pull_x = hf.pull(x, name="pull_x")
     pull_y = hf.pull(y, name="pull_y")
     kernel = (
-        hf.kernel(saxpy, N, 2, pull_x, pull_y, name="saxpy")
+        hf.kernel(saxpy, n, 2, pull_x, pull_y, name="saxpy")
         .block_x(256)
-        .grid_x((N + 255) // 256)
+        .grid_x((n + 255) // 256)
     )
     push_x = hf.push(pull_x, x, name="push_x")
     push_y = hf.push(pull_y, y, name="push_y")
@@ -42,6 +46,12 @@ def main() -> int:
     host_x.precede(pull_x)
     host_y.precede(pull_y)
     kernel.succeed(pull_x, pull_y).precede(push_x, push_y)
+    return hf, x, y, kernel
+
+
+def main() -> int:
+    N = 65536
+    hf, x, y, kernel = build(N)
 
     # inspect the graph in DOT before running (Listing 11)
     print("--- task graph (GraphViz DOT) ---")

@@ -21,13 +21,9 @@ from repro.core import Executor, TraceObserver
 from repro.sim import SimExecutor, paper_testbed
 
 
-def main() -> int:
-    width = int(sys.argv[1]) if len(sys.argv) > 1 else 96
-    layers = int(sys.argv[2]) if len(sys.argv) > 2 else 12
-    batch = int(sys.argv[3]) if len(sys.argv) > 3 else 64
-
-    print(f"sparse MLP: width={width}, layers={layers}, batch={batch}")
-    flow = build_inference_flow(
+def build(width: int = 96, layers: int = 12, batch: int = 64):
+    """Construct the example's flow (graph inspectable without running)."""
+    return build_inference_flow(
         width=width,
         num_layers=layers,
         batch_size=batch,
@@ -35,6 +31,15 @@ def main() -> int:
         num_shards=4,
         nnz_per_row=8,
     )
+
+
+def main() -> int:
+    width = int(sys.argv[1]) if len(sys.argv) > 1 else 96
+    layers = int(sys.argv[2]) if len(sys.argv) > 2 else 12
+    batch = int(sys.argv[3]) if len(sys.argv) > 3 else 64
+
+    print(f"sparse MLP: width={width}, layers={layers}, batch={batch}")
+    flow = build(width, layers, batch)
     print(
         f"  {flow.model.nnz} nonzeros; task graph: {flow.graph.num_nodes} tasks "
         f"({flow.num_blocks} blocks over {flow.num_shards} shards)"

@@ -19,11 +19,16 @@ from repro.core import Executor, TraceObserver
 from repro.sim import SimExecutor, paper_testbed
 
 
+def build(num_views: int = 8):
+    """Construct the example's flow (graph inspectable without running)."""
+    return build_timing_flow(num_views=num_views, num_gates=400, paths_per_view=64)
+
+
 def main() -> int:
     num_views = int(sys.argv[1]) if len(sys.argv) > 1 else 8
 
     print(f"building correlation flow: {num_views} views over a synthetic circuit")
-    flow = build_timing_flow(num_views=num_views, num_gates=400, paths_per_view=64)
+    flow = build(num_views)
     print(
         f"  netlist: {flow.netlist.num_gates} gates, depth {flow.netlist.depth}, "
         f"{len(flow.timing_graph.outputs)} endpoints"

@@ -1,0 +1,63 @@
+"""repro.analysis — "hflint", pre-execution static analysis.
+
+A static analyzer that runs over a constructed
+:class:`~repro.core.heteroflow.Heteroflow` *before* submission.  It
+computes the reachability/happens-before closure of the DAG and a
+span-dataflow model (which tasks read and write each pull task's
+device span, derived from pull/push/kernel argument bindings and the
+:meth:`~repro.core.task.KernelTask.reads` /
+:meth:`~repro.core.task.KernelTask.writes` declarations), then emits
+severity-tiered diagnostics with stable ``HFnnn`` rule codes:
+
+========  ========  ===============================================
+code      severity  finding
+========  ========  ===============================================
+HF001     error     dependency cycle (with witness path)
+HF002     warning   disconnected GPU task / never-consumed pull span
+HF003     error     unbound placeholder or partially-bound task
+HF010     error     span access with no path from its pull task
+HF011     error     write-write / read-write race on a span
+HF012     warning   push of a span no kernel ever writes
+HF013     info      duplicate or transitively-implied edge
+HF020     error     placement group footprint exceeds any GPU pool
+========  ========  ===============================================
+
+Entry points: :func:`lint`, ``Heteroflow.lint()``, the
+``Executor.run(..., lint=True)`` gate, and ``python -m repro lint``.
+The full rule catalog with examples and fixes is in
+``docs/analysis.md``.
+"""
+
+from repro.analysis.diagnostics import (
+    RULES,
+    Diagnostic,
+    LintReport,
+    Rule,
+    Severity,
+)
+from repro.analysis.linter import lint
+from repro.analysis.model import GraphModel, PlacementGroup, SpanAccess
+from repro.analysis.report import (
+    JSON_SCHEMA_VERSION,
+    render_dot,
+    render_json,
+    render_text,
+)
+from repro.analysis.rules import ALL_RULES
+
+__all__ = [
+    "ALL_RULES",
+    "Diagnostic",
+    "GraphModel",
+    "JSON_SCHEMA_VERSION",
+    "LintReport",
+    "PlacementGroup",
+    "RULES",
+    "Rule",
+    "Severity",
+    "SpanAccess",
+    "lint",
+    "render_dot",
+    "render_json",
+    "render_text",
+]

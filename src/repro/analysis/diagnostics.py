@@ -1,0 +1,231 @@
+"""Diagnostic objects, severities, and the hflint rule catalog.
+
+Every finding the analyzer can emit carries a stable rule code (the
+``HFnnn`` identifiers documented in ``docs/analysis.md``), a severity
+tier, the names of the tasks involved, and a structured ``data``
+payload for machine consumers.  The catalog below is the single source
+of truth: reporters, the CLI, tests, and the docs all key off it.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+
+class Severity(enum.IntEnum):
+    """Diagnostic tiers, ordered so comparisons read naturally."""
+
+    INFO = 10
+    WARNING = 20
+    ERROR = 30
+
+    @property
+    def label(self) -> str:
+        return self.name.lower()
+
+    @classmethod
+    def parse(cls, text: str) -> "Severity":
+        try:
+            return cls[text.upper()]
+        except KeyError:
+            raise ValueError(f"unknown severity {text!r}") from None
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One entry of the rule catalog."""
+
+    code: str
+    title: str
+    severity: Severity
+    summary: str
+
+
+#: The hflint rule catalog.  Codes are stable public API: they appear
+#: in JSON output, CI logs, and the documentation, and must never be
+#: renumbered.  HF00x are structural rules, HF01x span-dataflow rules,
+#: HF02x capacity-prediction rules.
+RULES: Dict[str, Rule] = {
+    r.code: r
+    for r in (
+        Rule(
+            "HF001",
+            "cycle",
+            Severity.ERROR,
+            "the task graph contains a dependency cycle",
+        ),
+        Rule(
+            "HF002",
+            "dead task",
+            Severity.WARNING,
+            "a GPU task is disconnected, or a pull task's span is "
+            "never consumed by any kernel or push task",
+        ),
+        Rule(
+            "HF003",
+            "unbound placeholder",
+            Severity.ERROR,
+            "a task reached lint with no work bound (placeholder, or a "
+            "partially-configured host/pull/push/kernel task)",
+        ),
+        Rule(
+            "HF010",
+            "use before transfer",
+            Severity.ERROR,
+            "a kernel or push task accesses a pull task's device span "
+            "with no dependency path from that pull task",
+        ),
+        Rule(
+            "HF011",
+            "span race",
+            Severity.ERROR,
+            "two unordered tasks access the same device span and at "
+            "least one of them writes it",
+        ),
+        Rule(
+            "HF012",
+            "push of unwritten span",
+            Severity.WARNING,
+            "a push task copies back a span that no kernel ever writes",
+        ),
+        Rule(
+            "HF013",
+            "redundant edge",
+            Severity.INFO,
+            "a dependency edge duplicates another edge or an existing "
+            "transitive path",
+        ),
+        Rule(
+            "HF020",
+            "placement group exceeds device pool",
+            Severity.ERROR,
+            "a union-find placement group's aggregate span footprint "
+            "cannot fit any single simulated GPU memory pool",
+        ),
+    )
+}
+
+
+@dataclass
+class Diagnostic:
+    """One finding: a rule violation anchored to concrete tasks."""
+
+    code: str
+    message: str
+    tasks: Tuple[str, ...] = ()
+    #: structured details (rule-specific; JSON-serializable values only)
+    data: Dict[str, Any] = field(default_factory=dict)
+    #: severity override; defaults to the catalog severity
+    severity: Optional[Severity] = None
+
+    def __post_init__(self) -> None:
+        if self.code not in RULES:
+            raise ValueError(f"unknown rule code {self.code!r}")
+        if self.severity is None:
+            self.severity = RULES[self.code].severity
+        self.tasks = tuple(self.tasks)
+
+    @property
+    def rule(self) -> Rule:
+        return RULES[self.code]
+
+    def as_dict(self) -> Dict[str, Any]:
+        """Stable JSON-ready form (documented in docs/analysis.md)."""
+        return {
+            "code": self.code,
+            "rule": self.rule.title,
+            "severity": self.severity.label,
+            "message": self.message,
+            "tasks": list(self.tasks),
+            "data": dict(sorted(self.data.items())),
+        }
+
+    def __str__(self) -> str:
+        where = f" [{', '.join(self.tasks)}]" if self.tasks else ""
+        return f"{self.code} {self.severity.label}: {self.message}{where}"
+
+
+def sort_key(d: Diagnostic):
+    """Deterministic report order: severity first, then code, tasks."""
+    return (-int(d.severity), d.code, d.tasks, d.message)
+
+
+@dataclass
+class LintReport:
+    """The outcome of one :func:`repro.analysis.lint` pass."""
+
+    graph_name: str
+    num_tasks: int
+    gpu_memory_bytes: int
+    diagnostics: List[Diagnostic] = field(default_factory=list)
+
+    def extend(self, diags: List[Diagnostic]) -> None:
+        self.diagnostics.extend(diags)
+
+    def finalize(self) -> "LintReport":
+        self.diagnostics.sort(key=sort_key)
+        return self
+
+    # -- filtering ---------------------------------------------------
+    def at_least(self, severity: Severity) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity >= severity]
+
+    def by_code(self, code: str) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if d.code == code]
+
+    @property
+    def errors(self) -> List[Diagnostic]:
+        return self.at_least(Severity.ERROR)
+
+    @property
+    def warnings(self) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity is Severity.WARNING]
+
+    @property
+    def infos(self) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity is Severity.INFO]
+
+    def counts(self) -> Dict[str, int]:
+        return {
+            "error": len(self.errors),
+            "warning": len(self.warnings),
+            "info": len(self.infos),
+        }
+
+    # -- verdicts ----------------------------------------------------
+    @property
+    def ok(self) -> bool:
+        """No error-severity findings (the executor-gate criterion)."""
+        return not self.errors
+
+    @property
+    def clean(self) -> bool:
+        """No findings at warning severity or above ("lint-clean")."""
+        return not self.at_least(Severity.WARNING)
+
+    def raise_if_errors(self) -> None:
+        """Raise :class:`repro.errors.LintError` on error findings."""
+        if not self.ok:
+            from repro.errors import LintError
+
+            raise LintError(self)
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "graph": self.graph_name,
+            "num_tasks": self.num_tasks,
+            "gpu_memory_bytes": self.gpu_memory_bytes,
+            "ok": self.ok,
+            "clean": self.clean,
+            "counts": self.counts(),
+            "diagnostics": [d.as_dict() for d in self.diagnostics],
+        }
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        c = self.counts()
+        return (
+            f"LintReport({self.graph_name!r}, {c['error']}E/"
+            f"{c['warning']}W/{c['info']}I)"
+        )

@@ -1,0 +1,58 @@
+"""The hflint driver: run the rule set over a graph, pre-execution.
+
+``lint(graph)`` is a pure inspection pass — it never mutates the graph,
+never spins up an executor thread or simulated GPU, and completes in
+milliseconds even for thousand-task graphs (the happens-before closure
+is bitset-based).  It is wired into the stack at three levels:
+
+- standalone:       ``report = repro.analysis.lint(hf)``
+- graph method:     ``report = hf.lint()``
+- executor gate:    ``executor.run(hf, lint=True)`` raises
+                    :class:`~repro.errors.LintError` on error findings
+- CLI:              ``python -m repro lint [--json] [--dot]``
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from repro.analysis.diagnostics import LintReport
+from repro.analysis.model import GraphModel
+from repro.analysis.rules import ALL_RULES
+from repro.gpu.device import DEFAULT_MEMORY_BYTES
+
+
+def lint(
+    graph,
+    *,
+    gpu_memory_bytes: Optional[int] = None,
+    rules: Optional[Iterable[str]] = None,
+) -> LintReport:
+    """Statically analyze *graph*; returns a sorted :class:`LintReport`.
+
+    *gpu_memory_bytes* is the per-device pool size the HF020 capacity
+    prediction checks against (default: the runtime's default pool).
+    *rules* optionally restricts the pass to a subset of rule codes.
+    """
+    pool = DEFAULT_MEMORY_BYTES if gpu_memory_bytes is None else int(gpu_memory_bytes)
+    if pool <= 0:
+        raise ValueError("gpu_memory_bytes must be positive")
+    selected = set(ALL_RULES) if rules is None else set(rules)
+    unknown = selected - set(ALL_RULES)
+    if unknown:
+        raise ValueError(f"unknown rule code(s): {', '.join(sorted(unknown))}")
+
+    model = GraphModel(graph)
+    report = LintReport(
+        graph_name=graph.name,
+        num_tasks=len(model.nodes),
+        gpu_memory_bytes=pool,
+    )
+    for code, fn in ALL_RULES.items():
+        if code not in selected:
+            continue
+        if code == "HF020":
+            report.extend(fn(model, gpu_memory_bytes=pool))
+        else:
+            report.extend(fn(model))
+    return report.finalize()

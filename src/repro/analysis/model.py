@@ -1,0 +1,255 @@
+"""The static model hflint rules run against.
+
+:class:`GraphModel` snapshots one :class:`~repro.core.heteroflow.Heteroflow`
+into three indexed views:
+
+- **structure** — node list, edge multiset, cycle witness (if any),
+  topological order, and the full reachability (happens-before) closure
+  as per-node descendant bitsets (one Python int per node, bit *j* set
+  when node *j* is reachable);
+- **span dataflow** — for every pull task, the tasks that access its
+  device span and in which mode: the pull itself writes it (H2D),
+  kernels read/write it according to their argument bindings and any
+  :meth:`~repro.core.task.KernelTask.reads` /
+  :meth:`~repro.core.task.KernelTask.writes` declarations, and push
+  tasks read it (D2H);
+- **placement groups** — the union-find grouping of Algorithm 1
+  (kernels unioned with their source pulls) plus each group's
+  buddy-rounded span footprint, the basis of static OOM prediction.
+
+The model never executes user code beyond resolving span sizes (the
+same late binding :meth:`repro.utils.span.Span.host_array` performs);
+span factories that are not yet resolvable are skipped and counted.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.node import Node, TaskType
+from repro.gpu.memory import pooled_bytes
+
+#: span access modes
+READ = "r"
+WRITE = "rw"
+
+
+@dataclass(frozen=True)
+class SpanAccess:
+    """One task touching a pull task's device span."""
+
+    node: Node
+    mode: str  # READ or WRITE
+
+    @property
+    def writes(self) -> bool:
+        return self.mode == WRITE
+
+
+@dataclass
+class PlacementGroup:
+    """One Algorithm-1 co-location group and its memory footprint."""
+
+    root: Node
+    members: List[Node] = field(default_factory=list)
+    #: sum of buddy-rounded span sizes over the group's pull tasks
+    footprint_bytes: int = 0
+    #: pull tasks whose span size could not be resolved statically
+    unresolved: List[Node] = field(default_factory=list)
+
+    @property
+    def pulls(self) -> List[Node]:
+        return [n for n in self.members if n.type is TaskType.PULL]
+
+
+def _unbound_reason(node: Node) -> Optional[str]:
+    """Why *node* cannot execute, or None when fully bound."""
+    if node.type is TaskType.PLACEHOLDER:
+        return "placeholder was never assigned work"
+    if node.type is TaskType.HOST and node.callable is None:
+        return "host task has no callable"
+    if node.type is TaskType.PULL and node.span is None:
+        return "pull task has no span"
+    if node.type is TaskType.PUSH and (node.source is None or node.span is None):
+        return "push task is incompletely bound"
+    if node.type is TaskType.KERNEL and node.kernel_fn is None:
+        return "kernel task has no kernel"
+    return None
+
+
+def kernel_access_mode(kernel: Node, pull: Node) -> str:
+    """Static access mode of *kernel* on *pull*'s span.
+
+    Kernels are opaque callables, so without declarations the analyzer
+    must assume every pull argument is read **and** written.  A
+    :meth:`~repro.core.task.KernelTask.reads` declaration narrows a
+    pull to read-only; :meth:`~repro.core.task.KernelTask.writes` (or
+    no declaration) keeps the conservative read-write default.
+    """
+    if pull in kernel.kernel_writes:
+        return WRITE
+    if pull in kernel.kernel_reads:
+        return READ
+    return WRITE
+
+
+class GraphModel:
+    """Indexed static snapshot of one Heteroflow graph."""
+
+    def __init__(self, graph) -> None:
+        self.graph = graph
+        self.nodes: List[Node] = list(graph.nodes)
+        self._index: Dict[int, int] = {id(n): i for i, n in enumerate(self.nodes)}
+        #: (src, dst) pairs, one entry per edge occurrence (parallel
+        #: edges preserved), restricted to this graph's own nodes
+        self.edges: List[Tuple[Node, Node]] = []
+        #: unbound nodes -> human-readable reason
+        self.unbound: Dict[Node, str] = {}
+        #: a witness cycle (node sequence, first == last), or None
+        self.cycle: Optional[List[Node]] = None
+        self.topo_order: List[Node] = []
+        self._desc: List[int] = []
+        #: pull node -> accesses of its device span (pull excluded)
+        self.span_accesses: Dict[Node, List[SpanAccess]] = {}
+        self.groups: List[PlacementGroup] = []
+        self._build()
+
+    # -- construction ------------------------------------------------
+    def _build(self) -> None:
+        for n in self.nodes:
+            reason = _unbound_reason(n)
+            if reason is not None:
+                self.unbound[n] = reason
+            for s in n.successors:
+                if id(s) in self._index:
+                    self.edges.append((n, s))
+        self._build_order()
+        if self.cycle is None:
+            self._build_reachability()
+        self._build_dataflow()
+        self._build_groups()
+
+    def _build_order(self) -> None:
+        indeg = {id(n): 0 for n in self.nodes}
+        for _, dst in self.edges:
+            indeg[id(dst)] += 1
+        ready = deque(n for n in self.nodes if indeg[id(n)] == 0)
+        order: List[Node] = []
+        while ready:
+            n = ready.popleft()
+            order.append(n)
+            for s in n.successors:
+                if id(s) not in self._index:
+                    continue
+                indeg[id(s)] -= 1
+                if indeg[id(s)] == 0:
+                    ready.append(s)
+        if len(order) != len(self.nodes):
+            stuck = [n for n in self.nodes if indeg[id(n)] > 0]
+            self.cycle = self._find_cycle(stuck)
+        else:
+            self.topo_order = order
+
+    def _find_cycle(self, stuck: List[Node]) -> List[Node]:
+        """Extract one concrete cycle among the Kahn leftovers."""
+        stuck_ids = {id(n) for n in stuck}
+        on_path: Dict[int, int] = {}
+        path: List[Node] = []
+
+        def walk(start: Node) -> Optional[List[Node]]:
+            stack: List[Tuple[Node, int]] = [(start, 0)]
+            on_path[id(start)] = 0
+            path.append(start)
+            while stack:
+                node, i = stack[-1]
+                succs = [s for s in node.successors if id(s) in stuck_ids]
+                if i < len(succs):
+                    stack[-1] = (node, i + 1)
+                    nxt = succs[i]
+                    if id(nxt) in on_path:
+                        return path[on_path[id(nxt)] :] + [nxt]
+                    on_path[id(nxt)] = len(path)
+                    path.append(nxt)
+                    stack.append((nxt, 0))
+                else:
+                    stack.pop()
+                    path.pop()
+                    del on_path[id(node)]
+            return None
+
+        for n in stuck:
+            found = walk(n)
+            if found:
+                return found
+        return stuck + stuck[:1]  # pragma: no cover - defensive
+
+    def _build_reachability(self) -> None:
+        n = len(self.nodes)
+        self._desc = [0] * n
+        for node in reversed(self.topo_order):
+            i = self._index[id(node)]
+            mask = 0
+            for s in node.successors:
+                j = self._index.get(id(s))
+                if j is not None:
+                    mask |= (1 << j) | self._desc[j]
+            self._desc[i] = mask
+
+    def _build_dataflow(self) -> None:
+        pulls = [n for n in self.nodes if n.type is TaskType.PULL]
+        self.span_accesses = {p: [] for p in pulls}
+        for n in self.nodes:
+            if n.type is TaskType.KERNEL:
+                for p in dict.fromkeys(n.kernel_sources):  # dedupe, keep order
+                    if p in self.span_accesses:
+                        self.span_accesses[p].append(
+                            SpanAccess(n, kernel_access_mode(n, p))
+                        )
+            elif n.type is TaskType.PUSH and n.source is not None:
+                if n.source in self.span_accesses:
+                    self.span_accesses[n.source].append(SpanAccess(n, READ))
+
+    def _build_groups(self) -> None:
+        from repro.utils.union_find import UnionFind
+
+        uf: UnionFind = UnionFind()
+        for n in self.nodes:
+            if n.type in (TaskType.PULL, TaskType.KERNEL):
+                uf.add(n)
+                if n.type is TaskType.KERNEL:
+                    for p in n.kernel_sources:
+                        if id(p) in self._index:
+                            uf.union(n, p)
+        for root, members in uf.groups().items():
+            members = sorted(members, key=lambda m: self._index[id(m)])
+            group = PlacementGroup(root=root, members=members)
+            for p in group.pulls:
+                if p.span is None:
+                    continue
+                try:
+                    nbytes = p.span.size_bytes()
+                except Exception:
+                    group.unresolved.append(p)
+                else:
+                    group.footprint_bytes += pooled_bytes(nbytes)
+            self.groups.append(group)
+        self.groups.sort(key=lambda g: self._index[id(g.root)])
+
+    # -- queries -----------------------------------------------------
+    @property
+    def acyclic(self) -> bool:
+        return self.cycle is None
+
+    def reaches(self, a: Node, b: Node) -> bool:
+        """True iff there is a dependency path a -> ... -> b."""
+        j = self._index[id(b)]
+        return bool((self._desc[self._index[id(a)]] >> j) & 1)
+
+    def ordered(self, a: Node, b: Node) -> bool:
+        """True iff a and b are happens-before related (either way)."""
+        return self.reaches(a, b) or self.reaches(b, a)
+
+    def names(self, *nodes: Node) -> Tuple[str, ...]:
+        return tuple(n.name for n in nodes)

@@ -1,0 +1,277 @@
+"""The hflint rules: HF001-HF003 (structure), HF010-HF013 (span
+dataflow), HF020 (capacity prediction).
+
+Each rule is a pure function from a :class:`~repro.analysis.model.GraphModel`
+to a list of :class:`~repro.analysis.diagnostics.Diagnostic` objects.
+Rules that need the happens-before closure (HF010/HF011/HF013) are
+skipped while the graph is cyclic — HF001 already makes the run fail,
+and path queries are undefined on a cyclic graph.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Callable, Dict, List
+
+from repro.analysis.diagnostics import Diagnostic
+from repro.analysis.model import GraphModel, SpanAccess
+from repro.core.node import Node, TaskType
+
+RuleFn = Callable[..., List[Diagnostic]]
+
+
+def check_hf001_cycle(model: GraphModel) -> List[Diagnostic]:
+    """HF001: dependency cycle, with a concrete witness path."""
+    if model.cycle is None:
+        return []
+    witness = [n.name for n in model.cycle]
+    return [
+        Diagnostic(
+            "HF001",
+            "dependency cycle: " + " -> ".join(witness),
+            tasks=model.names(*model.cycle[:-1]),
+            data={"witness": witness},
+        )
+    ]
+
+
+def check_hf002_dead_task(model: GraphModel) -> List[Diagnostic]:
+    """HF002: disconnected GPU tasks and never-consumed pull spans.
+
+    An isolated *host* task is idiomatic (independent parallel work)
+    and stays silent; an isolated GPU task cannot be ordered against
+    the data it serves, and a pull task nothing reads is a dead H2D
+    transfer either way.
+    """
+    out: List[Diagnostic] = []
+    for n in model.nodes:
+        if n.type.is_gpu and not n.successors and not n.dependents:
+            out.append(
+                Diagnostic(
+                    "HF002",
+                    f"{n.type.value} task {n.name!r} has no dependency "
+                    "edges at all; nothing orders it against the tasks "
+                    "using its data",
+                    tasks=(n.name,),
+                    data={"kind": "disconnected"},
+                )
+            )
+    for pull, accesses in model.span_accesses.items():
+        if not accesses:
+            out.append(
+                Diagnostic(
+                    "HF002",
+                    f"span of pull task {pull.name!r} is never consumed "
+                    "by any kernel or push task (dead H2D transfer)",
+                    tasks=(pull.name,),
+                    data={"kind": "dead-pull"},
+                )
+            )
+    return out
+
+
+def check_hf003_unbound(model: GraphModel) -> List[Diagnostic]:
+    """HF003: tasks that would fail graph validation at submit time."""
+    return [
+        Diagnostic(
+            "HF003",
+            f"task {n.name!r}: {reason}",
+            tasks=(n.name,),
+            data={"type": n.type.value},
+        )
+        for n, reason in model.unbound.items()
+    ]
+
+
+def check_hf010_use_before_transfer(model: GraphModel) -> List[Diagnostic]:
+    """HF010: span access with no dependency path from its pull task.
+
+    The executor raises ``KernelError`` at run time when this schedule
+    actually bites ("ran before its pull task; add the missing
+    dependency") — but only on the interleavings that lose the race.
+    Statically, *any* span consumer without a path from the pull is a
+    latent use-before-transfer.
+    """
+    if not model.acyclic:
+        return []
+    out: List[Diagnostic] = []
+    for pull, accesses in model.span_accesses.items():
+        for acc in accesses:
+            if not model.reaches(pull, acc.node):
+                verb = "reads" if acc.node.type is TaskType.PUSH else "accesses"
+                out.append(
+                    Diagnostic(
+                        "HF010",
+                        f"{acc.node.type.value} task {acc.node.name!r} "
+                        f"{verb} the span of pull task {pull.name!r} but "
+                        "has no dependency path from it; add "
+                        f"{pull.name!r}.precede({acc.node.name!r}) or an "
+                        "equivalent transitive edge",
+                        tasks=(pull.name, acc.node.name),
+                        data={"span": pull.name},
+                    )
+                )
+    return out
+
+
+def _race_pair(model: GraphModel, pull: Node, a: SpanAccess, b: SpanAccess):
+    kind = "write-write" if (a.writes and b.writes) else "read-write"
+    return Diagnostic(
+        "HF011",
+        f"{kind} race on the span of pull task {pull.name!r}: "
+        f"{a.node.name!r} ({a.mode}) and {b.node.name!r} ({b.mode}) "
+        "have no dependency path between them; order them explicitly "
+        "or declare read-only access with KernelTask.reads()",
+        tasks=model.names(a.node, b.node),
+        data={"span": pull.name, "kind": kind},
+    )
+
+
+def check_hf011_span_race(model: GraphModel) -> List[Diagnostic]:
+    """HF011: unordered accesses to one span, at least one writing.
+
+    Pairs where an access has no path from the pull at all are already
+    HF010 findings; to avoid double reporting, only pairs in which both
+    accesses are downstream of the pull are considered here.
+    """
+    if not model.acyclic:
+        return []
+    out: List[Diagnostic] = []
+    for pull, accesses in model.span_accesses.items():
+        placed = [a for a in accesses if model.reaches(pull, a.node)]
+        for a, b in combinations(placed, 2):
+            if not (a.writes or b.writes):
+                continue
+            if a.node is b.node or model.ordered(a.node, b.node):
+                continue
+            out.append(_race_pair(model, pull, a, b))
+    return out
+
+
+def check_hf012_push_unwritten(model: GraphModel) -> List[Diagnostic]:
+    """HF012: push of a span no kernel ever writes (D2H of unchanged
+    data — usually a forgotten kernel binding or a stale push)."""
+    out: List[Diagnostic] = []
+    for pull, accesses in model.span_accesses.items():
+        written = any(
+            a.writes for a in accesses if a.node.type is TaskType.KERNEL
+        )
+        if written:
+            continue
+        for a in accesses:
+            if a.node.type is TaskType.PUSH:
+                out.append(
+                    Diagnostic(
+                        "HF012",
+                        f"push task {a.node.name!r} copies back the span "
+                        f"of pull task {pull.name!r}, but no kernel ever "
+                        "writes that span — the push returns the data "
+                        "unchanged",
+                        tasks=(a.node.name,),
+                        data={"span": pull.name},
+                    )
+                )
+    return out
+
+
+def check_hf013_redundant_edge(model: GraphModel) -> List[Diagnostic]:
+    """HF013: duplicate edges and transitively-implied edges.
+
+    Both are semantically harmless (the runtime counts each edge as a
+    dependency) but add join-counter traffic and obscure the graph's
+    real structure, so they surface at info severity.
+    """
+    if not model.acyclic:
+        return []
+    out: List[Diagnostic] = []
+    seen_dup = set()
+    seen_trans = set()
+    for u, v in model.edges:
+        key = (id(u), id(v))
+        if u.successors.count(v) > 1:
+            if key not in seen_dup:
+                seen_dup.add(key)
+                out.append(
+                    Diagnostic(
+                        "HF013",
+                        f"duplicate edge {u.name!r} -> {v.name!r} "
+                        f"(declared {u.successors.count(v)} times)",
+                        tasks=model.names(u, v),
+                        data={"kind": "duplicate"},
+                    )
+                )
+            continue
+        if key in seen_trans:
+            continue
+        for s in u.successors:
+            if s is v or id(s) not in model._index:
+                continue
+            if model.reaches(s, v):
+                seen_trans.add(key)
+                out.append(
+                    Diagnostic(
+                        "HF013",
+                        f"edge {u.name!r} -> {v.name!r} is implied by the "
+                        f"path through {s.name!r} and can be dropped",
+                        tasks=model.names(u, v),
+                        data={"kind": "transitive", "via": s.name},
+                    )
+                )
+                break
+    return out
+
+
+def check_hf020_group_capacity(
+    model: GraphModel, *, gpu_memory_bytes: int
+) -> List[Diagnostic]:
+    """HF020: static OOM prediction against the per-device pool.
+
+    Algorithm 1 must co-locate each union-find group on one GPU, and
+    the executor frees pull buffers only at topology end — so a group
+    whose buddy-rounded span footprint exceeds a single device pool is
+    guaranteed to exhaust it, regardless of how many GPUs exist.
+    """
+    out: List[Diagnostic] = []
+    for group in model.groups:
+        if group.footprint_bytes <= gpu_memory_bytes:
+            continue
+        pulls = group.pulls
+        shown = ", ".join(p.name for p in pulls[:6])
+        if len(pulls) > 6:
+            shown += f", ... ({len(pulls) - 6} more)"
+        note = (
+            f" ({len(group.unresolved)} span(s) unresolved and excluded)"
+            if group.unresolved
+            else ""
+        )
+        out.append(
+            Diagnostic(
+                "HF020",
+                f"placement group rooted at {group.root.name!r} pulls "
+                f"{group.footprint_bytes} bytes (buddy-rounded) across "
+                f"[{shown}], exceeding the {gpu_memory_bytes}-byte "
+                f"device pool every GPU has{note}; split the group or "
+                "enlarge gpu_memory_bytes",
+                tasks=model.names(*pulls),
+                data={
+                    "footprint_bytes": group.footprint_bytes,
+                    "pool_bytes": gpu_memory_bytes,
+                    "group_root": group.root.name,
+                    "unresolved_spans": [p.name for p in group.unresolved],
+                },
+            )
+        )
+    return out
+
+
+#: rule registry in execution order; HF020 takes the pool size.
+ALL_RULES: Dict[str, RuleFn] = {
+    "HF001": check_hf001_cycle,
+    "HF002": check_hf002_dead_task,
+    "HF003": check_hf003_unbound,
+    "HF010": check_hf010_use_before_transfer,
+    "HF011": check_hf011_span_race,
+    "HF012": check_hf012_push_unwritten,
+    "HF013": check_hf013_redundant_edge,
+    "HF020": check_hf020_group_capacity,
+}

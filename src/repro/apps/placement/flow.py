@@ -181,6 +181,9 @@ def build_placement_flow(
             pull_state,
             name=f"mis_{i}",
         ).block_x(256).grid_x(max((n + 255) // 256, 1))
+        # the shared adjacency CSR and the priorities are read-only;
+        # only the state vector is written (declared for hflint)
+        mis.reads(pull_adj_ptr, pull_adj_idx, pull_prio)
         push_state = hf.push(pull_state, state, name=f"push_state_{i}")
         part = hf.host(make_partition(i), name=f"part_{i}")
         matchers = [

@@ -159,6 +159,10 @@ def build_inference_flow(
                 dst,
                 name=f"layer{l}_b{b}",
             ).block_x(256).grid_x(max((mlp.width + 255) // 256, 1))
+            # shard weights are shared read-only by every block on the
+            # shard; declaring that keeps concurrent blocks race-free
+            # under hflint (HF011) while dst stays read-write
+            k.reads(wd, wi, wp, wb, src)
             cm.annotate_kernel(
                 k,
                 KERNEL_SECONDS_PER_NNZ_COL * mlp.layers[l].nnz * bw * paper_nnz_scale,
@@ -176,7 +180,7 @@ def build_inference_flow(
         cm.annotate_copy(pull_idx, idx_host.nbytes)
         readout = hf.kernel(
             argmax_readout_kernel, mlp.width, bw, src, pull_idx, name=f"readout_b{b}"
-        )
+        ).reads(src)
         cm.annotate_kernel(readout, 1e-4)
         readout.succeed(prev_kernel, pull_idx)
         push_idx = hf.push(pull_idx, idx_host, name=f"push_idx_b{b}")

@@ -227,6 +227,9 @@ def build_timing_flow(
             pull_w,
             name=f"gd_{v}",
         ).block_x(256).grid_x(max((paths_per_view + 255) // 256, 1))
+        # gradient descent reads the feature/label spans and updates
+        # only the weight span (declared for hflint's dataflow model)
+        gd.reads(pull_x, pull_y)
         push_w = hf.push(pull_w, lambda s=state: s.w, name=f"push_w_{v}")
         assess = hf.host(make_assess(state), name=f"assess_{v}")
 

@@ -239,6 +239,10 @@ def generate_graph(
                 k = hf.kernel(
                     _join_kernel(cmul), pull, src_pull, name=f"c{ci}.k{ki}.join{src.index}"
                 )
+                # the joined chain's data is only read; declaring it
+                # keeps concurrent joins off the same source chain
+                # race-free under hflint (HF011)
+                k.reads(src_pull)
                 k.succeed(prev, src_last_kernel)
                 chain.ops.append(("join", src.index, cmul))
             else:

@@ -26,6 +26,7 @@ from concurrent.futures import CancelledError
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional, Sequence, Tuple
 
+from repro.analysis import Severity, lint
 from repro.check.audit import AllocatorAuditor
 from repro.check.generator import generate_graph
 from repro.check.validate import validate_schedule
@@ -112,6 +113,13 @@ def _run_one(
         passes=passes,
         num_nodes=gen.num_nodes,
         num_records=0,
+    )
+    # cross-validation: generated graphs are well-formed by construction,
+    # so hflint must agree — a warning-or-worse finding here is either a
+    # generator bug or an analyzer false positive, and both must surface
+    static = lint(gen.graph, gpu_memory_bytes=STRESS_POOL_BYTES)
+    outcome.violations.extend(
+        f"hflint: {d}" for d in static.at_least(Severity.WARNING)
     )
     ex = Executor(
         num_workers=workers,

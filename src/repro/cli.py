@@ -12,7 +12,11 @@ Commands:
   chrome://tracing / Perfetto JSON file;
 - ``check [--stress]`` — run the schedule-validation subsystem: the
   mutant self-test, and optionally the full config x seed stress sweep
-  (see docs/testing.md).
+  (see docs/testing.md);
+- ``lint [workloads...] [--json|--dot]`` — run the hflint static
+  analyzer over the shipped flows (and, with ``--examples DIR`` or an
+  auto-detected ``examples/`` directory, the example graphs); exits
+  nonzero on error-severity findings (see docs/analysis.md).
 """
 
 from __future__ import annotations
@@ -56,33 +60,9 @@ def _cmd_figures(args: argparse.Namespace) -> int:
 
 
 def _build_saxpy():
-    from repro.core import Heteroflow
+    from repro.analysis.corpus import build_saxpy
 
-    n = 65536
-    x: List[int] = []
-    y: List[int] = []
-
-    def saxpy(ctx, n, a, xv, yv):
-        i = ctx.flat_indices()
-        i = i[i < n]
-        yv[i] = a * xv[i] + yv[i]
-
-    hf = Heteroflow("saxpy")
-    host_x = hf.host(lambda: x.extend([1] * n), name="host_x")
-    host_y = hf.host(lambda: y.extend([2] * n), name="host_y")
-    pull_x = hf.pull(x, name="pull_x")
-    pull_y = hf.pull(y, name="pull_y")
-    kernel = (
-        hf.kernel(saxpy, n, 2, pull_x, pull_y, name="saxpy")
-        .block_x(256)
-        .grid_x((n + 255) // 256)
-    )
-    push_x = hf.push(pull_x, x, name="push_x")
-    push_y = hf.push(pull_y, y, name="push_y")
-    host_x.precede(pull_x)
-    host_y.precede(pull_y)
-    kernel.succeed(pull_x, pull_y).precede(push_x, push_y)
-    return hf, x, y, n
+    return build_saxpy()
 
 
 def _cmd_saxpy(args: argparse.Namespace) -> int:
@@ -237,6 +217,52 @@ def _cmd_check(args: argparse.Namespace) -> int:
     return 0 if failures == 0 else 1
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.analysis import Severity, lint, render_dot, render_json, render_text
+    from repro.analysis.corpus import (
+        BUILTIN_CORPUS,
+        find_examples_dir,
+        iter_builtin,
+        iter_example_graphs,
+    )
+
+    unknown = [w for w in args.workloads if w not in BUILTIN_CORPUS]
+    if unknown:
+        print(f"unknown workloads: {', '.join(unknown)}", file=sys.stderr)
+        print(f"available: {', '.join(BUILTIN_CORPUS)}", file=sys.stderr)
+        return 2
+
+    targets = list(iter_builtin(args.workloads or None))
+    if not args.workloads:
+        examples = args.examples or find_examples_dir()
+        if examples:
+            targets.extend(iter_example_graphs(examples))
+    elif args.examples:
+        targets.extend(iter_example_graphs(args.examples))
+
+    reports = [
+        lint(graph, gpu_memory_bytes=args.gpu_memory) for _, graph in targets
+    ]
+    if args.json:
+        print(render_json(reports))
+    elif args.dot:
+        for (_, graph), report in zip(targets, reports):
+            sys.stdout.write(render_dot(report, graph))
+    else:
+        for report in reports:
+            print(render_text(report, verbose=args.verbose))
+    gate = Severity.WARNING if args.strict else Severity.ERROR
+    flagged = sum(len(r.at_least(gate)) for r in reports)
+    if not args.json and not args.dot:
+        print(
+            f"lint: {len(reports)} graph(s), "
+            f"{sum(len(r.diagnostics) for r in reports)} finding(s), "
+            f"{flagged} at gate severity -> "
+            f"{'FAILED' if flagged else 'OK'}"
+        )
+    return 1 if flagged else 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -294,6 +320,40 @@ def build_parser() -> argparse.ArgumentParser:
         "--faults", action="store_true",
         help="also run fault-injection and cancellation variants",
     )
+
+    lint = sub.add_parser(
+        "lint", help="statically analyze task graphs with hflint"
+    )
+    lint.add_argument(
+        "workloads", nargs="*",
+        help="builtin graphs to lint: saxpy timing placement sparsenn "
+             "(default: all, plus any auto-detected examples/)",
+    )
+    lint.add_argument(
+        "--examples", default="", metavar="DIR",
+        help="also lint example scripts exposing build() in DIR",
+    )
+    lint.add_argument(
+        "--json", action="store_true",
+        help="emit the stable JSON report (docs/analysis.md)",
+    )
+    lint.add_argument(
+        "--dot", action="store_true",
+        help="emit DOT graphs with findings overlaid",
+    )
+    lint.add_argument(
+        "--strict", action="store_true",
+        help="fail on warnings too, not only errors",
+    )
+    lint.add_argument(
+        "--verbose", action="store_true",
+        help="show structured diagnostic details in text output",
+    )
+    lint.add_argument(
+        "--gpu-memory", type=int, default=None, metavar="BYTES",
+        help="per-device pool size for the HF020 capacity prediction "
+             "(default: the runtime default of 64 MiB)",
+    )
     return parser
 
 
@@ -308,6 +368,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "trace": _cmd_trace,
         "gantt": _cmd_gantt,
         "check": _cmd_check,
+        "lint": _cmd_lint,
     }
     if args.command is None:
         parser.print_help()

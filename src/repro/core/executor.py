@@ -71,6 +71,7 @@ class Executor:
         if num_gpus < 0:
             raise ExecutorError("GPU count must be non-negative")
         self._num_workers = num_workers
+        self._gpu_memory_bytes = gpu_memory_bytes
         self._gpu = GpuRuntime(num_gpus, gpu_memory_bytes)
         self._placement = DevicePlacement(cost_metric)
         self._observers: List[ExecutorObserver] = list(observers)
@@ -146,17 +147,51 @@ class Executor:
             self.remove_observer(obs)
         return obs
 
-    def run(self, graph: Heteroflow) -> Future:
-        """Run *graph* once; non-blocking, returns a future."""
-        return self.run_n(graph, 1)
+    def lint(self, graph: Heteroflow):
+        """Run hflint over *graph* against this executor's pool size.
 
-    def run_n(self, graph: Heteroflow, n: int) -> Future:
+        Returns the :class:`repro.analysis.LintReport`; the HF020
+        capacity prediction uses the per-device pool capacity this
+        executor actually allocates (buddy-rounded), so a graph that
+        lints clean here will not statically exhaust these pools.
+        """
+        from repro.analysis import lint as _lint
+
+        if self.num_gpus > 0:
+            pool = self._gpu.device(0).heap.capacity
+        else:
+            pool = self._gpu_memory_bytes
+        return _lint(graph, gpu_memory_bytes=pool)
+
+    def _lint_gate(self, graph: Heteroflow) -> None:
+        self.lint(graph).raise_if_errors()
+
+    def run(self, graph: Heteroflow, *, lint: bool = False) -> Future:
+        """Run *graph* once; non-blocking, returns a future.
+
+        With ``lint=True`` the graph first passes through the hflint
+        static analyzer (:mod:`repro.analysis`) and submission raises
+        :class:`~repro.errors.LintError` on any error-severity finding
+        — catching dataflow races, use-before-transfer hazards, and
+        predicted pool exhaustion before any task executes.
+        """
+        return self.run_n(graph, 1, lint=lint)
+
+    def run_n(self, graph: Heteroflow, n: int, *, lint: bool = False) -> Future:
         """Run *graph* *n* times back to back; non-blocking."""
         if n < 0:
             raise ExecutorError("repeat count must be non-negative")
+        if lint:
+            self._lint_gate(graph)
         return self._submit(Topology(graph, repeats=n))
 
-    def run_until(self, graph: Heteroflow, predicate: Callable[[], bool]) -> Future:
+    def run_until(
+        self,
+        graph: Heteroflow,
+        predicate: Callable[[], bool],
+        *,
+        lint: bool = False,
+    ) -> Future:
         """Run *graph* repeatedly until *predicate()* is True.
 
         The predicate is evaluated after each pass (do/while), on a
@@ -164,6 +199,8 @@ class Executor:
         """
         if not callable(predicate):
             raise ExecutorError("run_until requires a callable predicate")
+        if lint:
+            self._lint_gate(graph)
         return self._submit(Topology(graph, repeats=None, predicate=predicate))
 
     def cancel(self, future: Future) -> bool:

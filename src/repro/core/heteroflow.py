@@ -153,6 +153,19 @@ class Heteroflow:
     def has_gpu_tasks(self) -> bool:
         return any(n.type.is_gpu for n in self._nodes)
 
+    def lint(self, **kwargs):
+        """Run the hflint static analyzer over this graph.
+
+        Returns a :class:`repro.analysis.LintReport` of severity-tiered
+        diagnostics (dataflow races, use-before-transfer, capacity
+        predictions, ...); keyword arguments are forwarded to
+        :func:`repro.analysis.lint`.  Purely an inspection — the graph
+        is not modified and nothing executes.
+        """
+        from repro.analysis import lint as _lint
+
+        return _lint(self, **kwargs)
+
     # -- visualization ------------------------------------------------
     def dump(self, stream: Optional[io.TextIOBase] = None) -> str:
         """Serialize to GraphViz DOT (Listing 11); returns the text."""

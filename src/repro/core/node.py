@@ -60,6 +60,8 @@ class Node:
         "kernel_fn",  # KERNEL
         "kernel_args",  # KERNEL: raw argument list (may contain pull handles)
         "kernel_sources",  # KERNEL: gathered source pull nodes
+        "kernel_reads",  # KERNEL: pulls declared read-only (hflint)
+        "kernel_writes",  # KERNEL: pulls declared written (hflint)
         "launch",  # KERNEL: LaunchConfig
         # per-run scheduling state
         "join_counter",
@@ -80,6 +82,11 @@ class Node:
         self.kernel_fn: Optional[Callable] = None
         self.kernel_args: Tuple[Any, ...] = ()
         self.kernel_sources: List[Node] = []
+        # declared span access modes; pulls in neither set default to
+        # read-write, the conservative assumption the static analyzer
+        # (repro.analysis) makes about an opaque kernel callable
+        self.kernel_reads: set = set()
+        self.kernel_writes: set = set()
         self.launch = LaunchConfig()
         self.join_counter = 0
         self.device: Optional[int] = None

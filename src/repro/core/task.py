@@ -158,8 +158,46 @@ class KernelTask(Task):
         node.kernel_fn = fn
         node.kernel_args = tuple(args)
         node.kernel_sources = [a.node for a in args if isinstance(a, PullTask)]
+        node.kernel_reads = set()
+        node.kernel_writes = set()
         node.type = TaskType.KERNEL
         return self
+
+    # -- access-mode declarations (consumed by repro.analysis) -------
+    def _declare(self, attr: str, pulls: Tuple["PullTask", ...]) -> "KernelTask":
+        node = self._require()
+        for p in pulls:
+            if not isinstance(p, PullTask) or p.empty:
+                raise GraphError(
+                    "access-mode declarations take non-empty pull tasks"
+                )
+            if p.node not in node.kernel_sources:
+                raise GraphError(
+                    f"kernel {node.name!r} declares access to pull task "
+                    f"{p.node.name!r}, which is not among its arguments"
+                )
+            getattr(node, attr).add(p.node)
+        return self
+
+    def reads(self, *pulls: "PullTask") -> "KernelTask":
+        """Declare *pulls* read-only for this kernel.
+
+        Kernels are opaque callables, so the static analyzer
+        (:mod:`repro.analysis`) must otherwise assume every pull
+        argument is read **and** written.  Marking the inputs read-only
+        lets unordered kernels legitimately share them (e.g. replicated
+        weights, adjacency structures) without tripping the HF011 race
+        rule.  Declarations are reset if the kernel is rebound.
+        """
+        return self._declare("kernel_reads", pulls)
+
+    def writes(self, *pulls: "PullTask") -> "KernelTask":
+        """Declare *pulls* written by this kernel (read-write).
+
+        Only needed to override an earlier :meth:`reads` declaration —
+        undeclared pull arguments already default to read-write.
+        """
+        return self._declare("kernel_writes", pulls)
 
     # -- launch-shape builders (paper: .block_x(...) etc.) ----------
     def _update(self, **kw: int) -> "KernelTask":

@@ -31,6 +31,26 @@ class EmptyTaskError(GraphError):
     """A placeholder task reached execution without being assigned work."""
 
 
+class LintError(GraphError):
+    """The hflint static analyzer (:mod:`repro.analysis`) found
+    error-severity diagnostics and the caller asked for a hard gate
+    (``Executor.run(..., lint=True)`` or ``LintReport.raise_if_errors``).
+
+    The offending report is available as :attr:`report`.
+    """
+
+    def __init__(self, report) -> None:
+        self.report = report
+        findings = "; ".join(str(d) for d in report.errors[:5])
+        more = len(report.errors) - 5
+        if more > 0:
+            findings += f"; ... and {more} more"
+        super().__init__(
+            f"hflint found {len(report.errors)} error(s) in graph "
+            f"{report.graph_name!r}: {findings}"
+        )
+
+
 class ExecutorError(HeteroflowError):
     """Executor misuse: invalid worker/GPU counts, running a graph that
     requires GPUs on a GPU-less executor, use after shutdown."""

@@ -15,10 +15,25 @@ from typing import TYPE_CHECKING, Optional
 import numpy as np
 
 from repro.errors import AllocationError, DeviceError
-from repro.gpu.buddy import BuddyAllocator
+from repro.gpu.buddy import BuddyAllocator, _ceil_pow2
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.gpu.device import Device
+
+#: default buddy granularity used by every device heap
+DEFAULT_MIN_BLOCK = 256
+
+
+def pooled_bytes(nbytes: int, min_block: int = DEFAULT_MIN_BLOCK) -> int:
+    """Pool bytes a request of *nbytes* actually consumes.
+
+    The static mirror of :meth:`BuddyAllocator.block_size`: requests
+    round up to the nearest power-of-two block no smaller than
+    *min_block*.  Used by the hflint capacity prediction (HF020) to
+    compute placement-group footprints without touching a real pool.
+    """
+    need = max(int(nbytes), 1)
+    return max(_ceil_pow2(need), min_block)
 
 
 class DeviceBuffer:
@@ -71,7 +86,9 @@ class DeviceBuffer:
 class DeviceHeap:
     """A device's global memory arena + pooled buddy allocator."""
 
-    def __init__(self, device: "Device", capacity: int, min_block: int = 256) -> None:
+    def __init__(
+        self, device: "Device", capacity: int, min_block: int = DEFAULT_MIN_BLOCK
+    ) -> None:
         self.device = device
         self.allocator = BuddyAllocator(capacity, min_block=min_block)
         self.raw = np.zeros(self.allocator.capacity, dtype=np.uint8)

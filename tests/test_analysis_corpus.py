@@ -1,0 +1,210 @@
+"""The lint-clean regression corpus and the hflint integration points:
+builtin flows, example graphs, generated stress graphs, the executor
+gate, and the ``python -m repro lint`` CLI."""
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.analysis import Severity, lint
+from repro.analysis.corpus import (
+    BUILTIN_CORPUS,
+    build_saxpy,
+    find_examples_dir,
+    iter_builtin,
+    iter_example_graphs,
+)
+from repro.check.generator import generate_graph
+from repro.check.stress import STRESS_POOL_BYTES
+from repro.cli import main
+from repro.core import Executor, Heteroflow
+from repro.errors import LintError
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), os.pardir, "examples")
+
+
+def noop_kernel(ctx, *args):
+    pass
+
+
+def racy_graph():
+    hf = Heteroflow("racy")
+    p = hf.pull(np.zeros(8), name="p")
+    k1 = hf.kernel(noop_kernel, p, name="k1")
+    k2 = hf.kernel(noop_kernel, p, name="k2")
+    p.precede(k1, k2)
+    return hf
+
+
+class TestBuiltinCorpus:
+    @pytest.mark.parametrize("name", sorted(BUILTIN_CORPUS))
+    def test_builtin_flow_lints_clean(self, name):
+        (_, graph), = iter_builtin([name])
+        report = lint(graph)
+        assert report.clean, [str(d) for d in report.at_least(Severity.WARNING)]
+
+    def test_unknown_builtin_rejected(self):
+        with pytest.raises(KeyError):
+            list(iter_builtin(["bogus"]))
+
+    def test_saxpy_builder_shared_with_cli(self):
+        hf, x, y, n = build_saxpy()
+        assert hf.num_nodes == 7 and n == 65536
+        with Executor(num_workers=2, num_gpus=1) as ex:
+            ex.run(hf, lint=True).result()
+        assert y == [4] * n and x == [1] * n
+
+
+class TestExampleCorpus:
+    def test_every_example_graph_lints_clean(self):
+        graphs = list(iter_example_graphs(EXAMPLES_DIR))
+        # every shipped example must expose build(); 7 scripts, one of
+        # which (distributed_scheduling) contributes two graphs
+        assert len(graphs) == 8
+        for name, graph in graphs:
+            report = lint(graph)
+            assert report.clean, (
+                name,
+                [str(d) for d in report.at_least(Severity.WARNING)],
+            )
+
+    def test_find_examples_dir_walks_up(self):
+        found = find_examples_dir(os.path.dirname(__file__))
+        assert os.path.samefile(found, EXAMPLES_DIR)
+
+    def test_scripts_without_build_are_skipped(self, tmp_path):
+        (tmp_path / "no_build.py").write_text("VALUE = 1\n")
+        assert list(iter_example_graphs(str(tmp_path))) == []
+
+
+class TestGeneratedCorpus:
+    @pytest.mark.parametrize("seed", range(12))
+    def test_generated_graphs_lint_clean(self, seed):
+        gen = generate_graph(seed, num_gpus=2)
+        report = lint(gen.graph, gpu_memory_bytes=STRESS_POOL_BYTES)
+        assert report.clean, [str(d) for d in report.at_least(Severity.WARNING)]
+
+    @pytest.mark.parametrize("kwargs", [{"fault": True}, {"gate": True}])
+    def test_fault_and_gate_variants_lint_clean(self, kwargs):
+        gen = generate_graph(3, num_gpus=2, **kwargs)
+        assert lint(gen.graph, gpu_memory_bytes=STRESS_POOL_BYTES).clean
+
+    def test_host_only_graphs_lint_clean(self):
+        gen = generate_graph(5, num_gpus=0)
+        assert lint(gen.graph).clean
+
+
+class TestExecutorGate:
+    def test_run_with_lint_raises_on_error_findings(self):
+        with Executor(num_workers=1, num_gpus=1) as ex:
+            with pytest.raises(LintError) as exc:
+                ex.run(racy_graph(), lint=True)
+            assert "HF011" in str(exc.value)
+            assert exc.value.report.by_code("HF011")
+
+    def test_run_without_lint_is_ungated(self):
+        # same graph, no gate: the runtime executes it (the "race" is
+        # benign no-op kernels), proving the gate is opt-in
+        with Executor(num_workers=1, num_gpus=1) as ex:
+            assert ex.run(racy_graph()).result() == 1
+
+    def test_warnings_do_not_block_execution(self):
+        hf = Heteroflow("warn-only")
+        p = hf.pull(np.zeros(8), name="p")
+        q = hf.push(p, np.zeros(8), name="q")
+        p.precede(q)  # HF012 warning
+        with Executor(num_workers=1, num_gpus=1) as ex:
+            assert ex.run(hf, lint=True).result() == 1
+
+    def test_executor_lint_uses_its_pool_size(self):
+        hf = Heteroflow("big")
+        p1 = hf.pull(np.zeros(1024), name="p1")  # 8 KiB each
+        p2 = hf.pull(np.zeros(1024), name="p2")
+        k = hf.kernel(noop_kernel, p1, p2, name="k")
+        k.succeed(p1, p2)
+        with Executor(num_workers=1, num_gpus=1, gpu_memory_bytes=8192) as ex:
+            assert ex.lint(hf).by_code("HF020")
+        with Executor(num_workers=1, num_gpus=1) as ex:  # default 64 MiB
+            assert not ex.lint(hf).by_code("HF020")
+
+    def test_heteroflow_lint_method(self):
+        report = racy_graph().lint()
+        assert not report.ok and report.by_code("HF011")
+
+
+class TestLintCli:
+    def test_builtin_workload_ok(self, capsys):
+        assert main(["lint", "saxpy"]) == 0
+        out = capsys.readouterr().out
+        assert "saxpy: 7 task(s)" in out
+        assert "-> OK" in out
+
+    def test_unknown_workload_exits_2(self, capsys):
+        assert main(["lint", "bogus"]) == 2
+        assert "unknown workloads" in capsys.readouterr().err
+
+    def test_json_output_parses(self, capsys):
+        assert main(["lint", "saxpy", "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["version"] == 1
+        assert doc["ok"] and doc["clean"]
+        assert [g["graph"] for g in doc["graphs"]] == ["saxpy"]
+
+    def test_dot_output(self, capsys):
+        assert main(["lint", "saxpy", "--dot"]) == 0
+        assert capsys.readouterr().out.startswith('digraph "hflint:saxpy"')
+
+    def test_failing_example_exits_1(self, tmp_path, capsys):
+        (tmp_path / "bad.py").write_text(
+            "import numpy as np\n"
+            "from repro.core import Heteroflow\n"
+            "def k(ctx, *a):\n"
+            "    pass\n"
+            "def build():\n"
+            "    hf = Heteroflow('bad')\n"
+            "    p = hf.pull(np.zeros(8), name='p')\n"
+            "    k1 = hf.kernel(k, p, name='k1')\n"
+            "    k2 = hf.kernel(k, p, name='k2')\n"
+            "    p.precede(k1, k2)\n"
+            "    return hf\n"
+        )
+        assert main(["lint", "saxpy", "--examples", str(tmp_path)]) == 1
+        assert "HF011" in capsys.readouterr().out
+
+    def test_strict_gates_on_warnings(self, tmp_path, capsys):
+        (tmp_path / "warn.py").write_text(
+            "import numpy as np\n"
+            "from repro.core import Heteroflow\n"
+            "def build():\n"
+            "    hf = Heteroflow('warn')\n"
+            "    p = hf.pull(np.zeros(8), name='p')\n"
+            "    q = hf.push(p, np.zeros(8), name='q')\n"
+            "    p.precede(q)\n"
+            "    return hf\n"
+        )
+        args = ["lint", "saxpy", "--examples", str(tmp_path)]
+        assert main(args) == 0  # HF012 is a warning: default gate passes
+        capsys.readouterr()
+        assert main(args + ["--strict"]) == 1
+
+    def test_gpu_memory_flag_drives_hf020(self, tmp_path, capsys):
+        (tmp_path / "hungry.py").write_text(
+            "import numpy as np\n"
+            "from repro.core import Heteroflow\n"
+            "def k(ctx, *a):\n"
+            "    pass\n"
+            "def build():\n"
+            "    hf = Heteroflow('hungry')\n"
+            "    p1 = hf.pull(np.zeros(1024), name='p1')\n"  # 8 KiB each
+            "    p2 = hf.pull(np.zeros(1024), name='p2')\n"
+            "    kt = hf.kernel(k, p1, p2, name='k')\n"
+            "    kt.succeed(p1, p2)\n"
+            "    return hf\n"
+        )
+        args = ["lint", "saxpy", "--examples", str(tmp_path)]
+        assert main(args) == 0  # fits the default 64 MiB pool
+        capsys.readouterr()
+        assert main(args + ["--gpu-memory", "8192"]) == 1
+        assert "HF020" in capsys.readouterr().out

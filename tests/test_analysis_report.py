@@ -1,0 +1,163 @@
+"""Reporter tests: the pinned JSON schema (golden), the text renderer,
+and the DOT overlay."""
+
+import json
+
+import numpy as np
+
+from repro.analysis import (
+    JSON_SCHEMA_VERSION,
+    Severity,
+    lint,
+    render_dot,
+    render_json,
+    render_text,
+)
+from repro.core import Heteroflow
+
+
+def noop_kernel(ctx, *args):
+    pass
+
+
+def roundtrip_graph():
+    """pull -> push with no kernel write: exactly one HF012 warning."""
+    hf = Heteroflow("roundtrip")
+    p = hf.pull(np.zeros(8), name="p")
+    q = hf.push(p, np.zeros(8), name="q")
+    p.precede(q)
+    return hf
+
+
+def racy_graph():
+    hf = Heteroflow("racy")
+    p = hf.pull(np.zeros(8), name="p")
+    k1 = hf.kernel(noop_kernel, p, name="k1")
+    k2 = hf.kernel(noop_kernel, p, name="k2")
+    p.precede(k1, k2)
+    return hf
+
+
+class TestJsonGolden:
+    def test_schema_version(self):
+        assert JSON_SCHEMA_VERSION == 1
+
+    def test_golden_document(self):
+        report = lint(roundtrip_graph(), gpu_memory_bytes=1 << 20)
+        doc = json.loads(render_json([report]))
+        assert doc == {
+            "version": 1,
+            "ok": True,
+            "clean": False,
+            "graphs": [
+                {
+                    "graph": "roundtrip",
+                    "num_tasks": 2,
+                    "gpu_memory_bytes": 1048576,
+                    "ok": True,
+                    "clean": False,
+                    "counts": {"error": 0, "warning": 1, "info": 0},
+                    "diagnostics": [
+                        {
+                            "code": "HF012",
+                            "rule": "push of unwritten span",
+                            "severity": "warning",
+                            "message": (
+                                "push task 'q' copies back the span of pull "
+                                "task 'p', but no kernel ever writes that "
+                                "span — the push returns the data unchanged"
+                            ),
+                            "tasks": ["q"],
+                            "data": {"span": "p"},
+                        }
+                    ],
+                }
+            ],
+        }
+
+    def test_output_is_stable_across_runs(self):
+        a = render_json([lint(racy_graph(), gpu_memory_bytes=1 << 20)])
+        b = render_json([lint(racy_graph(), gpu_memory_bytes=1 << 20)])
+        assert a == b
+
+    def test_diagnostics_sorted_severity_first(self):
+        hf = racy_graph()  # HF011 error
+        a = hf.host(lambda: None, name="a")
+        b = hf.host(lambda: None, name="b")
+        a.precede(b)
+        a.precede(b)  # HF013 info
+        hf.pull(np.zeros(4), name="dead")  # HF002 warning (and HF002 dead-pull)
+        report = lint(hf)
+        sevs = [d.severity for d in report.diagnostics]
+        assert sevs == sorted(sevs, reverse=True)
+        assert report.diagnostics[0].code == "HF011"
+        assert report.diagnostics[-1].code == "HF013"
+
+
+class TestTextRenderer:
+    def test_clean_graph(self):
+        hf = Heteroflow("empty-ish")
+        hf.host(lambda: None, name="h")
+        text = render_text(lint(hf))
+        assert "empty-ish: 1 task(s), 0 error(s), 0 warning(s), 0 info(s)" in text
+        assert "clean" in text
+
+    def test_findings_one_per_line(self):
+        text = render_text(lint(racy_graph()))
+        assert "HF011 error:" in text
+        assert "[k1, k2]" in text
+
+    def test_verbose_shows_data(self):
+        text = render_text(lint(racy_graph()), verbose=True)
+        assert "kind: write-write" in text
+        assert "span: p" in text
+
+
+class TestDotOverlay:
+    def test_flagged_tasks_colored_and_annotated(self):
+        hf = racy_graph()
+        dot = render_dot(lint(hf), hf)
+        assert dot.startswith('digraph "hflint:racy"')
+        assert dot.count("indianred1") == 2  # both racing kernels, error fill
+        assert 'label="k1 [HF011]"' in dot
+        # the clean pull keeps the neutral style
+        assert 'label="p"' in dot and "orange" not in dot
+
+    def test_warning_fill(self):
+        hf = roundtrip_graph()
+        dot = render_dot(lint(hf), hf)
+        assert "orange" in dot  # HF012 warning on the push
+
+    def test_redundant_edges_dashed(self):
+        hf = Heteroflow("triangle")
+        a = hf.host(lambda: None, name="a")
+        b = hf.host(lambda: None, name="b")
+        c = hf.host(lambda: None, name="c")
+        a.precede(b)
+        b.precede(c)
+        a.precede(c)
+        dot = render_dot(lint(hf), hf)
+        assert 'style="dashed"' in dot
+        assert "khaki1" in dot  # info fill on the endpoints
+
+    def test_clean_graph_keeps_neutral_style(self):
+        hf = Heteroflow("ok")
+        a = hf.host(lambda: None, name="a")
+        b = hf.host(lambda: None, name="b")
+        a.precede(b)
+        dot = render_dot(lint(hf), hf)
+        for color in ("indianred1", "orange", "khaki1", "dashed"):
+            assert color not in dot
+
+
+class TestReportVerdicts:
+    def test_ok_vs_clean(self):
+        warn_only = lint(roundtrip_graph())
+        assert warn_only.ok and not warn_only.clean
+        err = lint(racy_graph())
+        assert not err.ok and not err.clean
+
+    def test_counts_and_filters(self):
+        report = lint(racy_graph())
+        assert report.counts() == {"error": 1, "warning": 0, "info": 0}
+        assert report.at_least(Severity.WARNING) == report.errors

@@ -1,0 +1,372 @@
+"""Per-rule hflint tests: one minimal offending graph (flagged) and
+one minimal passing graph (silent) for every rule code, plus the
+dataflow-model primitives the rules are built on."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import GraphModel, RULES, Severity, lint
+from repro.analysis.model import READ, WRITE, kernel_access_mode
+from repro.core import Heteroflow
+from repro.core.task import HostTask
+from repro.errors import GraphError
+from repro.gpu.memory import pooled_bytes
+
+
+def noop_kernel(ctx, *args):  # never executed by lint
+    pass
+
+
+def codes(report):
+    return [d.code for d in report.diagnostics]
+
+
+class TestCatalog:
+    def test_all_rules_have_catalog_entries(self):
+        from repro.analysis import ALL_RULES
+
+        assert set(ALL_RULES) == set(RULES)
+
+    def test_severity_tiers(self):
+        assert RULES["HF001"].severity is Severity.ERROR
+        assert RULES["HF002"].severity is Severity.WARNING
+        assert RULES["HF003"].severity is Severity.ERROR
+        assert RULES["HF010"].severity is Severity.ERROR
+        assert RULES["HF011"].severity is Severity.ERROR
+        assert RULES["HF012"].severity is Severity.WARNING
+        assert RULES["HF013"].severity is Severity.INFO
+        assert RULES["HF020"].severity is Severity.ERROR
+
+    def test_unknown_code_rejected(self):
+        from repro.analysis import Diagnostic
+
+        with pytest.raises(ValueError):
+            Diagnostic("HF999", "nope")
+
+    def test_unknown_rule_selection_rejected(self):
+        with pytest.raises(ValueError, match="HF999"):
+            lint(Heteroflow("g"), rules=["HF999"])
+
+
+class TestHF001Cycle:
+    def test_flags_cycle_with_witness(self):
+        hf = Heteroflow("cyclic")
+        a = hf.host(lambda: None, name="a")
+        b = hf.host(lambda: None, name="b")
+        a.precede(b)
+        b.precede(a)
+        report = lint(hf)
+        (d,) = report.by_code("HF001")
+        assert d.severity is Severity.ERROR
+        witness = d.data["witness"]
+        assert witness[0] == witness[-1]
+        assert set(witness) == {"a", "b"}
+        assert not report.ok
+
+    def test_silent_on_chain(self):
+        hf = Heteroflow("chain")
+        a = hf.host(lambda: None, name="a")
+        b = hf.host(lambda: None, name="b")
+        c = hf.host(lambda: None, name="c")
+        a.precede(b)
+        b.precede(c)
+        assert lint(hf).by_code("HF001") == []
+
+    def test_dataflow_rules_skipped_while_cyclic(self):
+        hf = Heteroflow("cyclic-gpu")
+        p = hf.pull(np.zeros(8), name="p")
+        k = hf.kernel(noop_kernel, p, name="k")
+        k.precede(p)
+        p.precede(k)
+        report = lint(hf)
+        assert report.by_code("HF001")
+        # HF010/HF011/HF013 need the happens-before closure -> skipped
+        assert not report.by_code("HF010")
+        assert not report.by_code("HF011")
+        assert not report.by_code("HF013")
+
+
+class TestHF002DeadTask:
+    def test_flags_disconnected_kernel(self):
+        hf = Heteroflow("island")
+        hf.kernel(noop_kernel, name="k")
+        (d,) = lint(hf).by_code("HF002")
+        assert d.tasks == ("k",)
+        assert d.data["kind"] == "disconnected"
+        assert d.severity is Severity.WARNING
+
+    def test_flags_dead_pull(self):
+        hf = Heteroflow("dead-pull")
+        h = hf.host(lambda: None, name="h")
+        p = hf.pull(np.zeros(8), name="p")
+        h.precede(p)
+        (d,) = lint(hf).by_code("HF002")
+        assert d.tasks == ("p",)
+        assert d.data["kind"] == "dead-pull"
+
+    def test_silent_on_isolated_host_and_consumed_pull(self):
+        hf = Heteroflow("fine")
+        hf.host(lambda: None, name="lonely_host")  # idiomatic: stays silent
+        p = hf.pull(np.zeros(8), name="p")
+        k = hf.kernel(noop_kernel, p, name="k")
+        p.precede(k)
+        assert lint(hf).by_code("HF002") == []
+
+
+class TestHF003Unbound:
+    def test_flags_placeholder(self):
+        hf = Heteroflow("holes")
+        hf.placeholder(name="todo")
+        (d,) = lint(hf).by_code("HF003")
+        assert d.tasks == ("todo",)
+        assert d.severity is Severity.ERROR
+
+    def test_silent_once_bound(self):
+        hf = Heteroflow("filled")
+        ph = hf.placeholder(HostTask, name="todo")
+        ph.host(lambda: None)
+        assert lint(hf).by_code("HF003") == []
+
+
+class TestHF010UseBeforeTransfer:
+    def test_flags_kernel_without_path_from_pull(self):
+        hf = Heteroflow("backwards")
+        p = hf.pull(np.zeros(8), name="p")
+        k = hf.kernel(noop_kernel, p, name="k")
+        k.precede(p)  # backwards: kernel may run before the H2D copy
+        (d,) = lint(hf).by_code("HF010")
+        assert d.tasks == ("p", "k")
+        assert d.severity is Severity.ERROR
+
+    def test_flags_push_without_path_from_pull(self):
+        hf = Heteroflow("stray-push")
+        h = hf.host(lambda: None, name="h")
+        p = hf.pull(np.zeros(8), name="p")
+        k = hf.kernel(noop_kernel, p, name="k")
+        q = hf.push(p, np.zeros(8), name="q")
+        p.precede(k)
+        h.precede(q)  # q never waits for p
+        flagged = lint(hf).by_code("HF010")
+        assert [d.tasks for d in flagged] == [("p", "q")]
+
+    def test_silent_with_direct_or_transitive_path(self):
+        hf = Heteroflow("ordered")
+        p = hf.pull(np.zeros(8), name="p")
+        k1 = hf.kernel(noop_kernel, p, name="k1")
+        k2 = hf.kernel(noop_kernel, p, name="k2")
+        p.precede(k1)
+        k1.precede(k2)  # k2 reaches p only transitively
+        assert lint(hf).by_code("HF010") == []
+
+
+class TestHF011SpanRace:
+    def _racy(self):
+        hf = Heteroflow("race")
+        p = hf.pull(np.zeros(8), name="p")
+        k1 = hf.kernel(noop_kernel, p, name="k1")
+        k2 = hf.kernel(noop_kernel, p, name="k2")
+        p.precede(k1, k2)
+        return hf, p, k1, k2
+
+    def test_flags_write_write_race(self):
+        hf, _, _, _ = self._racy()
+        (d,) = lint(hf).by_code("HF011")
+        assert d.data["kind"] == "write-write"
+        assert set(d.tasks) == {"k1", "k2"}
+        assert d.severity is Severity.ERROR
+
+    def test_flags_read_write_race(self):
+        hf, p, k1, _ = self._racy()
+        k1.reads(p)  # k2 still defaults to read-write
+        (d,) = lint(hf).by_code("HF011")
+        assert d.data["kind"] == "read-write"
+
+    def test_silent_when_ordered(self):
+        hf, _, k1, k2 = self._racy()
+        k1.precede(k2)
+        assert lint(hf).by_code("HF011") == []
+
+    def test_silent_when_both_read_only(self):
+        hf, p, k1, k2 = self._racy()
+        k1.reads(p)
+        k2.reads(p)
+        assert lint(hf).by_code("HF011") == []
+
+    def test_no_double_report_with_hf010(self):
+        # an access with no path from the pull is HF010, not HF011
+        hf = Heteroflow("race-and-stray")
+        p = hf.pull(np.zeros(8), name="p")
+        k1 = hf.kernel(noop_kernel, p, name="k1")
+        k2 = hf.kernel(noop_kernel, p, name="k2")
+        p.precede(k1)  # k2 is entirely unplaced
+        report = lint(hf)
+        assert [d.tasks for d in report.by_code("HF010")] == [("p", "k2")]
+        assert report.by_code("HF011") == []
+
+
+class TestHF012PushUnwritten:
+    def test_flags_push_without_any_kernel_write(self):
+        hf = Heteroflow("identity-roundtrip")
+        p = hf.pull(np.zeros(8), name="p")
+        q = hf.push(p, np.zeros(8), name="q")
+        p.precede(q)
+        (d,) = lint(hf).by_code("HF012")
+        assert d.tasks == ("q",)
+        assert d.data["span"] == "p"
+        assert d.severity is Severity.WARNING
+
+    def test_flags_when_only_kernel_declared_read_only(self):
+        hf = Heteroflow("read-only-roundtrip")
+        p = hf.pull(np.zeros(8), name="p")
+        k = hf.kernel(noop_kernel, p, name="k")
+        k.reads(p)
+        q = hf.push(p, np.zeros(8), name="q")
+        p.precede(k)
+        k.precede(q)
+        assert len(lint(hf).by_code("HF012")) == 1
+
+    def test_silent_with_default_rw_kernel(self):
+        hf = Heteroflow("written")
+        p = hf.pull(np.zeros(8), name="p")
+        k = hf.kernel(noop_kernel, p, name="k")
+        q = hf.push(p, np.zeros(8), name="q")
+        p.precede(k)
+        k.precede(q)
+        assert lint(hf).by_code("HF012") == []
+
+
+class TestHF013RedundantEdge:
+    def test_flags_transitive_edge(self):
+        hf = Heteroflow("triangle")
+        a = hf.host(lambda: None, name="a")
+        b = hf.host(lambda: None, name="b")
+        c = hf.host(lambda: None, name="c")
+        a.precede(b)
+        b.precede(c)
+        a.precede(c)  # implied through b
+        (d,) = lint(hf).by_code("HF013")
+        assert d.tasks == ("a", "c")
+        assert d.data == {"kind": "transitive", "via": "b"}
+        assert d.severity is Severity.INFO
+
+    def test_flags_duplicate_edge(self):
+        hf = Heteroflow("twice")
+        a = hf.host(lambda: None, name="a")
+        b = hf.host(lambda: None, name="b")
+        a.precede(b)
+        a.precede(b)
+        (d,) = lint(hf).by_code("HF013")
+        assert d.data["kind"] == "duplicate"
+
+    def test_silent_on_diamond(self):
+        hf = Heteroflow("diamond")
+        a = hf.host(lambda: None, name="a")
+        b = hf.host(lambda: None, name="b")
+        c = hf.host(lambda: None, name="c")
+        d = hf.host(lambda: None, name="d")
+        a.precede(b, c)
+        b.precede(d)
+        c.precede(d)
+        assert lint(hf).by_code("HF013") == []
+
+
+class TestHF020GroupCapacity:
+    SPAN = 1024  # float64 -> 8192 bytes, already a power of two
+
+    def _two_pulls(self, joined):
+        hf = Heteroflow("capacity")
+        p1 = hf.pull(np.zeros(self.SPAN), name="p1")
+        p2 = hf.pull(np.zeros(self.SPAN), name="p2")
+        if joined:  # one kernel unions both pulls into one group
+            k = hf.kernel(noop_kernel, p1, p2, name="k")
+            k.succeed(p1, p2)
+        else:  # independent groups, one per pull
+            k1 = hf.kernel(noop_kernel, p1, name="k1")
+            k2 = hf.kernel(noop_kernel, p2, name="k2")
+            p1.precede(k1)
+            p2.precede(k2)
+        return hf
+
+    def test_flags_group_exceeding_pool(self):
+        hf = self._two_pulls(joined=True)
+        (d,) = lint(hf, gpu_memory_bytes=8192).by_code("HF020")
+        assert d.data["footprint_bytes"] == 16384
+        assert d.data["pool_bytes"] == 8192
+        assert set(d.tasks) == {"p1", "p2"}
+        assert d.severity is Severity.ERROR
+
+    def test_silent_when_groups_fit_separately(self):
+        # same spans, same pool — but no kernel merges the groups
+        hf = self._two_pulls(joined=False)
+        assert lint(hf, gpu_memory_bytes=8192).by_code("HF020") == []
+
+    def test_silent_with_large_pool(self):
+        hf = self._two_pulls(joined=True)
+        assert lint(hf, gpu_memory_bytes=1 << 20).by_code("HF020") == []
+
+    def test_footprint_is_buddy_rounded(self):
+        hf = Heteroflow("rounded")
+        p = hf.pull(np.zeros(5, dtype=np.float64), name="p")  # 40 bytes
+        k = hf.kernel(noop_kernel, p, name="k")
+        p.precede(k)
+        model = GraphModel(hf)
+        (group,) = model.groups
+        assert group.footprint_bytes == pooled_bytes(40) == 256
+
+    def test_pool_must_be_positive(self):
+        with pytest.raises(ValueError):
+            lint(Heteroflow("g"), gpu_memory_bytes=0)
+
+
+class TestGraphModel:
+    def test_reaches_and_ordered(self):
+        hf = Heteroflow("m")
+        a = hf.host(lambda: None, name="a")
+        b = hf.host(lambda: None, name="b")
+        c = hf.host(lambda: None, name="c")
+        a.precede(b)
+        b.precede(c)
+        m = GraphModel(hf)
+        assert m.acyclic
+        assert m.reaches(a.node, c.node)
+        assert not m.reaches(c.node, a.node)
+        assert m.ordered(c.node, a.node)
+
+    def test_access_mode_defaults_and_declarations(self):
+        hf = Heteroflow("modes")
+        p1 = hf.pull(np.zeros(4), name="p1")
+        p2 = hf.pull(np.zeros(4), name="p2")
+        k = hf.kernel(noop_kernel, p1, p2, name="k")
+        k.reads(p1)
+        assert kernel_access_mode(k.node, p1.node) == READ
+        assert kernel_access_mode(k.node, p2.node) == WRITE  # conservative
+        k.writes(p1)  # override back to read-write
+        assert kernel_access_mode(k.node, p1.node) == WRITE
+
+    def test_declarations_reset_on_kernel_rebind(self):
+        hf = Heteroflow("rebind")
+        p = hf.pull(np.zeros(4), name="p")
+        k = hf.kernel(noop_kernel, p, name="k")
+        k.reads(p)
+        k.kernel(noop_kernel, p)  # rebind drops stale declarations
+        assert kernel_access_mode(k.node, p.node) == WRITE
+
+    def test_declaring_non_source_pull_rejected(self):
+        hf = Heteroflow("bad-decl")
+        p = hf.pull(np.zeros(4), name="p")
+        other = hf.pull(np.zeros(4), name="other")
+        k = hf.kernel(noop_kernel, p, name="k")
+        with pytest.raises(GraphError, match="not among its arguments"):
+            k.reads(other)
+
+    def test_unresolved_span_counted_not_fatal(self):
+        hf = Heteroflow("late")
+        state = {}
+        p = hf.pull(lambda: state["missing"], name="p")  # unresolvable now
+        k = hf.kernel(noop_kernel, p, name="k")
+        p.precede(k)
+        model = GraphModel(hf)
+        (group,) = model.groups
+        assert group.unresolved == [p.node]
+        assert group.footprint_bytes == 0
+        assert lint(hf, gpu_memory_bytes=256).by_code("HF020") == []
