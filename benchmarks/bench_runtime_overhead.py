@@ -71,6 +71,43 @@ def test_overhead_gpu_roundtrip(benchmark):
         benchmark.pedantic(lambda: ex.run(hf).result(), rounds=5, iterations=1)
 
 
+def test_overhead_counter_record():
+    """Structured record: throughput per shape + executor counters."""
+    import time
+
+    from conftest import record_table
+
+    rows = []
+    meta = {}
+    for name, builder in [
+        ("wide", build_wide), ("chain", build_chain), ("diamond", build_diamonds)
+    ]:
+        hf = builder()
+        with Executor(2, 0) as ex:
+            t0 = time.perf_counter()
+            ex.run(hf).result()
+            wall = time.perf_counter() - t0
+            snap = ex.metrics.snapshot()
+        rows.append([name, N_TASKS, wall * 1e3, N_TASKS / wall])
+        meta[name] = {
+            "wall_seconds": wall,
+            "tasks_executed": snap["executor.tasks_executed"],
+            "local_pops": snap["executor.local_pops"],
+            "shared_pops": snap["executor.shared_pops"],
+            "steals_succeeded": snap["executor.steals_succeeded"],
+            "sleeps": snap["executor.sleeps"],
+            "queue_high_water": snap["executor.queue_high_water"],
+        }
+    record_table(
+        "TAB-OVERHEAD: host-task throughput (2 workers, real threads)",
+        ["shape", "tasks", "wall_ms", "tasks per s"],
+        rows,
+        notes="per-shape executor counter snapshots ride in the meta payload "
+              "(docs/observability.md)",
+        meta=meta,
+    )
+
+
 def test_overhead_graph_construction(benchmark):
     """Task-creation throughput (nodes + edges per second)."""
     hf = benchmark(build_diamonds)

@@ -62,6 +62,41 @@ def test_saxpy_run_n_throughput(benchmark):
     assert set(y) == {4.0}  # host tasks re-seed each pass
 
 
+def test_saxpy_profiled_record():
+    """One metrics-enabled run, exported as a structured BENCH record.
+
+    Exercises the ``run(metrics=True)`` API end-to-end and commits the
+    resulting schema-v1 RunReport (docs/observability.md) into
+    ``results/BENCH_tab-lst1-profile.json``.
+    """
+    from conftest import record_table
+
+    x = np.zeros(N, dtype=np.float64)
+    y = np.zeros(N, dtype=np.float64)
+    hf = build_graph(x, y)
+    with Executor(2, 1) as ex:
+        fut = ex.run(hf, metrics=True)
+        fut.result()
+    rep = fut.run_report
+    rep.workload = "saxpy"
+    record_table(
+        "TAB-LST1-PROFILE: saxpy profiled single run (2 workers / 1 GPU)",
+        ["metric", "value"],
+        [
+            ["wall_ms", rep.wall_time * 1e3],
+            ["critical_path_ms", rep.critical_path_length * 1e3],
+            ["records", rep.num_records],
+            ["steals_attempted", sum(rep.steals_attempted)],
+            ["steals_succeeded", sum(rep.steals_succeeded)],
+        ],
+        notes="wall-clock run; absolute numbers vary by machine — the meta "
+              "payload holds the full schema-v1 RunReport",
+        meta={"run_report": rep.to_dict()},
+    )
+    assert set(y) == {4.0}
+    assert rep.critical_path_length <= rep.wall_time
+
+
 def test_saxpy_sequential_baseline(benchmark):
     """The single-threaded oracle as a latency baseline."""
     from repro.baselines import SequentialExecutor

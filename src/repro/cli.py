@@ -16,7 +16,12 @@ Commands:
 - ``lint [workloads...] [--json|--dot]`` — run the hflint static
   analyzer over the shipped flows (and, with ``--examples DIR`` or an
   auto-detected ``examples/`` directory, the example graphs); exits
-  nonzero on error-severity findings (see docs/analysis.md).
+  nonzero on error-severity findings (see docs/analysis.md);
+- ``profile {saxpy,timing,placement,sparsenn}`` — run a workload on
+  the threaded runtime with metrics enabled and print its
+  :class:`~repro.metrics.RunReport` (``--json`` for the stable
+  schema-v1 document, ``--trace OUT.json`` for a chrome-trace of the
+  same run; see docs/observability.md).
 """
 
 from __future__ import annotations
@@ -263,6 +268,38 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     return 1 if flagged else 0
 
 
+def _cmd_profile(args: argparse.Namespace) -> int:
+    from repro.analysis.corpus import BUILTIN_CORPUS
+    from repro.core import Executor, TraceObserver
+    from repro.metrics import render_report_text
+
+    hf = BUILTIN_CORPUS[args.workload]()
+    obs = TraceObserver() if args.trace else None
+    with Executor(
+        num_workers=args.workers,
+        num_gpus=args.gpus,
+        observers=[obs] if obs else (),
+    ) as ex:
+        fut = ex.run(hf, metrics=True)
+        fut.result()
+    report = fut.run_report
+    report.workload = args.workload
+    if args.trace:
+        from repro.core.tracing import write_chrome_trace
+
+        write_chrome_trace(obs, args.trace)
+        print(
+            f"wrote {len(obs.records)} events to {args.trace} "
+            f"(open in chrome://tracing or Perfetto)",
+            file=sys.stderr,
+        )
+    if args.json:
+        print(report.to_json())
+    else:
+        print(render_report_text(report))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -354,6 +391,25 @@ def build_parser() -> argparse.ArgumentParser:
         help="per-device pool size for the HF020 capacity prediction "
              "(default: the runtime default of 64 MiB)",
     )
+
+    profile = sub.add_parser(
+        "profile",
+        help="run a workload with metrics and print its RunReport",
+    )
+    profile.add_argument(
+        "workload", choices=["saxpy", "timing", "placement", "sparsenn"]
+    )
+    profile.add_argument("--workers", type=int, default=2)
+    profile.add_argument("--gpus", type=int, default=2)
+    profile.add_argument(
+        "--json", action="store_true",
+        help="emit the stable schema-v1 RunReport JSON "
+             "(docs/observability.md)",
+    )
+    profile.add_argument(
+        "--trace", default="", metavar="OUT.json",
+        help="also write a chrome-trace of the profiled run",
+    )
     return parser
 
 
@@ -369,6 +425,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "gantt": _cmd_gantt,
         "check": _cmd_check,
         "lint": _cmd_lint,
+        "profile": _cmd_profile,
     }
     if args.command is None:
         parser.print_help()

@@ -17,6 +17,14 @@ Reproduces the runtime of paper §III-B/C:
 - ``run`` / ``run_n`` / ``run_until`` are non-blocking and return
   futures; ``wait_for_all`` blocks until every submitted graph is done;
   the whole interface is thread-safe.
+
+Every executor also owns a :class:`~repro.metrics.MetricsRegistry`
+(``executor.metrics``) fed by the worker loops — tasks executed, steal
+attempts/successes, sleep/wake transitions, queue high-water marks —
+plus pull-style snapshots of the GPU layer and the buddy pools; and
+``run(..., metrics=True)`` profiles a single submission into a
+:class:`~repro.metrics.RunReport`.  The full metric catalog is in
+``docs/observability.md``.
 """
 
 from __future__ import annotations
@@ -24,6 +32,7 @@ from __future__ import annotations
 import os
 import random
 import threading
+import time
 from collections import deque
 from concurrent.futures import Future
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
@@ -42,6 +51,7 @@ from repro.errors import ExecutorError, KernelError
 from repro.gpu.device import DEFAULT_MEMORY_BYTES, GpuRuntime, ScopedDeviceContext
 from repro.gpu.kernel import launch_async
 from repro.gpu.stream import Stream
+from repro.metrics.registry import MetricsRegistry
 
 #: queue items are (topology, node) pairs
 WorkItem = Tuple[Topology, Node]
@@ -82,6 +92,41 @@ class Executor:
         self._shared: WorkStealingQueue[WorkItem] = WorkStealingQueue()
         self._notifier = Notifier()
         self._done = False
+
+        # metric instruments (docs/observability.md): lane counters are
+        # indexed by worker id and written only by that worker's thread,
+        # so the hot-path cost is one list store — no locks
+        self.metrics = MetricsRegistry()
+        self._m_tasks = self.metrics.lane_counter(
+            "executor.tasks_executed", num_workers
+        )
+        self._m_flushed = self.metrics.lane_counter(
+            "executor.tasks_flushed", num_workers
+        )
+        self._m_local = self.metrics.lane_counter("executor.local_pops", num_workers)
+        self._m_shared_pops = self.metrics.lane_counter(
+            "executor.shared_pops", num_workers
+        )
+        self._m_steal_try = self.metrics.lane_counter(
+            "executor.steals_attempted", num_workers
+        )
+        self._m_steal_ok = self.metrics.lane_counter(
+            "executor.steals_succeeded", num_workers
+        )
+        self._m_sleeps = self.metrics.lane_counter("executor.sleeps", num_workers)
+        self._m_wakeups = self.metrics.lane_counter("executor.wakeups", num_workers)
+        self.metrics.register_callback(
+            "executor.queue_high_water",
+            lambda: [q.high_water for q in self._queues],
+        )
+        self.metrics.register_callback(
+            "executor.shared_queue_high_water", lambda: self._shared.high_water
+        )
+        self.metrics.register_callback(
+            "executor.notify_count", lambda: self._notifier.notify_count
+        )
+        for dev in self._gpu.devices:
+            self.metrics.register_callback(f"gpu{dev.ordinal}", dev.stats)
 
         # per-graph topology FIFO: serializes repeated submissions of
         # the same graph (join counters live on shared nodes)
@@ -166,7 +211,7 @@ class Executor:
     def _lint_gate(self, graph: Heteroflow) -> None:
         self.lint(graph).raise_if_errors()
 
-    def run(self, graph: Heteroflow, *, lint: bool = False) -> Future:
+    def run(self, graph: Heteroflow, *, lint: bool = False, metrics: bool = False) -> Future:
         """Run *graph* once; non-blocking, returns a future.
 
         With ``lint=True`` the graph first passes through the hflint
@@ -174,16 +219,29 @@ class Executor:
         :class:`~repro.errors.LintError` on any error-severity finding
         — catching dataflow races, use-before-transfer hazards, and
         predicted pool exhaustion before any task executes.
-        """
-        return self.run_n(graph, 1, lint=lint)
 
-    def run_n(self, graph: Heteroflow, n: int, *, lint: bool = False) -> Future:
+        With ``metrics=True`` the submission is traced and profiled:
+        once the returned future completes, its ``run_report``
+        attribute holds a :class:`~repro.metrics.RunReport` (per-lane
+        utilization, critical path with slack, steal/placement
+        summaries — see docs/observability.md).  The report covers only
+        this graph's tasks, but the steal/counter snapshot it embeds is
+        executor-wide.
+        """
+        return self.run_n(graph, 1, lint=lint, metrics=metrics)
+
+    def run_n(
+        self, graph: Heteroflow, n: int, *, lint: bool = False, metrics: bool = False
+    ) -> Future:
         """Run *graph* *n* times back to back; non-blocking."""
         if n < 0:
             raise ExecutorError("repeat count must be non-negative")
         if lint:
             self._lint_gate(graph)
-        return self._submit(Topology(graph, repeats=n))
+        topology = Topology(graph, repeats=n)
+        if metrics:
+            return self._submit_profiled(topology)
+        return self._submit(topology)
 
     def run_until(
         self,
@@ -191,6 +249,7 @@ class Executor:
         predicate: Callable[[], bool],
         *,
         lint: bool = False,
+        metrics: bool = False,
     ) -> Future:
         """Run *graph* repeatedly until *predicate()* is True.
 
@@ -201,7 +260,10 @@ class Executor:
             raise ExecutorError("run_until requires a callable predicate")
         if lint:
             self._lint_gate(graph)
-        return self._submit(Topology(graph, repeats=None, predicate=predicate))
+        topology = Topology(graph, repeats=None, predicate=predicate)
+        if metrics:
+            return self._submit_profiled(topology)
+        return self._submit(topology)
 
     def cancel(self, future: Future) -> bool:
         """Request cancellation of a submission by its future.
@@ -244,6 +306,58 @@ class Executor:
     # ------------------------------------------------------------------
     # submission / topology lifecycle
     # ------------------------------------------------------------------
+    def _submit_profiled(self, topology: Topology) -> Future:
+        """Submit under a per-run trace observer; the returned future
+        carries a ``run_report`` attribute once it completes.
+
+        The observer is executor-wide for the run's duration, but the
+        report filters records down to this graph's node ids, so
+        concurrent submissions of *other* graphs don't pollute it.
+        (Back-to-back submissions of the *same* graph share nodes and
+        would; profile those one at a time.)
+        """
+        from repro.core.observer import TraceObserver
+        from repro.metrics.profiler import build_run_report
+
+        obs = TraceObserver()
+        self.add_observer(obs)
+        t0 = time.perf_counter()
+        outer: Future = Future()
+        outer.run_report = None  # type: ignore[attr-defined]
+        inner = self._submit(topology)
+        # alias the outer future so Executor.cancel(outer) works; the
+        # done callback (which always runs after this mapping exists)
+        # cleans it up
+        with self._graph_lock:
+            self._futures[outer] = topology
+
+        def _done(f: Future) -> None:
+            wall = time.perf_counter() - t0
+            try:
+                self.remove_observer(obs)
+            except ValueError:  # pragma: no cover - defensive
+                pass
+            with self._graph_lock:
+                self._futures.pop(outer, None)
+            exc = f.exception()
+            passes = topology.passes_done
+            outer.run_report = build_run_report(  # type: ignore[attr-defined]
+                topology.graph,
+                obs.records,
+                wall_time=wall,
+                num_workers=self._num_workers,
+                num_gpus=self.num_gpus,
+                passes=max(passes, 1),
+                counters=self.metrics.snapshot(),
+            )
+            if exc is not None:
+                outer.set_exception(exc)
+            else:
+                outer.set_result(f.result())
+
+        inner.add_done_callback(_done)
+        return outer
+
     def _submit(self, topology: Topology) -> Future:
         if self._done:
             raise ExecutorError("executor is shut down")
@@ -330,9 +444,11 @@ class Executor:
     def _next_item(self, wid: int, rng: random.Random) -> Optional[WorkItem]:
         item = self._queues[wid].pop()
         if item is not None:
+            self._m_local.inc(wid)
             return item
         item = self._shared.steal()
         if item is not None:
+            self._m_shared_pops.inc(wid)
             return item
         # steal from random victims; bounded rounds keep the thief
         # responsive to the sleep protocol
@@ -342,8 +458,10 @@ class Executor:
                 victim = rng.randrange(n)
                 if victim == wid:
                     continue
+                self._m_steal_try.inc(wid)
                 item = self._queues[victim].steal()
                 if item is not None:
+                    self._m_steal_ok.inc(wid)
                     return item
         return None
 
@@ -367,7 +485,9 @@ class Executor:
             if self._done:
                 self._notifier.cancel_wait()
                 return
+            self._m_sleeps.inc(wid)
             self._notifier.commit_wait(epoch, timeout=_SLEEP_TIMEOUT)
+            self._m_wakeups.inc(wid)
 
     # ------------------------------------------------------------------
     # task invocation (visitor pattern over task types)
@@ -375,8 +495,10 @@ class Executor:
     def _invoke(self, wid: int, topology: Topology, node: Node) -> None:
         if topology.failed:
             # fast-cancel: flush remaining nodes without running them
+            self._m_flushed.inc(wid)
             self._finish_node(topology, node)
             return
+        self._m_tasks.inc(wid)
         for obs in self._observers:
             obs.on_task_begin(wid, node)
         try:

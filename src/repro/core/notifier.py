@@ -1,12 +1,29 @@
 """Two-phase-commit wait/notify primitive (eventcount-lite).
 
-The executor's adaptive work-stealing loop needs workers to sleep
-without losing wakeups: a worker (1) announces intent to sleep,
-(2) re-checks the queues, and (3) commits to sleeping only if nothing
-arrived since the announcement.  This is Dekker-style eventcount logic;
-here an epoch counter under a condition variable provides the same
-guarantee: a ``notify`` that happens after ``prepare_wait`` but before
-``commit_wait`` bumps the epoch and the commit returns immediately.
+**What it models.** The paper's adaptive work-stealing loop (§III-C)
+lets idle workers sleep without losing wakeups.  The C++ runtime uses a
+Dekker-style eventcount; the guarantee it needs is: a worker
+(1) *announces* intent to sleep, (2) re-checks the queues, and
+(3) *commits* to sleeping only if nothing arrived since the
+announcement.  Here an epoch counter under a condition variable
+provides the same property: a ``notify`` that happens after
+``prepare_wait`` but before ``commit_wait`` bumps the epoch and the
+commit returns immediately — the wakeup cannot be lost.
+
+**Threading contract.** Any worker thread may run the
+``prepare_wait -> (cancel_wait | commit_wait)`` protocol; any thread
+(workers, the submitter, GPU stream-dispatcher callbacks) may call
+``notify_one``/``notify_all`` at any time.  Every method takes the
+internal condition lock; the protocol's correctness depends only on
+the epoch comparison, not on caller ordering.  A worker must pair each
+``prepare_wait`` with exactly one ``cancel_wait`` or ``commit_wait``
+(the executor's loop in ``docs/runtime.md`` shows the canonical use).
+
+**Observability.** :attr:`notify_count` exposes the epoch — the total
+number of notifications ever issued; the executor exports it as
+``executor.notify_count``, and pairs it with the per-worker
+``executor.sleeps``/``executor.wakeups`` counters it maintains around
+``commit_wait`` (see ``docs/observability.md``).
 """
 
 from __future__ import annotations
@@ -59,3 +76,9 @@ class Notifier:
         """Approximate count of workers in the wait protocol."""
         with self._cond:
             return self._num_waiters
+
+    @property
+    def notify_count(self) -> int:
+        """Total notifications issued (the epoch; monotonic)."""
+        with self._cond:
+            return self._epoch

@@ -1,14 +1,27 @@
 """Unbounded work-stealing queue.
 
-Follows the Chase-Lev discipline the paper's runtime uses: the owning
-worker pushes and pops at the *bottom* (LIFO, cache-friendly for
-just-spawned successors) while thieves steal from the *top* (FIFO,
-taking the oldest — usually largest — work first).
+**What it models.** The paper's runtime (§III-C) gives each worker a
+private task queue following the Chase-Lev discipline: the owning
+worker pushes and pops at the *bottom* (LIFO — just-spawned successors
+run depth-first, cache-friendly) while thieves steal from the *top*
+(FIFO — taking the oldest, usually largest, work first).  The executor
+holds one of these per worker plus one shared overflow queue for
+submissions and GPU-callback completions (see ``docs/runtime.md``).
 
-CPython cannot express the lock-free original, so a mutex guards each
-queue; contention is per-victim, not global, which preserves the
-scalability *structure* (no central bottleneck) even though absolute
-costs differ.
+**Threading contract.** One designated owner thread calls :meth:`push`
+and :meth:`pop`; any number of thief threads call :meth:`steal`
+concurrently.  CPython cannot express the lock-free original, so a
+mutex guards each queue; contention is per-victim, not global, which
+preserves the scalability *structure* (no central bottleneck) even
+though absolute costs differ.  ``len()``/:attr:`empty` are snapshots —
+stale the moment they return — and are safe from any thread.
+
+**Observability.** The queue records its :attr:`high_water` mark
+(maximum length ever reached) inside the already-held push lock, at
+the cost of one comparison; the executor exports it as the
+``executor.queue_high_water`` metric (``docs/observability.md``) — a
+persistent gap between one worker's mark and the others' indicates a
+serial task spine or a stealing imbalance.
 """
 
 from __future__ import annotations
@@ -23,16 +36,19 @@ T = TypeVar("T")
 class WorkStealingQueue(Generic[T]):
     """Single-owner, multi-thief double-ended task queue."""
 
-    __slots__ = ("_deque", "_lock")
+    __slots__ = ("_deque", "_lock", "_high_water")
 
     def __init__(self) -> None:
         self._deque: deque = deque()
         self._lock = threading.Lock()
+        self._high_water = 0
 
     def push(self, item: T) -> None:
         """Owner-side push at the bottom."""
         with self._lock:
             self._deque.append(item)
+            if len(self._deque) > self._high_water:
+                self._high_water = len(self._deque)
 
     def pop(self) -> Optional[T]:
         """Owner-side pop at the bottom (LIFO); None when empty."""
@@ -55,3 +71,9 @@ class WorkStealingQueue(Generic[T]):
     @property
     def empty(self) -> bool:
         return len(self) == 0
+
+    @property
+    def high_water(self) -> int:
+        """Maximum queue length ever reached (never resets)."""
+        with self._lock:
+            return self._high_water

@@ -60,6 +60,12 @@ class BuddyAllocator:
         self._lock = threading.Lock()
         self._in_use = 0
         self._peak = 0
+        # lifetime counters, updated inside the lock the operation
+        # already holds (docs/observability.md)
+        self._num_allocs = 0
+        self._num_frees = 0
+        self._num_splits = 0
+        self._num_merges = 0
         #: optional audit hook (see :data:`TraceHook`); set by the
         #: allocator auditor in :mod:`repro.check.audit`
         self.trace_hook: Optional[TraceHook] = None
@@ -74,6 +80,69 @@ class BuddyAllocator:
     def peak_bytes(self) -> int:
         """High-water mark of :attr:`bytes_in_use`."""
         return self._peak
+
+    @property
+    def num_allocs(self) -> int:
+        """Successful :meth:`allocate` calls over the pool's lifetime."""
+        return self._num_allocs
+
+    @property
+    def num_frees(self) -> int:
+        """Successful :meth:`free` calls over the pool's lifetime."""
+        return self._num_frees
+
+    @property
+    def num_splits(self) -> int:
+        """Block splits performed while allocating (pool churn)."""
+        return self._num_splits
+
+    @property
+    def num_merges(self) -> int:
+        """Buddy coalescing merges performed while freeing."""
+        return self._num_merges
+
+    @property
+    def free_bytes(self) -> int:
+        """Bytes currently free (capacity minus block-rounded in-use)."""
+        return self.capacity - self._in_use
+
+    @property
+    def largest_free_block(self) -> int:
+        """Size of the largest currently-free block."""
+        with self._lock:
+            for k in range(self._max_order, -1, -1):
+                if self._free[k]:
+                    return self.min_block << k
+            return 0
+
+    def fragmentation(self) -> float:
+        """External fragmentation in [0, 1].
+
+        ``1 - largest_free_block / free_bytes``: 0 when all free space
+        is one contiguous block (or nothing is free), approaching 1
+        when free space is shattered into small blocks — the condition
+        under which a large pull would fail despite sufficient total
+        free bytes.
+        """
+        free = self.free_bytes
+        if free <= 0:
+            return 0.0
+        return 1.0 - self.largest_free_block / free
+
+    def stats(self) -> dict:
+        """JSON-ready lifetime + footprint snapshot of the pool."""
+        return {
+            "capacity": self.capacity,
+            "bytes_in_use": self.bytes_in_use,
+            "peak_bytes": self.peak_bytes,
+            "free_bytes": self.free_bytes,
+            "largest_free_block": self.largest_free_block,
+            "fragmentation": self.fragmentation(),
+            "allocs": self.num_allocs,
+            "frees": self.num_frees,
+            "splits": self.num_splits,
+            "merges": self.num_merges,
+        }
 
     @property
     def fully_coalesced(self) -> bool:
@@ -123,10 +192,12 @@ class BuddyAllocator:
                 buddy = offset + (self.min_block << k)
                 self._free[k].append(buddy)
                 self._free_set.add((buddy, k))
+                self._num_splits += 1
             self._allocated[offset] = order
             size = self.min_block << order
             self._in_use += size
             self._peak = max(self._peak, self._in_use)
+            self._num_allocs += 1
             if self.trace_hook is not None:
                 self.trace_hook("alloc", offset, size, int(nbytes))
             return offset
@@ -138,6 +209,7 @@ class BuddyAllocator:
                 raise AllocationError(f"invalid free at offset {offset}")
             order = self._allocated.pop(offset)
             self._in_use -= self.min_block << order
+            self._num_frees += 1
             if self.trace_hook is not None:
                 size = self.min_block << order
                 self.trace_hook("free", offset, size, size)
@@ -150,6 +222,7 @@ class BuddyAllocator:
                 self._free_set.discard((buddy, order))
                 offset = min(offset, buddy)
                 order += 1
+                self._num_merges += 1
             self._free[order].append(offset)
             self._free_set.add((offset, order))
 

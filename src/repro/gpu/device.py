@@ -20,6 +20,7 @@ import numpy as np
 from repro.errors import DeviceError
 from repro.gpu.memory import DeviceBuffer, DeviceHeap
 from repro.gpu.stream import Event, Stream
+from repro.metrics.registry import Counter
 
 #: Default simulated global-memory size per device (64 MiB). Small by
 #: real-GPU standards but ample for the reproduction workloads; tests
@@ -42,6 +43,15 @@ class Device:
         self.heap = DeviceHeap(self, memory_bytes)
         self._streams: List[Stream] = []
         self._lock = threading.Lock()
+        # traffic counters (docs/observability.md): copy bytes count on
+        # the dispatcher thread when the op actually runs; kernel
+        # launches count at enqueue.  Sharded counters — safe from any
+        # mix of worker and dispatcher threads, no locks.
+        self.h2d_bytes = Counter(f"gpu{ordinal}.h2d_bytes")
+        self.d2h_bytes = Counter(f"gpu{ordinal}.d2h_bytes")
+        self.d2d_bytes = Counter(f"gpu{ordinal}.d2d_bytes")
+        self.memset_ops = Counter(f"gpu{ordinal}.memset_ops")
+        self.kernel_launches = Counter(f"gpu{ordinal}.kernel_launches")
 
     def create_stream(self, name: str = "") -> Stream:
         """Create a new in-order stream on this device."""
@@ -63,6 +73,27 @@ class Device:
         """Wait for every stream on this device to drain."""
         for s in self.streams:
             s.synchronize()
+
+    def stats(self) -> dict:
+        """JSON-ready device statistics snapshot.
+
+        Aggregates stream activity (op counts, busy seconds), transfer
+        traffic, kernel launches, and the buddy pool's footprint; this
+        is the value of the executor's ``gpu<N>`` metric callback
+        (docs/observability.md).
+        """
+        streams = self.streams
+        return {
+            "streams": len(streams),
+            "ops_executed": sum(s.ops_executed for s in streams),
+            "busy_seconds": sum(s.busy_seconds for s in streams),
+            "h2d_bytes": self.h2d_bytes.value,
+            "d2h_bytes": self.d2h_bytes.value,
+            "d2d_bytes": self.d2d_bytes.value,
+            "memset_ops": self.memset_ops.value,
+            "kernel_launches": self.kernel_launches.value,
+            "pool": self.heap.stats(),
+        }
 
     def destroy(self) -> None:
         for s in self.streams:
@@ -147,6 +178,7 @@ class GpuRuntime:
             raw = flat.view(np.uint8)
             n = min(raw.nbytes, dst.nbytes)
             dst.device.heap.raw[dst.offset : dst.offset + n] = raw[:n]
+            dst.device.h2d_bytes.inc(n)
 
         stream.enqueue(op, callback=callback)
 
@@ -167,6 +199,7 @@ class GpuRuntime:
             view = flat.view(np.uint8)
             n = min(raw.nbytes, view.nbytes)
             view[:n] = raw[:n]
+            src.device.d2h_bytes.inc(n)
 
         stream.enqueue(op, callback=callback)
 
@@ -183,6 +216,7 @@ class GpuRuntime:
             raw = src.device.heap.raw[src.offset : src.offset + src.nbytes]
             n = min(src.nbytes, dst.nbytes)
             dst.device.heap.raw[dst.offset : dst.offset + n] = raw[:n]
+            dst.device.d2d_bytes.inc(n)
 
         stream.enqueue(op, callback=callback)
 
@@ -201,6 +235,7 @@ class GpuRuntime:
 
         def op() -> None:
             dst.device.heap.raw[dst.offset : dst.offset + dst.nbytes] = int(value)
+            dst.device.memset_ops.inc()
 
         stream.enqueue(op, callback=callback)
 

@@ -202,6 +202,7 @@ def launch_async(
             )
     wants_ctx = _wants_context(fn)
     ordinal = stream.device.ordinal
+    stream.device.kernel_launches.inc()
 
     def op() -> None:
         converted = [convert_argument(a) for a in args]

@@ -132,6 +132,16 @@ class DeviceHeap:
         """Allocate a buffer shaped to hold *host_array*'s bytes."""
         return self.allocate(max(int(host_array.nbytes), 1), dtype=host_array.dtype)
 
+    def stats(self) -> dict:
+        """JSON-ready pool snapshot: heap-level buffer accounting on
+        top of the allocator's block-level statistics
+        (:meth:`BuddyAllocator.stats`)."""
+        out = self.allocator.stats()
+        out["buffer_allocs"] = self.alloc_count
+        out["buffer_frees"] = self.free_count
+        out["outstanding"] = self.outstanding
+        return out
+
     def free(self, buffer: DeviceBuffer) -> None:
         if buffer.device is not self.device:
             raise DeviceError(

@@ -1,16 +1,35 @@
 """Asynchronous streams and events for the simulated GPU runtime.
 
-A :class:`Stream` is an in-order work queue serviced by a dedicated
-dispatcher thread — the analogue of a CUDA stream.  Operations enqueued
-on a stream run asynchronously with respect to the enqueuing (host)
-thread but strictly in FIFO order with respect to each other.
+**What it models.** A :class:`Stream` is an in-order work queue
+serviced by a dedicated dispatcher thread — the analogue of a CUDA
+stream.  Operations enqueued on a stream run asynchronously with
+respect to the enqueuing (host) thread but strictly in FIFO order with
+respect to each other.  An :class:`Event` is a one-shot
+synchronization marker: recording it on a stream completes it once
+every previously enqueued operation has executed; other streams
+(``wait_event``) and host threads (``synchronize``) can wait on it.
+This reproduces the ``cudaEventRecord`` / ``cudaStreamWaitEvent``
+pattern the executor uses to sequence GPU tasks (paper, Listing 13;
+the executor's per-(worker, device) stream discipline is described in
+``docs/runtime.md``).
 
-An :class:`Event` is a one-shot synchronization marker.  Recording an
-event on a stream completes the event once every previously enqueued
-operation has executed; other streams (``wait_event``) and host threads
-(``synchronize``) can wait on it.  This reproduces the
-``cudaEventRecord`` / ``cudaStreamWaitEvent`` pattern the executor uses
-to sequence GPU tasks (paper, Listing 13).
+**Threading contract.** Host-side methods (:meth:`enqueue`,
+:meth:`record_event`, :meth:`wait_event`, :meth:`synchronize`) are
+safe from any thread; each op and its completion callback run on the
+stream's single dispatcher thread, in enqueue order.  Callbacks
+therefore need no locking against *this* stream's other ops, but they
+run concurrently with every other thread in the process — the
+executor's completion callback (which releases successors into the
+shared queue) is written for exactly that.  :meth:`destroy` drains the
+queue and joins the dispatcher; it must not be called from the
+dispatcher thread itself.
+
+**Observability.** The dispatcher maintains :attr:`ops_executed`
+(completed ops) and :attr:`busy_seconds` (wall time spent inside op
+bodies) — both owned by the dispatcher thread and read, racily but
+consistently (single writer), by the metrics layer as the per-device
+``gpu<N>.ops_executed`` / ``gpu<N>.busy_seconds`` aggregates
+(``docs/observability.md``).
 """
 
 from __future__ import annotations
@@ -18,6 +37,7 @@ from __future__ import annotations
 import itertools
 import queue
 import threading
+import time
 from typing import TYPE_CHECKING, Callable, Optional
 
 from repro.errors import DeviceError
@@ -70,6 +90,7 @@ class Stream:
         self._destroyed = False
         self._error: Optional[BaseException] = None
         self._ops_executed = 0
+        self._busy_seconds = 0.0
         self._thread = threading.Thread(
             target=self._dispatch_loop,
             name=f"gpu{device.ordinal}-{self.name}",
@@ -85,6 +106,7 @@ class Stream:
                 return
             fn, callback = item
             err: Optional[BaseException] = None
+            t0 = time.perf_counter()
             try:
                 fn()
             except BaseException as exc:  # noqa: BLE001 - deferred to sync
@@ -93,6 +115,7 @@ class Stream:
                     # no callback to consume the failure: keep it sticky
                     # until the next host synchronize
                     self._error = exc
+            self._busy_seconds += time.perf_counter() - t0
             self._ops_executed += 1
             if callback is not None:
                 try:
@@ -105,6 +128,11 @@ class Stream:
     def ops_executed(self) -> int:
         """Operations completed so far (statistics/testing)."""
         return self._ops_executed
+
+    @property
+    def busy_seconds(self) -> float:
+        """Wall time spent executing op bodies on the dispatcher."""
+        return self._busy_seconds
 
     def enqueue(
         self,

@@ -1,0 +1,61 @@
+"""Runtime metrics and profiling (docs/observability.md).
+
+The paper's evaluation is entirely about runtime behaviour — scaling
+across CPU counts, GPUs, and problem sizes — so the runtime needs a
+first-class observability layer, the way Taskflow pairs its executor
+with the tfprof profiler and StarPU ships performance-feedback
+counters.  This package provides both halves:
+
+- :mod:`repro.metrics.registry` — a lock-cheap counter / gauge /
+  histogram registry.  The executor owns one (``Executor.metrics``)
+  and the worker loops, the simulated GPU layer, and the buddy pools
+  feed it; ``registry.snapshot()`` returns a flat, JSON-ready dict.
+- :mod:`repro.metrics.profiler` — post-processes the
+  :class:`~repro.core.observer.TraceObserver` records of a real run
+  into a :class:`RunReport`: per-lane utilization, the critical path
+  through the *executed* DAG with per-task slack, and steal /
+  placement summaries.  Reports serialize to a stable JSON schema
+  (``repro.run-report/1``) and render as text.
+
+Entry points:
+
+- ``Executor.run(graph, metrics=True)`` returns a future carrying a
+  :class:`RunReport` (``future.run_report`` after completion);
+- ``python -m repro profile <workload>`` profiles a shipped workload
+  and emits text, schema-v1 JSON, or a chrome-trace file.
+
+Every exported counter and report field is documented in
+``docs/observability.md``.
+"""
+
+from repro.metrics.profiler import (
+    RUN_REPORT_SCHEMA,
+    CriticalPathEntry,
+    LaneUtilization,
+    RunReport,
+    build_run_report,
+    render_report_text,
+)
+from repro.metrics.registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    LaneCounter,
+    MaxGauge,
+    MetricsRegistry,
+)
+
+__all__ = [
+    "RUN_REPORT_SCHEMA",
+    "Counter",
+    "CriticalPathEntry",
+    "Gauge",
+    "Histogram",
+    "LaneCounter",
+    "LaneUtilization",
+    "MaxGauge",
+    "MetricsRegistry",
+    "RunReport",
+    "build_run_report",
+    "render_report_text",
+]

@@ -1,0 +1,39 @@
+"""Docs drift: links and API references in README + docs/ must hold.
+
+Runs the same checks as ``python tools/check_docs.py`` (the CI docs
+job), so a rename in ``src/`` that leaves a documentation page behind
+fails the ordinary test suite too.
+"""
+
+import importlib.util
+import os
+
+ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def _load_checker():
+    path = os.path.join(ROOT, "tools", "check_docs.py")
+    spec = importlib.util.spec_from_file_location("check_docs", path)
+    mod = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(mod)
+    return mod
+
+
+def test_docs_have_no_broken_links_or_stale_api_refs():
+    checker = _load_checker()
+    problems = []
+    for page in checker.iter_pages():
+        with open(page) as fh:
+            text = fh.read()
+        problems.extend(checker.check_links(page, text))
+        problems.extend(checker.check_api_refs(page, text))
+    assert problems == []
+
+
+def test_every_docs_page_is_indexed_in_readme():
+    """The README Documentation table must list each docs/*.md page."""
+    with open(os.path.join(ROOT, "README.md")) as fh:
+        readme = fh.read()
+    for fname in sorted(os.listdir(os.path.join(ROOT, "docs"))):
+        if fname.endswith(".md"):
+            assert f"docs/{fname}" in readme, f"docs/{fname} not in README"
