@@ -62,8 +62,6 @@ class GeneratedGraph:
     num_hosts: int
     chains: List[_Chain]
     host_log: List[int]
-    #: id of the host task rigged to raise (fault injection), or None
-    fault_host: Optional[int] = None
     #: set for gated graphs: the first task blocks until this event
     gate: Optional[threading.Event] = None
 
@@ -149,15 +147,21 @@ def generate_graph(
     max_kernels: int = 3,
     max_len: int = 512,
     extra_edge_prob: float = 0.15,
-    fault: bool = False,
+    fallbacks: bool = True,
     gate: bool = False,
 ) -> GeneratedGraph:
     """Build a seeded random graph (see module docstring).
 
-    ``num_gpus == 0`` produces a host-only graph.  With ``fault=True``
-    one host task raises ``RuntimeError`` instead of logging; with
-    ``gate=True`` a blocking first task is prepended so the caller can
-    hold the whole graph at the starting line (cancellation tests).
+    ``num_gpus == 0`` produces a host-only graph.  With ``fallbacks``
+    (the default) every kernel registers its own callable as host
+    fallback — the simulated kernels are plain numpy functions of their
+    views, so graceful degradation (docs/resilience.md) reproduces the
+    oracle arithmetic bit-for-bit; pass ``fallbacks=False`` to test the
+    no-survivor failure path.  With ``gate=True`` a blocking first task
+    is prepended so the caller can hold the whole graph at the starting
+    line (cancellation tests).  Fault injection is no longer a
+    generator concern: seed fault profiles on the devices instead
+    (:meth:`repro.gpu.device.Device.configure_faults`).
     """
     rng = random.Random(seed)
     hf = Heteroflow(f"check-seed{seed}")
@@ -167,17 +171,7 @@ def generate_graph(
     num_hosts = rng.randint(3, max(3, max_hosts))
     num_chains = rng.randint(1, max_chains) if num_gpus > 0 else 0
 
-    fault_host: Optional[int] = None
-    if fault and num_hosts > 1:
-        fault_host = rng.randrange(1, num_hosts)
-
     def make_host(hid: int) -> Callable:
-        if hid == fault_host:
-            def bomb() -> None:
-                raise RuntimeError(f"injected fault in host task {hid}")
-
-            return bomb
-
         def work() -> None:
             with log_lock:
                 log.append(hid)
@@ -251,6 +245,8 @@ def generate_graph(
                 k = hf.kernel(_affine_kernel(cmul, dadd), pull, name=f"c{ci}.k{ki}")
                 k.succeed(prev)
                 chain.ops.append(("affine", cmul, dadd))
+            if fallbacks:
+                k.host_fallback()
             ordered.append(k)
             prev = k
 
@@ -282,7 +278,6 @@ def generate_graph(
         num_hosts=num_hosts,
         chains=chains,
         host_log=log,
-        fault_host=fault_host,
     )
     if gate:
         ev = threading.Event()

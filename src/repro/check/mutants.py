@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Dict
+from typing import Dict, Optional
 
 from repro.core.executor import Executor
 from repro.core.heteroflow import Heteroflow
@@ -37,7 +37,9 @@ class MutantExecutor(Executor):
     Do not use outside the checker self-test.
     """
 
-    def _finish_node(self, topology: Topology, node: Node) -> None:
+    def _finish_node(
+        self, topology: Topology, node: Node, gen: Optional[int] = None
+    ) -> None:
         for succ in node.successors:
             with succ._lock:
                 succ.join_counter -= 1
@@ -47,7 +49,7 @@ class MutantExecutor(Executor):
             # predecessor instead of their last
             threshold = 1 if len(succ.dependents) >= 2 else 0
             if remaining == threshold:
-                self._schedule(topology, succ)
+                self._schedule(topology, succ, gen)
         if topology.node_finished():
             if topology.pass_completed():
                 self._finalize_topology(topology)

@@ -11,10 +11,18 @@ For every (workers, gpus) configuration and every seed, the runner
    against the generator's oracle, and the allocator event stream
    against the pool invariants.
 
-Fault-injection mode additionally runs every graph once with a raising
-host task and once cancelled mid-flight, checking that the recovery
-paths (:mod:`repro.errors`, topology flushing, buffer reclamation)
-leave partial traces and pools consistent.
+Fault-injection mode additionally runs every graph through three
+failure paths, checking that the recovery machinery
+(:mod:`repro.errors`, topology flushing, buffer reclamation) leaves
+partial traces and pools consistent:
+
+- ``fault`` — a seeded one-shot kernel fault on every device
+  (:class:`~repro.resilience.FaultProfile`); with no retry policy the
+  raw :class:`~repro.errors.KernelError` must reach the future;
+- ``retry`` — the same fault profile under a run-level
+  :class:`~repro.resilience.RetryPolicy`; the run must *succeed*, the
+  trace must stay strictly exact-once, and the oracle must match;
+- ``cancel`` — the graph is cancelled at the starting line.
 
 Exposed via ``python -m repro check --stress``.
 """
@@ -32,6 +40,8 @@ from repro.check.generator import generate_graph
 from repro.check.validate import validate_schedule
 from repro.core.executor import Executor
 from repro.core.observer import TraceObserver
+from repro.errors import KernelError
+from repro.resilience import FaultProfile, RetryPolicy
 
 #: default sweep: ≥3 worker/GPU configurations, per the roadmap's
 #: "correct DAG execution across N CPU workers and M GPUs" claim
@@ -50,7 +60,7 @@ class RunOutcome:
     workers: int
     gpus: int
     seed: int
-    mode: str  # "normal" | "fault" | "cancel"
+    mode: str  # "normal" | "fault" | "retry" | "cancel"
     passes: int
     num_nodes: int
     num_records: int
@@ -100,7 +110,6 @@ def _run_one(
     gen = generate_graph(
         seed,
         num_gpus=gpus,
-        fault=(mode == "fault"),
         gate=(mode == "cancel"),
     )
     obs = TraceObserver()
@@ -130,15 +139,26 @@ def _run_one(
     )
     try:
         auditor.attach_runtime(ex.gpu_runtime)
-        fut = ex.run_n(gen.graph, passes)
+        if mode in ("fault", "retry"):
+            # seed a one-shot kernel fault on every device: whichever
+            # GPU the placement pass picks, the first launch there fails
+            for ordinal in range(gpus):
+                ex.gpu_runtime.device(ordinal).configure_faults(
+                    FaultProfile(kernel_fault_at=1), seed=seed
+                )
+        policy = (
+            RetryPolicy(max_attempts=3, base_delay=0.0)
+            if mode == "retry" else None
+        )
+        fut = ex.run_n(gen.graph, passes, policy=policy)
         if mode == "cancel":
             ex.cancel(fut)
             gen.gate.set()
         try:
             fut.result(timeout=_RESULT_TIMEOUT)
-            if mode == "fault" and gen.fault_host is not None:
+            if mode == "fault":
                 outcome.violations.append(
-                    "injected fault did not propagate to the future"
+                    "injected kernel fault did not propagate to the future"
                 )
             if mode == "cancel":
                 outcome.violations.append(
@@ -147,12 +167,14 @@ def _run_one(
         except CancelledError:
             if mode != "cancel":
                 outcome.violations.append("run unexpectedly cancelled")
-        except RuntimeError as exc:
-            if mode != "fault" or "injected fault" not in str(exc):
+        except KernelError as exc:
+            if mode != "fault" or "injected" not in str(exc):
                 outcome.violations.append(f"unexpected task failure: {exc!r}")
+        except Exception as exc:  # noqa: BLE001 - harness boundary
+            outcome.violations.append(f"unexpected task failure: {exc!r}")
     finally:
         ex.shutdown()
-    partial = mode != "normal"
+    partial = mode in ("fault", "cancel")
     schedule = validate_schedule(
         gen.graph,
         obs.records,
@@ -162,7 +184,9 @@ def _run_one(
     )
     outcome.num_records = schedule.num_records
     outcome.violations.extend(str(v) for v in schedule.violations)
-    if mode == "normal":
+    if mode in ("normal", "retry"):
+        # retry runs recover from the injected fault, so the oracle
+        # must hold exactly as for a clean run
         outcome.violations.extend(gen.verify(passes))
     audit = auditor.finish()
     outcome.violations.extend(audit.violations)
@@ -180,8 +204,9 @@ def run_stress(
 ) -> StressReport:
     """Sweep *seeds* random graphs over every (workers, gpus) config.
 
-    With ``faults=True`` every third seed is additionally run in
-    fault-injection and cancellation mode.  Returns a
+    With ``faults=True`` every third seed additionally runs the
+    device-level fault-injection modes (``fault``/``retry``, GPU
+    configs only) and cancellation mode.  Returns a
     :class:`StressReport`; the sweep never raises on violations — the
     caller decides (CLI exits nonzero, tests assert).
     """
@@ -192,7 +217,9 @@ def run_stress(
         for seed in range(seeds):
             modes = ["normal"]
             if faults and seed % 3 == 0:
-                modes += ["fault", "cancel"]
+                if gpus > 0:
+                    modes += ["fault", "retry"]
+                modes += ["cancel"]
             for mode in modes:
                 outcome = _run_one(workers, gpus, seed, mode, report)
                 report.outcomes.append(outcome)

@@ -25,6 +25,16 @@ invariants:
 
 Violations are collected, not raised; :meth:`ScheduleReport.raise_if_failed`
 escalates to :class:`~repro.errors.ValidationError`.
+
+Resilience-aware relaxations (docs/resilience.md): records flagged
+``fallback`` ran on the host after every GPU failed, so they carry no
+device and are exempt from device/placement checks; records flagged
+``replayed`` were re-executed after a device failure retracted the
+committed first run, so their timestamps are shifted relative to
+already-committed neighbours and their device may legitimately differ
+from pre-failure records — happens-before and cross-record placement
+checks skip edges/groups touching them.  Exact-once counting is *never*
+relaxed: retraction keeps the trace at one record per node per pass.
 """
 
 from __future__ import annotations
@@ -121,6 +131,10 @@ def _check_happens_before(
                     )
                     continue
                 u_rec = u_recs[k]
+                if u_rec.replayed or v_rec.replayed:
+                    # device-failure replay time-shifted this record
+                    # relative to neighbours committed before the fault
+                    continue
                 report.num_edges_checked += 1
                 if u_rec.end > v_rec.begin:
                     report.add(
@@ -176,17 +190,27 @@ def _check_placement(
     num_gpus: Optional[int],
 ) -> None:
     device_of: Dict[int, Optional[int]] = {}
+    # nodes that ran degraded on the host (no device) or were replayed
+    # onto a surviving device after a failure; cross-record placement
+    # checks touching them are skipped (docs/resilience.md)
+    fellback: set = set()
+    moved: set = set()
     for n in nodes:
         recs = by_nid.get(n.nid, [])
-        devices = {r.device for r in recs}
-        if len(devices) > 1:
+        if any(r.fallback for r in recs):
+            fellback.add(n.nid)
+        if any(r.replayed for r in recs):
+            moved.add(n.nid)
+        placed = [r for r in recs if not r.fallback]
+        devices = {r.device for r in placed}
+        if len(devices) > 1 and n.nid not in moved:
             report.add(
                 "placement",
                 f"task {n.name!r} ran on multiple devices {sorted(devices)} "
                 f"across passes",
             )
-        if recs:
-            device_of[n.nid] = recs[0].device
+        if placed:
+            device_of[n.nid] = placed[0].device
     for n in nodes:
         dev = device_of.get(n.nid)
         if n.nid not in device_of:
@@ -195,7 +219,10 @@ def _check_placement(
             report.add("placement", f"host task {n.name!r} carries device {dev}")
         if n.type.is_gpu:
             if dev is None:
-                report.add("placement", f"GPU task {n.name!r} has no device")
+                if n.nid not in fellback:
+                    report.add(
+                        "placement", f"GPU task {n.name!r} has no device"
+                    )
             elif num_gpus is not None and not 0 <= dev < num_gpus:
                 report.add(
                     "placement",
@@ -212,6 +239,10 @@ def _check_placement(
                 for p in n.kernel_sources:
                     uf.union(n, p)
     for root, members in uf.groups().items():
+        if any(m.nid in moved or m.nid in fellback for m in members):
+            # a fault moved part of this group mid-run; the pre-failure
+            # records legitimately disagree with the replayed ones
+            continue
         devices = {
             device_of[m.nid] for m in members
             if m.nid in device_of and device_of[m.nid] is not None
@@ -225,6 +256,11 @@ def _check_placement(
             )
     for n in nodes:
         if n.type is TaskType.PUSH and n.source is not None:
+            if (
+                n.nid in moved or n.nid in fellback
+                or n.source.nid in moved or n.source.nid in fellback
+            ):
+                continue
             pdev = device_of.get(n.nid)
             sdev = device_of.get(n.source.nid)
             if pdev is not None and sdev is not None and pdev != sdev:

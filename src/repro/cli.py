@@ -21,7 +21,12 @@ Commands:
   the threaded runtime with metrics enabled and print its
   :class:`~repro.metrics.RunReport` (``--json`` for the stable
   schema-v1 document, ``--trace OUT.json`` for a chrome-trace of the
-  same run; see docs/observability.md).
+  same run; see docs/observability.md);
+- ``chaos [--scenarios N] [--seed S] [--smoke] [--json OUT]`` — sweep
+  seeded device-fault scenarios (allocation failures, kernel faults,
+  stream stalls, device death, zero-GPU degradation) through the
+  resilience layer and validate every recovery
+  (see docs/resilience.md).
 """
 
 from __future__ import annotations
@@ -222,6 +227,34 @@ def _cmd_check(args: argparse.Namespace) -> int:
     return 0 if failures == 0 else 1
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from repro.resilience import run_chaos
+
+    scenarios = 10 if args.smoke else args.scenarios
+    print(f"chaos sweep: {scenarios} seeded fault scenario(s), "
+          f"seed={args.seed} ...")
+    report = run_chaos(scenarios, seed=args.seed, log=print)
+    print(f"  total: {report.num_scenarios} scenario(s), "
+          f"{report.num_completed} recovered, "
+          f"{report.num_failed_as_expected} failed as expected, "
+          f"{len(report.violations)} violation(s)")
+    for key, val in sorted(report.counters.items()):
+        print(f"    {key:<36} {val}")
+    if not report.ok:
+        for v in report.violations[:20]:
+            print(f"    {v}")
+        more = len(report.violations) - 20
+        if more > 0:
+            print(f"    ... and {more} more")
+    if args.json:
+        with open(args.json, "w") as fh:
+            fh.write(report.to_json())
+            fh.write("\n")
+        print(f"wrote scenario report to {args.json}")
+    print(f"\nchaos: {'OK' if report.ok else 'FAILED'}")
+    return 0 if report.ok else 1
+
+
 def _cmd_lint(args: argparse.Namespace) -> int:
     from repro.analysis import Severity, lint, render_dot, render_json, render_text
     from repro.analysis.corpus import (
@@ -358,6 +391,29 @@ def build_parser() -> argparse.ArgumentParser:
         help="also run fault-injection and cancellation variants",
     )
 
+    chaos = sub.add_parser(
+        "chaos",
+        help="sweep seeded device-fault scenarios through the "
+             "resilience layer",
+    )
+    chaos.add_argument(
+        "--scenarios", type=int, default=50,
+        help="number of fault scenarios (default 50)",
+    )
+    chaos.add_argument(
+        "--seed", type=int, default=0,
+        help="sweep seed; every scenario derives deterministically "
+             "from it (default 0)",
+    )
+    chaos.add_argument(
+        "--smoke", action="store_true",
+        help="quick 10-scenario sweep for CI smoke jobs",
+    )
+    chaos.add_argument(
+        "--json", default="", metavar="OUT.json",
+        help="also write the full scenario report as JSON",
+    )
+
     lint = sub.add_parser(
         "lint", help="statically analyze task graphs with hflint"
     )
@@ -424,6 +480,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "trace": _cmd_trace,
         "gantt": _cmd_gantt,
         "check": _cmd_check,
+        "chaos": _cmd_chaos,
         "lint": _cmd_lint,
         "profile": _cmd_profile,
     }

@@ -25,17 +25,33 @@ plus pull-style snapshots of the GPU layer and the buddy pools; and
 ``run(..., metrics=True)`` profiles a single submission into a
 :class:`~repro.metrics.RunReport`.  The full metric catalog is in
 ``docs/observability.md``.
+
+**Fault tolerance** (docs/resilience.md).  Submissions accept a
+:class:`~repro.resilience.RetryPolicy`/`ResiliencePolicy` via
+``run(..., policy=...)``; tasks override with ``task.retry(...)`` and
+``task.timeout(...)``.  A failed attempt never commits a trace record —
+the retry loop re-schedules the node, so exact-once validation holds
+across retries.  A :class:`~repro.errors.DeviceFailedError` quarantines
+the device and triggers *quiescence-based recovery*: queued work of the
+topology is invalidated (a generation counter), the last in-flight task
+to drain runs the recovery pass, which retracts committed executions
+whose data lived on the dead device, re-packs their placement groups
+onto surviving GPUs (or degrades every GPU task to its registered
+``.host_fallback`` when none survive), rebuilds join counters over the
+remaining nodes, and re-dispatches.
 """
 
 from __future__ import annotations
 
+import heapq
+import itertools
 import os
 import random
 import threading
 import time
 from collections import deque
-from concurrent.futures import Future
-from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+from concurrent.futures import Future, InvalidStateError
+from typing import Any, Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
@@ -47,18 +63,150 @@ from repro.core.placement import CostMetric, DevicePlacement
 from repro.core.task import PullTask
 from repro.core.topology import Topology
 from repro.core.wsq import WorkStealingQueue
-from repro.errors import ExecutorError, KernelError
+from repro.errors import (
+    DeviceFailedError,
+    ExecutorError,
+    KernelError,
+    TaskFailedError,
+    TaskTimeoutError,
+)
 from repro.gpu.device import DEFAULT_MEMORY_BYTES, GpuRuntime, ScopedDeviceContext
 from repro.gpu.kernel import launch_async
 from repro.gpu.stream import Stream
 from repro.metrics.registry import MetricsRegistry
+from repro.resilience.degrade import (
+    kernels_without_fallback,
+    replan,
+    run_degraded_kernel,
+    run_degraded_pull,
+    run_degraded_push,
+)
 
-#: queue items are (topology, node) pairs
-WorkItem = Tuple[Topology, Node]
+#: queue items are (topology, node, generation) triples; stale
+#: generations are dropped by workers after a recovery pass
+WorkItem = Tuple[Topology, Node, int]
 
 #: how long a committed sleeper waits before re-polling the queues;
 #: bounds the cost of any lost-wakeup bug without busy spinning
 _SLEEP_TIMEOUT = 0.02
+
+
+class _TimerThread:
+    """Lazy shared timer for task deadlines and delayed retries.
+
+    One daemon thread serves a heap of ``(when, seq, entry)`` items;
+    an entry is a one-element list holding the callback, and cancelling
+    simply nulls it out (the fire becomes a no-op).  Callbacks run on
+    the timer thread and must be quick or re-dispatch to the executor.
+    """
+
+    def __init__(self) -> None:
+        self._heap: list = []
+        self._cv = threading.Condition()
+        self._seq = itertools.count()
+        self._stopped = False
+        self._thread: Optional[threading.Thread] = None
+
+    def schedule(self, delay: float, fn: Callable[[], None]) -> list:
+        entry = [fn]
+        when = time.monotonic() + max(delay, 0.0)
+        with self._cv:
+            if self._stopped:
+                return entry
+            if self._thread is None:
+                self._thread = threading.Thread(
+                    target=self._loop, name="hf-timer", daemon=True
+                )
+                self._thread.start()
+            heapq.heappush(self._heap, (when, next(self._seq), entry))
+            self._cv.notify()
+        return entry
+
+    @staticmethod
+    def cancel(entry: list) -> None:
+        entry[0] = None
+
+    def _loop(self) -> None:
+        while True:
+            with self._cv:
+                while True:
+                    if self._stopped:
+                        return
+                    if not self._heap:
+                        self._cv.wait()
+                        continue
+                    when, _, entry = self._heap[0]
+                    now = time.monotonic()
+                    if when <= now:
+                        heapq.heappop(self._heap)
+                        break
+                    self._cv.wait(when - now)
+                fn = entry[0]
+            if fn is not None:
+                try:
+                    fn()
+                except BaseException:  # pragma: no cover - callback bug
+                    pass
+
+    def stop(self) -> None:
+        with self._cv:
+            self._stopped = True
+            self._cv.notify()
+            thread = self._thread
+        if thread is not None:
+            thread.join()
+
+
+class _Attempt:
+    """One execution attempt of one task: first-resolver-wins token.
+
+    A GPU attempt can finish three ways — stream callback, deadline
+    timer, or a synchronous raise before enqueue.  Whichever path calls
+    :meth:`resolve` first owns the outcome; the others become no-ops,
+    so a timed-out op that later drains cannot double-complete the
+    task.
+    """
+
+    __slots__ = (
+        "topology",
+        "node",
+        "wid",
+        "gen",
+        "timeout_s",
+        "t0",
+        "stream",
+        "timer_entry",
+        "fallback",
+        "_resolved",
+        "_lock",
+    )
+
+    def __init__(
+        self,
+        topology: Topology,
+        node: Node,
+        wid: int,
+        gen: int,
+        timeout_s: Optional[float],
+    ) -> None:
+        self.topology = topology
+        self.node = node
+        self.wid = wid
+        self.gen = gen
+        self.timeout_s = timeout_s
+        self.t0 = time.perf_counter()
+        self.stream: Optional[Stream] = None
+        self.timer_entry: Optional[list] = None
+        self.fallback = False
+        self._resolved = False
+        self._lock = threading.Lock()
+
+    def resolve(self) -> bool:
+        with self._lock:
+            if self._resolved:
+                return False
+            self._resolved = True
+            return True
 
 
 class Executor:
@@ -128,6 +276,23 @@ class Executor:
         for dev in self._gpu.devices:
             self.metrics.register_callback(f"gpu{dev.ordinal}", dev.stats)
 
+        # resilience counters (docs/resilience.md, docs/observability.md);
+        # sharded Counters — safe from worker, dispatcher, timer threads
+        self._m_retries = self.metrics.counter("resilience.retries")
+        self._m_timeouts = self.metrics.counter("resilience.timeouts")
+        self._m_exhausted = self.metrics.counter("resilience.exhausted")
+        self._m_device_failures = self.metrics.counter(
+            "resilience.device_failures"
+        )
+        self._m_quarantined = self.metrics.counter(
+            "resilience.streams_quarantined"
+        )
+        self._m_replayed = self.metrics.counter("resilience.replayed_tasks")
+        self._m_fallbacks = self.metrics.counter("resilience.fallback_tasks")
+        self._m_degraded = self.metrics.counter(
+            "resilience.degraded_topologies"
+        )
+
         # per-graph topology FIFO: serializes repeated submissions of
         # the same graph (join counters live on shared nodes)
         self._graph_queues: Dict[int, deque] = {}
@@ -142,6 +307,11 @@ class Executor:
         # lazily created per-(worker, device) streams
         self._streams: List[Dict[int, Stream]] = [{} for _ in range(num_workers)]
         self._stream_lock = threading.Lock()
+
+        # device liveness (docs/resilience.md): ordinals not yet failed
+        self._alive_gpus: Set[int] = set(range(num_gpus))
+        self._quarantine_lock = threading.Lock()
+        self._timer = _TimerThread()
 
         self._tls = threading.local()
         self._seed = seed
@@ -169,6 +339,12 @@ class Executor:
     def gpu_runtime(self) -> GpuRuntime:
         """The executor-owned simulated GPU runtime (inspection)."""
         return self._gpu
+
+    @property
+    def alive_gpus(self) -> List[int]:
+        """Ordinals of devices not yet failed/quarantined (sorted)."""
+        with self._quarantine_lock:
+            return sorted(self._alive_gpus)
 
     def add_observer(self, observer: ExecutorObserver) -> None:
         self._observers.append(observer)
@@ -211,7 +387,14 @@ class Executor:
     def _lint_gate(self, graph: Heteroflow) -> None:
         self.lint(graph).raise_if_errors()
 
-    def run(self, graph: Heteroflow, *, lint: bool = False, metrics: bool = False) -> Future:
+    def run(
+        self,
+        graph: Heteroflow,
+        *,
+        lint: bool = False,
+        metrics: bool = False,
+        policy: Optional[object] = None,
+    ) -> Future:
         """Run *graph* once; non-blocking, returns a future.
 
         With ``lint=True`` the graph first passes through the hflint
@@ -227,18 +410,30 @@ class Executor:
         summaries — see docs/observability.md).  The report covers only
         this graph's tasks, but the steal/counter snapshot it embeds is
         executor-wide.
+
+        *policy* attaches a run-level
+        :class:`~repro.resilience.RetryPolicy` or
+        :class:`~repro.resilience.ResiliencePolicy` to every task of
+        the submission; per-task ``task.retry``/``task.timeout``
+        settings take precedence (docs/resilience.md).
         """
-        return self.run_n(graph, 1, lint=lint, metrics=metrics)
+        return self.run_n(graph, 1, lint=lint, metrics=metrics, policy=policy)
 
     def run_n(
-        self, graph: Heteroflow, n: int, *, lint: bool = False, metrics: bool = False
+        self,
+        graph: Heteroflow,
+        n: int,
+        *,
+        lint: bool = False,
+        metrics: bool = False,
+        policy: Optional[object] = None,
     ) -> Future:
         """Run *graph* *n* times back to back; non-blocking."""
         if n < 0:
             raise ExecutorError("repeat count must be non-negative")
         if lint:
             self._lint_gate(graph)
-        topology = Topology(graph, repeats=n)
+        topology = Topology(graph, repeats=n, policy=policy)
         if metrics:
             return self._submit_profiled(topology)
         return self._submit(topology)
@@ -250,6 +445,7 @@ class Executor:
         *,
         lint: bool = False,
         metrics: bool = False,
+        policy: Optional[object] = None,
     ) -> Future:
         """Run *graph* repeatedly until *predicate()* is True.
 
@@ -260,7 +456,7 @@ class Executor:
             raise ExecutorError("run_until requires a callable predicate")
         if lint:
             self._lint_gate(graph)
-        topology = Topology(graph, repeats=None, predicate=predicate)
+        topology = Topology(graph, repeats=None, predicate=predicate, policy=policy)
         if metrics:
             return self._submit_profiled(topology)
         return self._submit(topology)
@@ -268,16 +464,35 @@ class Executor:
     def cancel(self, future: Future) -> bool:
         """Request cancellation of a submission by its future.
 
-        Tasks already executing finish; every not-yet-run task of the
-        topology is flushed without running and the future resolves
-        with ``CancelledError``.  Returns False when the future is not
-        an outstanding submission of this executor (e.g. already done).
+        A topology still waiting in its graph's FIFO (not yet started)
+        is removed and its future resolves with ``CancelledError``
+        immediately.  For a started topology, tasks already executing
+        finish; every not-yet-run task is flushed without running and
+        the future resolves with ``CancelledError``.  Returns False
+        when the future is not an outstanding submission of this
+        executor (e.g. already done).
         """
+        queued: Optional[Topology] = None
         with self._graph_lock:
             topology = self._futures.get(future)
-        if topology is None or future.done():
-            return False
+            if topology is None or future.done():
+                return False
+            if not topology.started:
+                q = self._graph_queues.get(id(topology.graph))
+                if q is not None and topology in q:
+                    q.remove(topology)
+                    if not q:
+                        del self._graph_queues[id(topology.graph)]
+                self._futures.pop(topology.future, None)
+                self._futures.pop(future, None)
+                queued = topology
         topology.cancel()
+        if queued is not None:
+            # never dispatched: resolve the future here, right now
+            queued.complete()
+            with self._topology_cv:
+                self._num_topologies -= 1
+                self._topology_cv.notify_all()
         return True
 
     def wait_for_all(self) -> None:
@@ -287,14 +502,22 @@ class Executor:
                 self._topology_cv.wait()
 
     def shutdown(self, wait: bool = True) -> None:
-        """Stop workers and tear down the GPU runtime (idempotent)."""
+        """Stop workers and tear down the GPU runtime (idempotent).
+
+        With ``wait=False`` pending delayed retries are abandoned; any
+        topology waiting on one never resolves (the executor is going
+        away regardless).
+        """
         if wait and not self._done:
             self.wait_for_all()
         self._done = True
         self._notifier.notify_all()
         for t in self._threads:
             t.join()
-        self._gpu.synchronize()
+        self._timer.stop()
+        # destroy (not synchronize) drains each stream via its shutdown
+        # sentinel; synchronizing would re-raise sticky errors and hang
+        # on quarantined streams
         self._gpu.destroy()
 
     def __enter__(self) -> "Executor":
@@ -337,23 +560,36 @@ class Executor:
                 self.remove_observer(obs)
             except ValueError:  # pragma: no cover - defensive
                 pass
+            # cleanup must be idempotent and unconditional: cancel paths
+            # may have popped these already, and nothing below may stop
+            # the mapping from being cleared
             with self._graph_lock:
                 self._futures.pop(outer, None)
+                self._futures.pop(f, None)
             exc = f.exception()
             passes = topology.passes_done
-            outer.run_report = build_run_report(  # type: ignore[attr-defined]
-                topology.graph,
-                obs.records,
-                wall_time=wall,
-                num_workers=self._num_workers,
-                num_gpus=self.num_gpus,
-                passes=max(passes, 1),
-                counters=self.metrics.snapshot(),
-            )
-            if exc is not None:
-                outer.set_exception(exc)
-            else:
-                outer.set_result(f.result())
+            try:
+                report = build_run_report(
+                    topology.graph,
+                    obs.records,
+                    wall_time=wall,
+                    num_workers=self._num_workers,
+                    num_gpus=self.num_gpus,
+                    passes=max(passes, 1),
+                    counters=self.metrics.snapshot(),
+                    events=list(topology.events),
+                )
+            except Exception:  # pragma: no cover - profiler bug
+                report = None
+            outer.run_report = report  # type: ignore[attr-defined]
+            try:
+                if exc is not None:
+                    outer.set_exception(exc)
+                else:
+                    outer.set_result(f.result())
+            except InvalidStateError:
+                # the outer future was cancelled/resolved independently
+                pass
 
         inner.add_done_callback(_done)
         return outer
@@ -375,6 +611,8 @@ class Executor:
             q.append(topology)
             self._futures[topology.future] = topology
             start_now = len(q) == 1
+            if start_now:
+                topology.started = True
         if start_now:
             self._start_topology(topology)
         return topology.future
@@ -384,7 +622,33 @@ class Executor:
         for obs in self._observers:
             obs.on_topology_begin(graph.name, len(graph.nodes))
         try:
-            topology.placement = self._placement.place(graph.nodes, self.num_gpus)
+            alive = self.alive_gpus
+            has_gpu_tasks = any(n.type.is_gpu for n in graph.nodes)
+            if has_gpu_tasks and self.num_gpus > 0 and not alive:
+                # every configured device already failed: degrade from
+                # the start if every kernel can run on the host
+                missing = kernels_without_fallback(graph.nodes)
+                if missing:
+                    raise ExecutorError(
+                        f"no GPUs survive and kernel task "
+                        f"{missing[0].name!r} has no host fallback"
+                    )
+                topology.degraded = True
+                self._m_degraded.inc()
+                topology.event("degraded", at="start", alive=[])
+            else:
+                topology.placement = self._placement.place(
+                    graph.nodes, self.num_gpus
+                )
+                if has_gpu_tasks and len(alive) < self.num_gpus:
+                    # some devices died before this submission: re-pack
+                    # their groups onto the survivors
+                    replan(
+                        graph.nodes,
+                        topology.placement,
+                        alive,
+                        self._placement.cost_metric,
+                    )
         except Exception as exc:  # placement failure fails the run
             topology.fail(exc)
             self._finalize_topology(topology)
@@ -402,11 +666,13 @@ class Executor:
 
     def _finalize_topology(self, topology: Topology) -> None:
         graph = topology.graph
-        # release pooled pull buffers
+        # release pooled pull buffers and degraded-mode shadows
         for node in graph.nodes:
             if node.buffer is not None:
                 node.buffer.free()
                 node.buffer = None
+            node.pull_snapshot = None
+            node.host_shadow = None
         for obs in self._observers:
             obs.on_topology_end(graph.name, len(graph.nodes))
         topology.complete()
@@ -419,6 +685,7 @@ class Executor:
                 q.popleft()
                 if q:
                     next_topology = q[0]
+                    next_topology.started = True
                 else:
                     del self._graph_queues[id(graph)]
         with self._topology_cv:
@@ -430,15 +697,25 @@ class Executor:
     # ------------------------------------------------------------------
     # scheduling plumbing
     # ------------------------------------------------------------------
-    def _schedule(self, topology: Topology, node: Node) -> None:
+    def _schedule(
+        self, topology: Topology, node: Node, gen: Optional[int] = None
+    ) -> None:
         """Enqueue a ready node: local queue when on a worker thread
         (cache-friendly LIFO), shared queue otherwise (submitter or
-        stream-callback threads)."""
+        stream-callback threads).  The item carries *gen* — the
+        generation the scheduling decision was made under (current when
+        omitted); recovery bumps the topology generation so stale items
+        are dropped.  Callers reacting to a task that ran under an
+        older generation MUST pass that generation: stamping the
+        current one would let the item survive a concurrent
+        ``request_recovery`` bump while the recovery pass independently
+        reschedules the same node — a double execution."""
+        item = (topology, node, topology.gen if gen is None else gen)
         wid = getattr(self._tls, "wid", None)
         if wid is not None:
-            self._queues[wid].push((topology, node))
+            self._queues[wid].push(item)
         else:
-            self._shared.push((topology, node))
+            self._shared.push(item)
         self._notifier.notify_one()
 
     def _next_item(self, wid: int, rng: random.Random) -> Optional[WorkItem]:
@@ -492,31 +769,320 @@ class Executor:
     # ------------------------------------------------------------------
     # task invocation (visitor pattern over task types)
     # ------------------------------------------------------------------
-    def _invoke(self, wid: int, topology: Topology, node: Node) -> None:
+    def _invoke(self, wid: int, topology: Topology, node: Node, gen: int = 0) -> None:
+        if gen != topology.gen:
+            # recovery invalidated this item and rescheduled the node
+            return
+        if not topology.enter():
+            # a device failure awaits quiescence; recovery reschedules
+            return
+        if gen != topology.gen:
+            # recovery slipped in between the gen check and enter()
+            self._leave(topology)
+            return
         if topology.failed:
             # fast-cancel: flush remaining nodes without running them
             self._m_flushed.inc(wid)
-            self._finish_node(topology, node)
+            self._finish_node(topology, node, gen)
+            self._leave(topology)
             return
         self._m_tasks.inc(wid)
         for obs in self._observers:
             obs.on_task_begin(wid, node)
+        timeout_s = node.timeout_s if node.timeout_s is not None else topology.timeout_s
+        attempt = _Attempt(topology, node, wid, gen, timeout_s)
         try:
-            if node.type is TaskType.HOST:
+            if topology.degraded and node.type.is_gpu:
+                self._invoke_degraded(attempt)
+            elif node.type is TaskType.HOST:
                 assert node.callable is not None
                 node.callable()
-                self._task_done(wid, topology, node)
+                self._attempt_finished(attempt, self._post_timeout(attempt))
             elif node.type is TaskType.PULL:
-                self._invoke_pull(wid, topology, node)
+                self._arm_deadline(attempt)
+                self._invoke_pull(attempt)
             elif node.type is TaskType.PUSH:
-                self._invoke_push(wid, topology, node)
+                self._arm_deadline(attempt)
+                self._invoke_push(attempt)
             elif node.type is TaskType.KERNEL:
-                self._invoke_kernel(wid, topology, node)
+                self._arm_deadline(attempt)
+                self._invoke_kernel(attempt)
             else:
                 raise ExecutorError(f"cannot execute task of type {node.type}")
-        except BaseException as exc:  # noqa: BLE001 - routed to future
-            topology.fail(exc)
-            self._task_done(wid, topology, node)
+        except BaseException as exc:  # noqa: BLE001 - routed to policy
+            self._attempt_finished(attempt, exc)
+
+    def _invoke_degraded(self, attempt: _Attempt) -> None:
+        """Run a GPU task on the host (zero survivors; docs/resilience.md)."""
+        node = attempt.node
+        attempt.fallback = True
+        if node.type is TaskType.PULL:
+            run_degraded_pull(node, node.nid in attempt.topology.replayed)
+        elif node.type is TaskType.KERNEL:
+            run_degraded_kernel(node)
+            self._m_fallbacks.inc()
+        else:
+            run_degraded_push(node)
+        self._attempt_finished(attempt, self._post_timeout(attempt))
+
+    def _post_timeout(self, attempt: _Attempt) -> Optional[BaseException]:
+        """Post-hoc deadline check for synchronous (host/degraded)
+        tasks: the callable cannot be interrupted, so an overrun is
+        detected when it returns."""
+        if (
+            attempt.timeout_s is not None
+            and time.perf_counter() - attempt.t0 > attempt.timeout_s
+        ):
+            return TaskTimeoutError(attempt.node.name, attempt.timeout_s)
+        return None
+
+    def _arm_deadline(self, attempt: _Attempt) -> None:
+        """Start the watchdog for an asynchronous GPU attempt."""
+        if attempt.timeout_s is None:
+            return
+        err = TaskTimeoutError(attempt.node.name, attempt.timeout_s)
+        attempt.timer_entry = self._timer.schedule(
+            attempt.timeout_s, lambda: self._attempt_finished(attempt, err)
+        )
+
+    def _attempt_finished(
+        self, attempt: _Attempt, err: Optional[BaseException]
+    ) -> None:
+        """Single funnel for attempt outcomes (success, sync raise,
+        stream-callback error, watchdog fire); first caller wins."""
+        if not attempt.resolve():
+            return
+        if attempt.timer_entry is not None:
+            _TimerThread.cancel(attempt.timer_entry)
+        if err is None:
+            self._task_done(
+                attempt.wid,
+                attempt.topology,
+                attempt.node,
+                stream=attempt.stream,
+                fallback=attempt.fallback,
+                gen=attempt.gen,
+            )
+            if self._leave(attempt.topology):
+                self._recover(attempt.topology)
+        else:
+            self._handle_failure(attempt, err)
+
+    # ------------------------------------------------------------------
+    # failure handling: retry, timeout, quarantine, recovery
+    # ------------------------------------------------------------------
+    def _handle_failure(self, attempt: _Attempt, err: BaseException) -> None:
+        topology, node, wid = attempt.topology, attempt.node, attempt.wid
+
+        if isinstance(err, TaskTimeoutError):
+            self._m_timeouts.inc()
+            if attempt.stream is not None:
+                # the op may still be wedged in the dispatcher: retire
+                # this (worker, device) stream so retries get a fresh one
+                self._quarantine_stream(attempt.stream)
+                topology.event(
+                    "stream_quarantined",
+                    task=node.name,
+                    stream=attempt.stream.sid,
+                )
+
+        if isinstance(err, DeviceFailedError):
+            topology.record_attempt(node.nid, err)
+            self._quarantine_device(err.ordinal)
+            topology.event("device_failed", device=err.ordinal, task=node.name)
+            topology.request_recovery(err.ordinal)
+            if self._leave(topology):
+                self._recover(topology)
+            return
+
+        history = topology.record_attempt(node.nid, err)
+        n_attempt = len(history)
+        policy = (
+            node.retry_policy
+            if node.retry_policy is not None
+            else topology.retry_policy
+        )
+        if (
+            policy is not None
+            and not topology.failed
+            and n_attempt < policy.max_attempts
+            and policy.retryable(err)
+        ):
+            self._m_retries.inc()
+            topology.event(
+                "retry",
+                task=node.name,
+                nid=node.nid,
+                attempt=n_attempt,
+                error=type(err).__name__,
+            )
+            for obs in self._observers:
+                obs.on_task_retry(wid, node, n_attempt, err)
+            gen = attempt.gen
+            delay = policy.delay_for(n_attempt, key=node.nid)
+            need_recovery = self._leave(topology)
+            if need_recovery:
+                # a device failure arrived mid-flight; recovery will
+                # reschedule this node (it is not done)
+                self._recover(topology)
+            elif gen != topology.gen:
+                pass  # superseded by a recovery pass; ditto
+            elif delay <= 0:
+                self._schedule(topology, node, gen)
+            else:
+                self._timer.schedule(
+                    delay, lambda: self._retry_fire(topology, node, gen)
+                )
+            return
+
+        # terminal: wrap in TaskFailedError when resilience was in play,
+        # keep the raw exception otherwise (backward compatible)
+        if policy is not None or isinstance(err, TaskTimeoutError):
+            wrapped: BaseException = TaskFailedError(node.name, node.nid, history)
+            wrapped.__cause__ = err
+            if policy is not None:
+                self._m_exhausted.inc()
+        else:
+            wrapped = err
+        topology.event(
+            "task_failed",
+            task=node.name,
+            nid=node.nid,
+            attempts=n_attempt,
+            error=type(err).__name__,
+        )
+        topology.fail(wrapped)
+        # a timed-out op never completed on its stream: committing its
+        # ops_executed as a stream_seq would collide with a real op
+        stream = None if isinstance(err, TaskTimeoutError) else attempt.stream
+        self._task_done(wid, topology, node, stream=stream, gen=attempt.gen)
+        if self._leave(topology):
+            self._recover(topology)
+
+    def _retry_fire(self, topology: Topology, node: Node, gen: int) -> None:
+        """Delayed-retry timer target; drops if recovery superseded it."""
+        if topology.gen != gen or topology.failed:
+            if topology.failed and topology.gen == gen:
+                # the topology failed while we waited: flush the node
+                # through the normal cascade so the pass can finish
+                self._schedule(topology, node, gen)
+            return
+        self._schedule(topology, node, gen)
+
+    def _leave(self, topology: Topology) -> bool:
+        return topology.leave()
+
+    def _quarantine_stream(self, stream: Stream) -> None:
+        """Retire one stream from the per-(worker, device) map; the
+        stream object itself is torn down with its device.  Abandoning
+        it first guarantees ops still queued behind the stuck one are
+        skipped rather than executed when the stall releases — a late
+        payload re-running after its task was retried elsewhere would
+        break exact-once."""
+        stream.abandon()
+        with self._stream_lock:
+            for streams in self._streams:
+                for ordinal, s in list(streams.items()):
+                    if s is stream:
+                        del streams[ordinal]
+        self._m_quarantined.inc()
+
+    def _quarantine_device(self, ordinal: int) -> None:
+        """Mark a device dead executor-wide (idempotent)."""
+        with self._quarantine_lock:
+            if ordinal not in self._alive_gpus:
+                return
+            self._alive_gpus.discard(ordinal)
+        self._m_device_failures.inc()
+        device = self._gpu.device(ordinal)
+        device.fail()
+        with self._stream_lock:
+            for streams in self._streams:
+                streams.pop(ordinal, None)
+
+    def _recover(self, topology: Topology) -> None:
+        """Recovery pass, run at quiescence by whichever thread drained
+        the in-flight set last (worker, dispatcher, or timer thread).
+
+        Retracts committed GPU executions whose device state was lost,
+        re-places stranded groups onto survivors (or degrades to host
+        fallbacks), rebuilds join counters over the remaining nodes,
+        and re-dispatches the ready ones under a fresh generation.
+        """
+        while True:
+            dead = topology.take_recovery()
+            nodes = topology.graph.nodes
+            alive = self.alive_gpus
+            if not topology.failed:
+                # retract committed pull/kernel executions whose device
+                # copies died; completed pushes keep their host-side
+                # effect and are not re-run
+                for n in nodes:
+                    if (
+                        n.nid in topology.done_nodes
+                        and n.type in (TaskType.PULL, TaskType.KERNEL)
+                        and (n.device in dead or not alive)
+                    ):
+                        topology.replayed.add(n.nid)
+                        topology.done_nodes.discard(n.nid)
+                        self._m_replayed.inc()
+                        for obs in self._observers:
+                            obs.on_task_replayed(n)
+            # free buffers stranded on dead devices
+            for n in nodes:
+                if n.buffer is not None and not n.buffer.device.alive:
+                    n.buffer.free()
+                    n.buffer = None
+            if not topology.failed:
+                if alive:
+                    if topology.placement is not None:
+                        replan(
+                            nodes,
+                            topology.placement,
+                            alive,
+                            self._placement.cost_metric,
+                        )
+                    topology.event(
+                        "replanned", dead=sorted(dead), alive=alive
+                    )
+                else:
+                    missing = kernels_without_fallback(nodes)
+                    if missing:
+                        first = missing[0]
+                        failure = TaskFailedError(
+                            first.name,
+                            first.nid,
+                            [DeviceFailedError(d) for d in sorted(dead)],
+                        )
+                        topology.event(
+                            "degradation_impossible", task=first.name
+                        )
+                        topology.fail(failure)
+                    else:
+                        topology.degraded = True
+                        self._m_degraded.inc()
+                        topology.event("degraded", at="recovery", alive=[])
+            # rebuild scheduling state over the not-yet-done nodes; the
+            # flush cascade handles them if the topology failed above
+            done = set(topology.done_nodes)
+            remaining = [n for n in nodes if n.nid not in done]
+            for n in remaining:
+                n.join_counter = sum(
+                    1 for d in n.dependents if d.nid not in done
+                )
+            topology.set_pending(len(remaining))
+            ready = [n for n in remaining if n.join_counter == 0]
+            if topology.finish_recovery():
+                # another device died while we recovered: go again
+                continue
+            # stamp every ready node with one generation snapshot: a
+            # failure arriving mid-loop bumps the topology generation,
+            # and later items must NOT survive into the next recovery
+            # pass's own rescheduling
+            gen = topology.gen
+            for n in ready:
+                self._schedule(topology, n, gen)
+            return
 
     def _task_done(
         self,
@@ -524,18 +1090,31 @@ class Executor:
         topology: Topology,
         node: Node,
         stream: Optional[Stream] = None,
+        fallback: bool = False,
+        gen: Optional[int] = None,
     ) -> None:
         # for GPU tasks this runs on the stream dispatcher thread, so
         # ops_executed is stable and identifies the completing op
         seq = stream.ops_executed if stream is not None else None
+        replayed = node.nid in topology.replayed
+        topology.mark_done(node.nid)
         for obs in self._observers:
-            obs.on_task_end(wid, node, stream=stream, stream_seq=seq)
-        self._finish_node(topology, node)
+            obs.on_task_end(
+                wid,
+                node,
+                stream=stream,
+                stream_seq=seq,
+                fallback=fallback,
+                replayed=replayed,
+            )
+        self._finish_node(topology, node, gen)
 
-    def _finish_node(self, topology: Topology, node: Node) -> None:
+    def _finish_node(
+        self, topology: Topology, node: Node, gen: Optional[int] = None
+    ) -> None:
         for succ in node.successors:
             if succ.release_dependency():
-                self._schedule(topology, succ)
+                self._schedule(topology, succ, gen)
         if topology.node_finished():
             if topology.pass_completed():
                 self._finalize_topology(topology)
@@ -554,22 +1133,36 @@ class Executor:
                     streams[device_ordinal] = s
         return s
 
-    def _gpu_callback(
-        self, wid: int, topology: Topology, node: Node, stream: Stream
-    ) -> Callable:
+    def _attempt_callback(self, attempt: _Attempt) -> Callable:
         def done(err: Optional[BaseException]) -> None:
-            if err is not None:
-                topology.fail(err)
-            self._task_done(wid, topology, node, stream=stream)
+            self._attempt_finished(attempt, err)
 
         return done
 
-    def _invoke_pull(self, wid: int, topology: Topology, node: Node) -> None:
+    def _snapshotting(self) -> bool:
+        """Capture pull snapshots only when device failure is possible
+        (a fault profile is armed or a device already died) — replay
+        needs the H2D-time bytes, which a completed push may since have
+        overwritten on the host."""
+        if len(self._alive_gpus) < self.num_gpus:
+            return True
+        return any(d.fault_state is not None for d in self._gpu.devices)
+
+    def _invoke_pull(self, attempt: _Attempt) -> None:
+        topology, node, wid = attempt.topology, attempt.node, attempt.wid
         assert node.span is not None and node.device is not None
         device = self._gpu.device(node.device)
+        if not device.alive:
+            raise DeviceFailedError(node.device)
         with ScopedDeviceContext(device):
             stream = self._stream_for(wid, node.device)
-            host = node.span.host_array()
+            attempt.stream = stream
+            # a replayed pull re-reads its snapshot, not the live span:
+            # a completed push may have overwritten the host array
+            if node.nid in topology.replayed and node.pull_snapshot is not None:
+                host = node.pull_snapshot
+            else:
+                host = node.span.host_array()
             need = max(int(host.nbytes), 1)
             buf = node.buffer
             if buf is not None and (buf.device is not device or buf.nbytes < need):
@@ -580,11 +1173,18 @@ class Executor:
                 node.buffer = buf
             else:
                 buf.dtype = host.dtype
-            self._gpu.memcpy_h2d_async(
-                buf, host, stream, callback=self._gpu_callback(wid, topology, node, stream)
-            )
+            capture = self._snapshotting()
+            inner = self._attempt_callback(attempt)
 
-    def _invoke_push(self, wid: int, topology: Topology, node: Node) -> None:
+            def done(err: Optional[BaseException]) -> None:
+                if err is None and capture:
+                    node.pull_snapshot = np.array(host, copy=True)
+                inner(err)
+
+            self._gpu.memcpy_h2d_async(buf, host, stream, callback=done)
+
+    def _invoke_push(self, attempt: _Attempt) -> None:
+        topology, node, wid = attempt.topology, attempt.node, attempt.wid
         assert node.span is not None and node.source is not None
         src = node.source.buffer
         if src is None:
@@ -592,12 +1192,17 @@ class Executor:
                 f"push task {node.name!r} ran before its pull task "
                 f"{node.source.name!r}; add the missing dependency"
             )
-        device = self._gpu.device(node.device if node.device is not None else src.device.ordinal)
+        device = self._gpu.device(
+            node.device if node.device is not None else src.device.ordinal
+        )
+        if not device.alive:
+            raise DeviceFailedError(device.ordinal)
         with ScopedDeviceContext(device):
             stream = self._stream_for(wid, device.ordinal)
+            attempt.stream = stream
             staging = np.empty(src.size, dtype=src.dtype)
             span = node.span
-            inner = self._gpu_callback(wid, topology, node, stream)
+            inner = self._attempt_callback(attempt)
 
             def done(err: Optional[BaseException]) -> None:
                 if err is None:
@@ -609,9 +1214,12 @@ class Executor:
 
             self._gpu.memcpy_d2h_async(staging, src, stream, callback=done)
 
-    def _invoke_kernel(self, wid: int, topology: Topology, node: Node) -> None:
+    def _invoke_kernel(self, attempt: _Attempt) -> None:
+        node, wid = attempt.node, attempt.wid
         assert node.kernel_fn is not None and node.device is not None
         device = self._gpu.device(node.device)
+        if not device.alive:
+            raise DeviceFailedError(node.device)
         converted: List[Any] = []
         for arg in node.kernel_args:
             if isinstance(arg, PullTask):
@@ -626,10 +1234,11 @@ class Executor:
                 converted.append(arg)
         with ScopedDeviceContext(device):
             stream = self._stream_for(wid, node.device)
+            attempt.stream = stream
             launch_async(
                 stream,
                 node.launch,
                 node.kernel_fn,
                 *converted,
-                callback=self._gpu_callback(wid, topology, node, stream),
+                callback=self._attempt_callback(attempt),
             )

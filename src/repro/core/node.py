@@ -68,6 +68,12 @@ class Node:
         "device",
         "buffer",
         "_lock",
+        # resilience (docs/resilience.md)
+        "retry_policy",  # per-task RetryPolicy override
+        "timeout_s",  # per-task deadline override (seconds)
+        "fallback_fn",  # KERNEL: host fallback callable
+        "pull_snapshot",  # PULL: host bytes captured at H2D completion
+        "host_shadow",  # PULL: degraded-mode host-resident copy
     )
 
     def __init__(self, type_: TaskType, name: str = "") -> None:
@@ -92,6 +98,11 @@ class Node:
         self.device: Optional[int] = None
         self.buffer: Optional["DeviceBuffer"] = None
         self._lock = threading.Lock()
+        self.retry_policy = None
+        self.timeout_s: Optional[float] = None
+        self.fallback_fn: Optional[Callable] = None
+        self.pull_snapshot = None
+        self.host_shadow = None
 
     # -- structure ---------------------------------------------------
     def precede(self, other: "Node") -> None:

@@ -41,13 +41,35 @@ class ExecutorObserver:
         node: "Node",
         stream: Optional["Stream"] = None,
         stream_seq: Optional[int] = None,
+        fallback: bool = False,
+        replayed: bool = False,
     ) -> None:
         """Called after the task (including async GPU part) completes.
 
         For GPU tasks *stream* is the stream the operation ran on and
         *stream_seq* its stream-local completion index; both are
-        ``None`` for host tasks.
+        ``None`` for host tasks.  *fallback* marks a degraded host-side
+        execution of a GPU task; *replayed* marks a re-execution after
+        a device failure invalidated the committed first run
+        (docs/resilience.md).
         """
+
+    def on_task_retry(
+        self,
+        worker_id: int,
+        node: "Node",
+        attempt: int,
+        error: BaseException,
+    ) -> None:
+        """Called when attempt *attempt* (1-based) of a task failed and
+        the executor decided to run it again.  No trace record is
+        committed for the failed attempt."""
+
+    def on_task_replayed(self, node: "Node") -> None:
+        """Called when a committed execution of *node* was invalidated
+        by a device failure; the task will run again.  Tracing
+        observers should retract the stale record so exact-once
+        accounting holds."""
 
     def on_topology_begin(self, graph_name: str, num_nodes: int) -> None:
         """Called when a submitted graph starts an execution pass."""
@@ -72,6 +94,10 @@ class TaskRecord:
     stream: Optional[int] = None
     #: stream-local completion sequence number (None for host tasks)
     stream_seq: Optional[int] = None
+    #: GPU task executed on the host via its registered fallback
+    fallback: bool = False
+    #: re-execution after a device failure retracted the first run
+    replayed: bool = False
 
     @property
     def duration(self) -> float:
@@ -98,6 +124,8 @@ class TraceObserver(ExecutorObserver):
         node: "Node",
         stream: Optional["Stream"] = None,
         stream_seq: Optional[int] = None,
+        fallback: bool = False,
+        replayed: bool = False,
     ) -> None:
         now = time.perf_counter()
         with self._lock:
@@ -107,14 +135,27 @@ class TraceObserver(ExecutorObserver):
                     name=node.name,
                     type=node.type.value,
                     worker_id=wid,
-                    device=node.device,
+                    device=node.device if not fallback else None,
                     begin=begin,
                     end=now,
                     nid=node.nid,
                     stream=stream.sid if stream is not None else None,
                     stream_seq=stream_seq,
+                    fallback=fallback,
+                    replayed=replayed,
                 )
             )
+
+    def on_task_replayed(self, node: "Node") -> None:
+        # retract the committed record so the coming re-execution keeps
+        # the trace exact-once; scan from the end (the stale record is
+        # almost always the most recent one for this nid)
+        with self._lock:
+            for i in range(len(self.records) - 1, -1, -1):
+                if self.records[i].nid == node.nid:
+                    del self.records[i]
+                    break
+            self._open.pop(node.nid, None)
 
     def on_topology_begin(self, graph_name: str, num_nodes: int) -> None:
         with self._lock:

@@ -84,6 +84,38 @@ class Task:
             t._require().precede(me)
         return self
 
+    # -- resilience (docs/resilience.md) -----------------------------
+    def retry(self, policy: Optional[Any] = None, **kwargs: Any) -> "Task":
+        """Attach a per-task :class:`~repro.resilience.RetryPolicy`.
+
+        Accepts a ready policy or its keyword fields
+        (``t.retry(max_attempts=5, base_delay=0.01)``); overrides any
+        run-level policy for this task only.
+        """
+        from repro.resilience.policy import RetryPolicy
+
+        node = self._require()
+        if policy is None:
+            policy = RetryPolicy(**kwargs)
+        elif kwargs:
+            raise GraphError(
+                "task.retry() takes a RetryPolicy or keyword fields, not both"
+            )
+        elif not isinstance(policy, RetryPolicy):
+            raise GraphError(
+                f"task.retry() takes a RetryPolicy, got {type(policy).__name__}"
+            )
+        node.retry_policy = policy
+        return self
+
+    def timeout(self, seconds: float) -> "Task":
+        """Attach a per-task deadline in seconds (overrides the
+        run-level policy timeout for this task)."""
+        if seconds is not None and seconds <= 0:
+            raise GraphError("task timeout must be positive")
+        self._require().timeout_s = None if seconds is None else float(seconds)
+        return self
+
     def __repr__(self) -> str:  # pragma: no cover
         if self._node is None:
             return f"{type(self).__name__}(<empty>)"
@@ -198,6 +230,30 @@ class KernelTask(Task):
         undeclared pull arguments already default to read-write.
         """
         return self._declare("kernel_writes", pulls)
+
+    def host_fallback(self, fn: Optional[Callable] = None) -> "KernelTask":
+        """Register a CPU fallback for graceful degradation.
+
+        When every GPU has failed, the executor runs *fn* over the host
+        shadow arrays of the kernel's pull arguments instead of failing
+        the topology (docs/resilience.md).  With no argument, the bound
+        kernel callable itself is reused — correct whenever the kernel
+        is a plain numpy function of its views, which all simulated
+        kernels are.
+        """
+        node = self._require()
+        if fn is None:
+            if node.kernel_fn is None:
+                raise GraphError(
+                    "host_fallback() without a function requires the "
+                    "kernel to be bound first"
+                )
+            node.fallback_fn = node.kernel_fn
+        else:
+            if not callable(fn):
+                raise GraphError("host fallback requires a callable")
+            node.fallback_fn = fn
+        return self
 
     # -- launch-shape builders (paper: .block_x(...) etc.) ----------
     def _update(self, **kw: int) -> "KernelTask":

@@ -8,17 +8,33 @@ track individual execution status" (paper §III-C).
 A topology owns one promise/future pair for caller signalling, the
 repeat predicate implementing ``run``/``run_n``/``run_until``, the
 placement result, and the pass-completion counter.
+
+Since the resilience layer (docs/resilience.md) it also tracks:
+
+- the normalized :class:`~repro.resilience.ResiliencePolicy` for the
+  submission (per-task overrides live on the nodes);
+- per-node attempt histories (:meth:`record_attempt`) feeding
+  :class:`~repro.errors.TaskFailedError` and the retry loop;
+- a *generation* counter plus an *active* in-flight counter enabling
+  quiescence-based device-failure recovery: when a device dies, the
+  executor requests recovery, workers drop stale-generation items, and
+  the last in-flight task to leave triggers the re-placement/replay
+  pass;
+- structured failure events surfaced in the RunReport.
 """
 
 from __future__ import annotations
 
 import threading
 from concurrent.futures import Future
-from typing import TYPE_CHECKING, Callable, Optional
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Set
+
+from repro.resilience.policy import normalize_policy
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.heteroflow import Heteroflow
     from repro.core.placement import PlacementResult
+    from repro.resilience.policy import ResiliencePolicy, RetryPolicy
 
 
 class Topology:
@@ -29,10 +45,14 @@ class Topology:
         graph: "Heteroflow",
         repeats: Optional[int] = 1,
         predicate: Optional[Callable[[], bool]] = None,
+        policy: Optional[object] = None,
     ) -> None:
         """*repeats*: fixed pass count (``run``/``run_n``), or ``None``
         with *predicate*: run passes until ``predicate()`` is True
         (``run_until``, checked after each pass — do/while semantics).
+        *policy*: a :class:`~repro.resilience.RetryPolicy` or
+        :class:`~repro.resilience.ResiliencePolicy` applied to every
+        task of the submission (tasks override individually).
         """
         self.graph = graph
         self.repeats = repeats
@@ -43,6 +63,32 @@ class Topology:
         self.pending = 0
         self.error: Optional[BaseException] = None
         self._lock = threading.Lock()
+        # -- resilience state -------------------------------------------
+        norm: "ResiliencePolicy" = normalize_policy(policy)
+        self.retry_policy: Optional["RetryPolicy"] = norm.retry
+        self.timeout_s: Optional[float] = norm.timeout
+        #: True once the executor began (or promoted) this topology;
+        #: queued topologies cancel immediately (Executor.cancel)
+        self.started = False
+        #: True when running GPU tasks on host shadows (zero survivors)
+        self.degraded = False
+        #: scheduling generation; recovery bumps it so stale queue
+        #: items are dropped by workers
+        self.gen = 0
+        #: tasks currently inside _invoke (in-flight)
+        self.active = 0
+        #: per-node attempt error history (this pass)
+        self.attempts: Dict[int, List[BaseException]] = {}
+        #: nids whose task committed (finished) this pass
+        self.done_nodes: Set[int] = set()
+        #: nids whose committed execution was invalidated by a device
+        #: failure and will run again (trace record retracted)
+        self.replayed: Set[int] = set()
+        #: structured failure/recovery events (RunReport ``events``)
+        self.events: List[dict] = []
+        #: device ordinals whose failure awaits recovery
+        self._recovery_devices: Set[int] = set()
+        self._recovering = False
 
     # -- failure handling ----------------------------------------------
     def fail(self, error: BaseException) -> None:
@@ -72,12 +118,20 @@ class Topology:
     def begin_pass(self) -> None:
         with self._lock:
             self.pending = len(self.graph.nodes)
+            self.attempts = {}
+            self.done_nodes = set()
+            self.replayed = set()
 
     def node_finished(self) -> bool:
         """Count one node done; True when the pass just completed."""
         with self._lock:
             self.pending -= 1
             return self.pending == 0
+
+    def set_pending(self, n: int) -> None:
+        """Reset the remaining-node count (recovery re-baselines it)."""
+        with self._lock:
+            self.pending = n
 
     def pass_completed(self) -> bool:
         """Record a finished pass; True when the topology should stop."""
@@ -96,3 +150,73 @@ class Topology:
             self.future.set_exception(self.error)
         else:
             self.future.set_result(self.passes_done)
+
+    # -- resilience accounting (docs/resilience.md) --------------------
+    def record_attempt(self, nid: int, error: BaseException) -> List[BaseException]:
+        """Append one failed attempt for node *nid*; returns the full
+        history (oldest first)."""
+        with self._lock:
+            history = self.attempts.setdefault(nid, [])
+            history.append(error)
+            return list(history)
+
+    def mark_done(self, nid: int) -> None:
+        with self._lock:
+            self.done_nodes.add(nid)
+
+    def event(self, kind: str, **fields: object) -> None:
+        """Record a structured failure/recovery event (JSON-ready)."""
+        ev = {"kind": kind}
+        ev.update(fields)
+        with self._lock:
+            self.events.append(ev)
+
+    # -- quiescence-based recovery -------------------------------------
+    def enter(self) -> bool:
+        """A worker is about to run a task; False means recovery is
+        pending and the caller must drop the item (recovery will
+        reschedule whatever still needs to run)."""
+        with self._lock:
+            if self._recovery_devices and not self._recovering:
+                return False
+            self.active += 1
+            return True
+
+    def leave(self) -> bool:
+        """A task left the in-flight set; True when the caller must run
+        the recovery pass (it observed quiescence with recovery
+        pending)."""
+        with self._lock:
+            self.active -= 1
+            return (
+                self.active == 0
+                and bool(self._recovery_devices)
+                and not self._recovering
+            )
+
+    def request_recovery(self, ordinal: int) -> bool:
+        """Note that device *ordinal* failed; True when the caller
+        should run recovery right now (nothing is in flight)."""
+        with self._lock:
+            self.gen += 1  # invalidate queued items immediately
+            self._recovery_devices.add(ordinal)
+            return self.active == 0 and not self._recovering
+
+    def take_recovery(self) -> Set[int]:
+        """Claim the pending recovery set (called by the recovery pass)."""
+        with self._lock:
+            self._recovering = True
+            devices, self._recovery_devices = self._recovery_devices, set()
+            return devices
+
+    def finish_recovery(self) -> bool:
+        """Mark recovery done; True when new failures arrived meanwhile
+        (the caller should run another pass)."""
+        with self._lock:
+            self._recovering = False
+            return bool(self._recovery_devices) and self.active == 0
+
+    @property
+    def recovery_pending(self) -> bool:
+        with self._lock:
+            return bool(self._recovery_devices) or self._recovering

@@ -56,6 +56,46 @@ class ExecutorError(HeteroflowError):
     requires GPUs on a GPU-less executor, use after shutdown."""
 
 
+class TaskFailedError(ExecutorError):
+    """A task exhausted its resilience budget (retries/timeouts/device
+    recovery) and failed the topology.
+
+    Raised through the submission future whenever a
+    :class:`repro.resilience.RetryPolicy` or timeout was in play, so the
+    caller can distinguish "the task function raised" (the raw exception,
+    backward-compatible) from "the runtime gave up after trying".  The
+    full per-attempt error history is :attr:`attempts` (oldest first);
+    the final error is ``attempts[-1]``.
+    """
+
+    def __init__(self, task_name: str, nid: int, attempts) -> None:
+        self.task_name = task_name
+        self.nid = nid
+        self.attempts = tuple(attempts)
+        last = self.attempts[-1] if self.attempts else None
+        super().__init__(
+            f"task {task_name!r} failed after {len(self.attempts)} "
+            f"attempt(s); last error: {last!r}"
+        )
+
+
+class TaskTimeoutError(ExecutorError):
+    """A task exceeded its per-task or per-run timeout.
+
+    For asynchronous GPU work the watchdog fires mid-flight (the stale
+    stream completion is discarded and the stream quarantined); host
+    callables cannot be interrupted, so their timeouts are detected when
+    the callable returns (see docs/resilience.md).
+    """
+
+    def __init__(self, task_name: str, timeout_s: float) -> None:
+        self.task_name = task_name
+        self.timeout_s = timeout_s
+        super().__init__(
+            f"task {task_name!r} exceeded its {timeout_s:g}s timeout"
+        )
+
+
 class DeviceError(HeteroflowError):
     """Simulated GPU runtime errors (bad device ordinal, destroyed
     stream, cross-device buffer access)."""
@@ -68,6 +108,19 @@ class AllocationError(DeviceError):
 class KernelError(DeviceError):
     """Kernel launch failures: bad launch configuration, argument
     conversion failure, or an exception raised inside a kernel."""
+
+
+class DeviceFailedError(DeviceError):
+    """A whole simulated GPU died (or was quarantined).
+
+    Carries the :attr:`ordinal` of the failed device so the executor's
+    recovery path can quarantine it, re-place surviving work, and replay
+    lost spans (docs/resilience.md).
+    """
+
+    def __init__(self, ordinal: int, message: str = "") -> None:
+        self.ordinal = ordinal
+        super().__init__(message or f"device {ordinal} failed")
 
 
 class ValidationError(HeteroflowError):

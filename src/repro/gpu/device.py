@@ -13,14 +13,17 @@ thread; exiting restores the previous device.
 from __future__ import annotations
 
 import threading
-from typing import Callable, List, Optional
+from typing import TYPE_CHECKING, Callable, List, Optional
 
 import numpy as np
 
-from repro.errors import DeviceError
+from repro.errors import DeviceError, DeviceFailedError
 from repro.gpu.memory import DeviceBuffer, DeviceHeap
 from repro.gpu.stream import Event, Stream
 from repro.metrics.registry import Counter
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.resilience.faults import FaultProfile, FaultState
 
 #: Default simulated global-memory size per device (64 MiB). Small by
 #: real-GPU standards but ample for the reproduction workloads; tests
@@ -40,6 +43,10 @@ class Device:
 
     def __init__(self, ordinal: int, memory_bytes: int = DEFAULT_MEMORY_BYTES) -> None:
         self.ordinal = ordinal
+        # liveness/fault state must exist before the heap: the heap's
+        # allocation path consults pre_alloc()
+        self._alive = True
+        self._fault_state: Optional["FaultState"] = None
         self.heap = DeviceHeap(self, memory_bytes)
         self._streams: List[Stream] = []
         self._lock = threading.Lock()
@@ -70,9 +77,82 @@ class Device:
         return self.heap.allocate(nbytes, dtype=dtype)
 
     def synchronize(self) -> None:
-        """Wait for every stream on this device to drain."""
+        """Wait for every stream on this device to drain.
+
+        A failed device is skipped: its streams only reject work, and
+        the executor has already quarantined them.
+        """
+        if not self._alive:
+            return
         for s in self.streams:
             s.synchronize()
+
+    # -- liveness & fault injection (docs/resilience.md) -------------
+    @property
+    def alive(self) -> bool:
+        """False once the device has failed (injected or quarantined)."""
+        return self._alive
+
+    def fail(self) -> None:
+        """Declare the whole device dead (idempotent).
+
+        Any dispatcher blocked in an injected stall is released so the
+        stream can drain and tear down; the released op raises instead
+        of running its payload.
+        """
+        self._alive = False
+        fs = self._fault_state
+        if fs is not None:
+            fs.release()
+
+    def configure_faults(self, profile: "FaultProfile", seed: int = 0) -> "FaultState":
+        """Arm a seeded fault profile on this device.
+
+        The profile's triggers draw from a child seed derived per
+        ordinal, so one (profile, seed) pair arms a whole runtime with
+        distinct but reproducible per-device fault streams.
+        """
+        from repro.resilience.faults import FaultState
+        from repro.utils.rng import derive_seed
+
+        state = FaultState(profile, derive_seed(seed, "gpu", self.ordinal))
+        self._fault_state = state
+        return state
+
+    def clear_faults(self) -> None:
+        """Disarm fault injection (releases any held stall)."""
+        fs = self._fault_state
+        self._fault_state = None
+        if fs is not None:
+            fs.release()
+
+    @property
+    def fault_state(self) -> Optional["FaultState"]:
+        return self._fault_state
+
+    def pre_op(self) -> None:
+        """Dispatcher hook before every stream op payload."""
+        if not self._alive:
+            raise DeviceFailedError(self.ordinal)
+        fs = self._fault_state
+        if fs is not None:
+            fs.on_op(self)
+
+    def pre_kernel(self) -> None:
+        """Hook inside every kernel-launch op body."""
+        if not self._alive:
+            raise DeviceFailedError(self.ordinal)
+        fs = self._fault_state
+        if fs is not None:
+            fs.on_kernel(self)
+
+    def pre_alloc(self) -> None:
+        """Hook before every heap pool allocation."""
+        if not self._alive:
+            raise DeviceFailedError(self.ordinal)
+        fs = self._fault_state
+        if fs is not None:
+            fs.on_alloc(self)
 
     def stats(self) -> dict:
         """JSON-ready device statistics snapshot.
@@ -96,6 +176,11 @@ class Device:
         }
 
     def destroy(self) -> None:
+        # release any dispatcher held in an injected stall first, or
+        # the sentinel join below would deadlock
+        fs = self._fault_state
+        if fs is not None:
+            fs.release()
         for s in self.streams:
             s.destroy()
 

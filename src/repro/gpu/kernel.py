@@ -205,6 +205,8 @@ def launch_async(
     stream.device.kernel_launches.inc()
 
     def op() -> None:
+        # kernel-level fault-injection gate (docs/resilience.md)
+        stream.device.pre_kernel()
         converted = [convert_argument(a) for a in args]
         if wants_ctx:
             fn(KernelContext(config, ordinal), *converted)

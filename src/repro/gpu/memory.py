@@ -123,6 +123,8 @@ class DeviceHeap:
         dt = np.dtype(dtype)
         if nbytes < 0:
             raise AllocationError("allocation size must be non-negative")
+        # fault-injection / liveness gate (docs/resilience.md)
+        self.device.pre_alloc()
         nbytes = max(int(nbytes), 1)
         offset = self.allocator.allocate(nbytes)
         self._alloc_count += 1

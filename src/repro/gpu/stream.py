@@ -88,6 +88,7 @@ class Stream:
         self.name = name or f"stream{self.sid}"
         self._ops: "queue.SimpleQueue" = queue.SimpleQueue()
         self._destroyed = False
+        self._abandoned = False
         self._error: Optional[BaseException] = None
         self._ops_executed = 0
         self._busy_seconds = 0.0
@@ -108,6 +109,14 @@ class Stream:
             err: Optional[BaseException] = None
             t0 = time.perf_counter()
             try:
+                if self._abandoned:
+                    raise DeviceError(
+                        f"stream {self.name} quarantined; operation abandoned"
+                    )
+                # fault-injection / liveness gate: a dead device rejects
+                # every op, an injected stall blocks here and never runs
+                # the payload (docs/resilience.md)
+                self.device.pre_op()
                 fn()
             except BaseException as exc:  # noqa: BLE001 - deferred to sync
                 err = exc
@@ -180,6 +189,15 @@ class Stream:
         err, self._error = self._error, None
         if err is not None:
             raise err
+
+    def abandon(self) -> None:
+        """Quarantine the stream: every op still queued (e.g. stuck
+        behind an injected stall) and every later one is skipped — its
+        callback receives a :class:`~repro.errors.DeviceError` and the
+        payload never runs.  The executor calls this when a timeout
+        poisons the stream's FIFO guarantee (docs/resilience.md), so
+        abandoned work cannot re-execute when the stall releases."""
+        self._abandoned = True
 
     def destroy(self) -> None:
         """Drain and stop the dispatcher thread (idempotent)."""

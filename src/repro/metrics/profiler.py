@@ -88,6 +88,9 @@ class RunReport:
     tasks_per_device: Dict[int, int] = field(default_factory=dict)
     #: raw ``MetricsRegistry.snapshot()`` of the owning executor
     counters: Dict[str, object] = field(default_factory=dict)
+    #: structured failure/recovery events (retries, timeouts, device
+    #: deaths, degradation) in occurrence order; empty for clean runs
+    events: List[dict] = field(default_factory=list)
 
     def to_dict(self) -> dict:
         """Stable JSON-ready form (see :data:`RUN_REPORT_SCHEMA`)."""
@@ -133,6 +136,7 @@ class RunReport:
                 },
             },
             "counters": self.counters,
+            "events": self.events,
         }
 
     def to_json(self, indent: Optional[int] = 2) -> str:
@@ -155,6 +159,7 @@ def build_run_report(
     passes: int = 1,
     workload: str = "",
     counters: Optional[Dict[str, object]] = None,
+    events: Optional[List[dict]] = None,
 ) -> RunReport:
     """Analyze *records* of a run of *graph* into a :class:`RunReport`.
 
@@ -165,7 +170,8 @@ def build_run_report(
     records use.  *counters* is an optional
     :meth:`~repro.metrics.registry.MetricsRegistry.snapshot` dict; the
     per-worker steal summary is extracted from the ``executor.*`` keys
-    when present.
+    when present.  *events* is the topology's structured
+    failure/recovery event list (docs/resilience.md), copied verbatim.
     """
     nodes = graph.nodes
     known = {n.nid for n in nodes}
@@ -179,6 +185,7 @@ def build_run_report(
         passes=passes,
         num_records=len(recs),
         counters=dict(counters or {}),
+        events=list(events or []),
     )
 
     # task counts by type + per-device placement summary
@@ -297,5 +304,14 @@ def render_report_text(report: RunReport) -> str:
             + "  ".join(
                 f"gpu{d}={n}" for d, n in sorted(report.tasks_per_device.items())
             )
+        )
+    if report.events:
+        kinds: Dict[str, int] = {}
+        for ev in report.events:
+            k = str(ev.get("kind", "?"))
+            kinds[k] = kinds.get(k, 0) + 1
+        lines.append(
+            "events        "
+            + "  ".join(f"{k}={n}" for k, n in sorted(kinds.items()))
         )
     return "\n".join(lines)

@@ -1,0 +1,42 @@
+"""Fault-tolerant execution: policies, fault injection, degradation.
+
+Public surface:
+
+- :class:`RetryPolicy` / :class:`ResiliencePolicy` — per-task and
+  per-run retry/timeout policies (``task.retry``, ``task.timeout``,
+  ``Executor.run(..., policy=...)``);
+- :class:`FaultProfile` — seeded device fault plans, armed via
+  ``Device.configure_faults``;
+- :func:`run_chaos` — the seeded chaos sweep behind
+  ``python -m repro chaos`` (imported lazily: it drives the executor,
+  which itself imports this package).
+
+See docs/resilience.md for the full model.
+"""
+
+from __future__ import annotations
+
+from repro.resilience.faults import FaultProfile, FaultState
+from repro.resilience.policy import (
+    ResiliencePolicy,
+    RetryPolicy,
+    normalize_policy,
+)
+
+__all__ = [
+    "RetryPolicy",
+    "ResiliencePolicy",
+    "normalize_policy",
+    "FaultProfile",
+    "FaultState",
+    "ChaosReport",
+    "run_chaos",
+]
+
+
+def __getattr__(name: str):
+    if name in ("run_chaos", "ChaosReport"):
+        from repro.resilience import chaos
+
+        return getattr(chaos, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,317 @@
+"""Chaos harness: seeded fault-scenario sweeps over the resilience layer.
+
+Each scenario builds a seeded random Heteroflow graph
+(:mod:`repro.check.generator`), arms one fault class on the simulated
+devices (:class:`~repro.resilience.FaultProfile`), runs the graph under
+a real executor, and checks the contract of docs/resilience.md:
+
+- **alloc** — the first 1-2 buddy-pool allocations fail; a run-level
+  :class:`~repro.resilience.RetryPolicy` must absorb them and the run
+  must complete.
+- **kernel** — a one-shot kernel fault on every device; retries must
+  recover it.
+- **stall** — one stream op hangs forever; the per-run timeout must
+  fire, the stream must be quarantined, and the retried task must
+  complete on a fresh stream.
+- **device** — one of two GPUs dies mid-run; the executor must
+  re-place stranded groups onto the survivor, replay lost spans, and
+  complete.
+- **degrade** — the only GPU dies.  With host fallbacks registered the
+  run must complete on the CPU; without them it must fail with a
+  structured :class:`~repro.errors.TaskFailedError` (alternating per
+  degrade scenario).
+
+Every completed scenario is cross-checked by the schedule validator
+(exact-once must hold across retries and replays) and by the
+generator's host-side oracle — the recovered results must be
+bit-identical to a fault-free run.  Failed scenarios must still leave
+a partially-valid trace.  Exposed via ``python -m repro chaos``.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.check.generator import generate_graph
+from repro.check.validate import validate_schedule
+from repro.core.executor import Executor
+from repro.core.observer import TraceObserver
+from repro.errors import TaskFailedError
+from repro.resilience.faults import FaultProfile
+from repro.resilience.policy import ResiliencePolicy, RetryPolicy
+from repro.utils.rng import derive_seed
+
+#: schema identifier of the serialized report; bump on layout changes
+CHAOS_REPORT_SCHEMA = "repro.chaos-report/1"
+
+#: fault classes, cycled over the scenario index
+KINDS = ("alloc", "kernel", "stall", "device", "degrade")
+
+#: per-scenario deadline — a hang is itself a failed scenario
+_RESULT_TIMEOUT = 60.0
+
+#: injected-stall scenarios use this per-run task deadline (seconds)
+_STALL_TIMEOUT = 0.5
+
+#: resilience counters aggregated across the sweep
+_COUNTER_KEYS = (
+    "resilience.retries",
+    "resilience.timeouts",
+    "resilience.exhausted",
+    "resilience.device_failures",
+    "resilience.streams_quarantined",
+    "resilience.replayed_tasks",
+    "resilience.fallback_tasks",
+    "resilience.degraded_topologies",
+)
+
+
+@dataclass
+class ScenarioOutcome:
+    """One executed fault scenario."""
+
+    index: int
+    kind: str
+    seed: int
+    workers: int
+    gpus: int
+    num_nodes: int
+    num_records: int = 0
+    expect_failure: bool = False
+    completed: bool = False
+    error: str = ""
+    num_events: int = 0
+    violations: List[str] = field(default_factory=list)
+    #: this scenario's ``resilience.*`` counter snapshot
+    counters: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def to_dict(self) -> dict:
+        return {
+            "index": self.index,
+            "kind": self.kind,
+            "seed": self.seed,
+            "workers": self.workers,
+            "gpus": self.gpus,
+            "num_nodes": self.num_nodes,
+            "num_records": self.num_records,
+            "expect_failure": self.expect_failure,
+            "completed": self.completed,
+            "error": self.error,
+            "num_events": self.num_events,
+            "violations": list(self.violations),
+            "counters": dict(sorted(self.counters.items())),
+        }
+
+
+@dataclass
+class ChaosReport:
+    """Aggregated outcome of one chaos sweep."""
+
+    seed: int
+    scenarios: List[ScenarioOutcome] = field(default_factory=list)
+    counters: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return all(s.ok for s in self.scenarios)
+
+    @property
+    def num_scenarios(self) -> int:
+        return len(self.scenarios)
+
+    @property
+    def num_completed(self) -> int:
+        return sum(1 for s in self.scenarios if s.completed)
+
+    @property
+    def num_failed_as_expected(self) -> int:
+        return sum(
+            1 for s in self.scenarios if s.expect_failure and not s.completed
+        )
+
+    @property
+    def violations(self) -> List[str]:
+        out: List[str] = []
+        for s in self.scenarios:
+            out.extend(
+                f"[#{s.index} {s.kind} seed={s.seed}] {v}"
+                for v in s.violations
+            )
+        return out
+
+    def to_dict(self) -> dict:
+        return {
+            "schema": CHAOS_REPORT_SCHEMA,
+            "seed": self.seed,
+            "num_scenarios": self.num_scenarios,
+            "num_completed": self.num_completed,
+            "num_failed_as_expected": self.num_failed_as_expected,
+            "ok": self.ok,
+            "counters": dict(sorted(self.counters.items())),
+            "scenarios": [s.to_dict() for s in self.scenarios],
+        }
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+
+def _profile_for(kind: str, rng: random.Random) -> FaultProfile:
+    if kind == "alloc":
+        return FaultProfile(alloc_failures=rng.randint(1, 2))
+    if kind == "kernel":
+        return FaultProfile(kernel_fault_at=rng.randint(1, 2))
+    if kind == "stall":
+        return FaultProfile(stall_at_op=rng.randint(1, 3))
+    if kind == "device":
+        return FaultProfile(die_at_op=rng.randint(1, 4))
+    assert kind == "degrade"
+    return FaultProfile(die_at_op=rng.randint(1, 3))
+
+
+def run_scenario(index: int, seed: int = 0) -> ScenarioOutcome:
+    """Run chaos scenario *index* of the sweep seeded with *seed*.
+
+    Fully deterministic given ``(index, seed)``: the graph shape, the
+    fault profile, the device RNGs, and the retry jitter all derive
+    from one blake2b child seed, so a red scenario reproduces from the
+    two integers in its report line alone.
+    """
+    sseed = derive_seed(seed, "chaos", index)
+    rng = random.Random(sseed)
+    kind = KINDS[index % len(KINDS)]
+    workers = rng.choice((1, 2, 4))
+    if kind == "device":
+        gpus = 2
+    elif kind == "degrade":
+        gpus = 1
+    else:
+        gpus = rng.choice((1, 2))
+    # alternate degrade scenarios drop the fallbacks: those must fail
+    # with a structured TaskFailedError instead of completing
+    fallbacks = not (kind == "degrade" and (index // len(KINDS)) % 2 == 1)
+    graph_seed = sseed % (1 << 31)
+    gen = generate_graph(graph_seed, num_gpus=gpus, fallbacks=fallbacks)
+    outcome = ScenarioOutcome(
+        index=index,
+        kind=kind,
+        seed=graph_seed,
+        workers=workers,
+        gpus=gpus,
+        num_nodes=gen.num_nodes,
+        expect_failure=not fallbacks,
+    )
+
+    profile = _profile_for(kind, rng)
+    if kind in ("device", "degrade"):
+        victims = [rng.randrange(gpus)] if kind == "device" else [0]
+    elif kind == "stall":
+        victims = [0]
+    else:
+        # placement decides which GPU runs what; arm them all so the
+        # fault fires regardless
+        victims = list(range(gpus))
+
+    policy: Optional[object] = None
+    if kind in ("alloc", "kernel"):
+        policy = RetryPolicy(max_attempts=4, base_delay=0.0, seed=graph_seed)
+    elif kind == "stall":
+        policy = ResiliencePolicy(
+            retry=RetryPolicy(max_attempts=4, base_delay=0.0, seed=graph_seed),
+            timeout=_STALL_TIMEOUT,
+        )
+
+    snapshot: Dict[str, object] = {}
+    obs = TraceObserver()
+    ex = Executor(
+        num_workers=workers, num_gpus=gpus, observers=[obs], seed=graph_seed
+    )
+    try:
+        for ordinal in victims:
+            ex.gpu_runtime.device(ordinal).configure_faults(
+                profile, seed=graph_seed
+            )
+        fut = ex.run(gen.graph, metrics=True, policy=policy)
+        try:
+            fut.result(timeout=_RESULT_TIMEOUT)
+            outcome.completed = True
+            if outcome.expect_failure:
+                outcome.violations.append(
+                    "no-fallback degradation scenario completed; expected "
+                    "TaskFailedError"
+                )
+        except TaskFailedError as exc:
+            outcome.error = repr(exc)
+            if not outcome.expect_failure:
+                outcome.violations.append(
+                    f"scenario should have recovered, got {exc!r}"
+                )
+        except Exception as exc:  # noqa: BLE001 - harness boundary
+            # anything but a structured TaskFailedError is a contract
+            # violation, whatever the scenario expected
+            outcome.error = repr(exc)
+            outcome.violations.append(
+                f"unstructured failure escaped the resilience layer: {exc!r}"
+            )
+        report = getattr(fut, "run_report", None)
+        if report is not None:
+            outcome.num_events = len(report.events)
+        schedule = validate_schedule(
+            gen.graph,
+            obs.records,
+            passes=1,
+            num_gpus=gpus,
+            allow_partial=not outcome.completed,
+        )
+        outcome.num_records = schedule.num_records
+        outcome.violations.extend(str(v) for v in schedule.violations)
+        if outcome.completed:
+            # recovered results must be bit-identical to a fault-free
+            # run: the oracle replays the exact chain arithmetic
+            outcome.violations.extend(gen.verify(passes=1))
+        snapshot = ex.metrics.snapshot()
+    finally:
+        ex.shutdown()
+    outcome.counters = {
+        k: snapshot[k] for k in _COUNTER_KEYS  # type: ignore[misc]
+        if isinstance(snapshot.get(k), int)
+    }
+    return outcome
+
+
+def run_chaos(
+    scenarios: int = 50,
+    *,
+    seed: int = 0,
+    log: Optional[Callable[[str], None]] = None,
+) -> ChaosReport:
+    """Sweep *scenarios* seeded fault scenarios; returns a report.
+
+    The sweep never raises on violations — the caller decides (the CLI
+    exits nonzero, tests assert on :attr:`ChaosReport.ok`).
+    """
+    report = ChaosReport(seed=seed)
+    for i in range(scenarios):
+        outcome = run_scenario(i, seed)
+        for key, val in outcome.counters.items():
+            report.counters[key] = report.counters.get(key, 0) + val
+        report.scenarios.append(outcome)
+        if log is not None:
+            state = (
+                "ok" if outcome.ok and outcome.completed
+                else "failed-as-expected" if outcome.ok
+                else "VIOLATION"
+            )
+            log(
+                f"  #{outcome.index:>3} {outcome.kind:<8} "
+                f"seed={outcome.seed:<11} {outcome.workers}w x "
+                f"{outcome.gpus}g  {outcome.num_records:>3} records  "
+                f"{state}"
+            )
+    return report

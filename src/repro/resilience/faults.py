@@ -1,0 +1,193 @@
+"""Seeded device fault profiles: first-class fault injection.
+
+A :class:`FaultProfile` describes *what* should go wrong on a simulated
+GPU; ``Device.configure_faults(profile, seed)`` arms it.  All triggers
+are deterministic functions of the profile, the seed, and the device's
+own operation counters — replaying a seed replays the exact fault
+sequence, which is what makes the chaos harness
+(:mod:`repro.resilience.chaos`) and the stress sweep reproducible.
+
+Injection points:
+
+- **allocation failures** surface as :class:`~repro.errors.AllocationError`
+  from the buddy-pool heap (``DeviceHeap.allocate``) — transient when
+  ``alloc_failures`` bounds them, so a retry policy recovers;
+- **kernel faults** surface as :class:`~repro.errors.KernelError` from
+  the launch's op body on the stream dispatcher thread;
+- **stream stalls** block the dispatcher *before* the op payload runs;
+  a stalled op never executes — when released (device failure or
+  teardown) it raises instead, so retried work is never double-applied;
+- **whole-device death** fails the device (``Device.fail()``) and
+  raises :class:`~repro.errors.DeviceFailedError`, which the executor's
+  recovery path consumes (docs/resilience.md).
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional
+
+from repro.errors import (
+    AllocationError,
+    DeviceError,
+    DeviceFailedError,
+    ExecutorError,
+    KernelError,
+)
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.gpu.device import Device
+
+
+@dataclass(frozen=True)
+class FaultProfile:
+    """Deterministic fault plan for one device.
+
+    Counter-based triggers are 1-based: ``die_at_op=3`` kills the device
+    when its third stream operation starts.  Rate-based triggers draw
+    from a :class:`random.Random` seeded per device, so they are equally
+    reproducible.
+    """
+
+    #: first N heap allocations raise (transient — retries recover)
+    alloc_failures: int = 0
+    #: per-allocation failure probability (seeded)
+    alloc_fail_rate: float = 0.0
+    #: the k-th kernel launch raises KernelError (single-shot)
+    kernel_fault_at: Optional[int] = None
+    #: per-launch kernel fault probability (seeded)
+    kernel_fault_rate: float = 0.0
+    #: the k-th stream op stalls until the device fails or tears down
+    stall_at_op: Optional[int] = None
+    #: the k-th stream op kills the whole device
+    die_at_op: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.alloc_failures < 0:
+            raise ExecutorError("alloc_failures must be non-negative")
+        for name in ("alloc_fail_rate", "kernel_fault_rate"):
+            v = getattr(self, name)
+            if not 0.0 <= v <= 1.0:
+                raise ExecutorError(f"{name} must be in [0, 1]")
+        for name in ("kernel_fault_at", "stall_at_op", "die_at_op"):
+            v = getattr(self, name)
+            if v is not None and v < 1:
+                raise ExecutorError(f"{name} is 1-based; got {v}")
+
+    @property
+    def empty(self) -> bool:
+        return (
+            self.alloc_failures == 0
+            and self.alloc_fail_rate == 0.0
+            and self.kernel_fault_at is None
+            and self.kernel_fault_rate == 0.0
+            and self.stall_at_op is None
+            and self.die_at_op is None
+        )
+
+
+class FaultState:
+    """Armed per-device fault engine (mutable counters + RNG).
+
+    Hooks are called from worker threads (allocations) and stream
+    dispatcher threads (ops/kernels); a small lock guards the counters,
+    and the potentially-blocking stall wait happens outside it.
+    """
+
+    def __init__(self, profile: FaultProfile, seed: int) -> None:
+        self.profile = profile
+        self._rng = random.Random(seed)
+        self._lock = threading.Lock()
+        self._ops = 0
+        self._kernels = 0
+        self._allocs = 0
+        #: set to release any dispatcher blocked in an injected stall
+        self.resume = threading.Event()
+        # observability: how many of each fault actually fired
+        self.injected_alloc_faults = 0
+        self.injected_kernel_faults = 0
+        self.injected_stalls = 0
+        self.injected_deaths = 0
+
+    # -- hooks (called by Device) -----------------------------------
+    def on_op(self, device: "Device") -> None:
+        """Stream-dispatcher hook, before every op payload."""
+        p = self.profile
+        with self._lock:
+            self._ops += 1
+            k = self._ops
+            die = p.die_at_op == k
+            stall = p.stall_at_op == k
+            if die:
+                self.injected_deaths += 1
+            if stall:
+                self.injected_stalls += 1
+        if die:
+            device.fail()
+            raise DeviceFailedError(
+                device.ordinal, f"injected device failure at op {k}"
+            )
+        if stall:
+            # the payload of a stalled op NEVER runs: when released we
+            # raise, so a timed-out-and-retried task cannot be applied
+            # twice by the original op waking up later
+            self.resume.wait()
+            if not device.alive:
+                raise DeviceFailedError(
+                    device.ordinal, f"injected stall at op {k}; device failed"
+                )
+            raise DeviceError(
+                f"injected stall at op {k} on device {device.ordinal} "
+                f"released; operation abandoned"
+            )
+
+    def on_kernel(self, device: "Device") -> None:
+        """Kernel-launch hook, inside the launch op body."""
+        p = self.profile
+        with self._lock:
+            self._kernels += 1
+            k = self._kernels
+            hit = p.kernel_fault_at == k
+            if not hit and p.kernel_fault_rate > 0:
+                hit = self._rng.random() < p.kernel_fault_rate
+            if hit:
+                self.injected_kernel_faults += 1
+        if hit:
+            raise KernelError(
+                f"injected kernel fault (launch {k} on device {device.ordinal})"
+            )
+
+    def on_alloc(self, device: "Device") -> None:
+        """Heap hook, before every pool allocation."""
+        p = self.profile
+        with self._lock:
+            self._allocs += 1
+            k = self._allocs
+            hit = k <= p.alloc_failures
+            if not hit and p.alloc_fail_rate > 0:
+                hit = self._rng.random() < p.alloc_fail_rate
+            if hit:
+                self.injected_alloc_faults += 1
+        if hit:
+            raise AllocationError(
+                f"injected allocation failure (alloc {k} on device "
+                f"{device.ordinal})"
+            )
+
+    def release(self) -> None:
+        """Unblock any dispatcher held by an injected stall."""
+        self.resume.set()
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "ops_seen": self._ops,
+                "kernels_seen": self._kernels,
+                "allocs_seen": self._allocs,
+                "injected_alloc_faults": self.injected_alloc_faults,
+                "injected_kernel_faults": self.injected_kernel_faults,
+                "injected_stalls": self.injected_stalls,
+                "injected_deaths": self.injected_deaths,
+            }

@@ -1,0 +1,109 @@
+"""Retry/timeout policies for fault-tolerant execution.
+
+A :class:`RetryPolicy` bounds how many times the executor re-runs a
+failed task and how long it waits between attempts (exponential backoff
+with *deterministic* seeded jitter — two runs with the same seed see the
+same delays, via :func:`repro.utils.rng.derive_seed`).  A
+:class:`ResiliencePolicy` bundles a retry policy with a per-task
+deadline and is what ``Executor.run(..., policy=...)`` accepts for a
+whole submission; individual tasks override it with ``task.retry(...)``
+and ``task.timeout(...)``.
+
+Failed attempts never commit a trace record — the validator's
+exact-once invariant holds across retries (docs/resilience.md).
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import CancelledError
+from dataclasses import dataclass
+from typing import Optional, Tuple, Type, Union
+
+from repro.errors import ExecutorError
+from repro.utils.rng import derive_seed
+
+#: jitter resolution: derived seeds are reduced modulo this to a
+#: uniform fraction in [0, 1)
+_JITTER_STEPS = 1_000_000
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How (and whether) to re-run a failed task.
+
+    ``max_attempts`` counts the first execution: ``max_attempts=3``
+    means one run plus up to two retries.  Delays follow
+    ``base_delay * backoff**(attempt-1)`` capped at ``max_delay``, then
+    spread by ``jitter`` (a +/- fraction) using a deterministic child
+    seed of ``seed`` — no wall-clock or global RNG involved.
+    ``retry_on`` restricts which exception types are retryable;
+    cancellation is never retried.
+    """
+
+    max_attempts: int = 3
+    base_delay: float = 0.0
+    backoff: float = 2.0
+    max_delay: float = 1.0
+    jitter: float = 0.1
+    seed: int = 0
+    retry_on: Tuple[Type[BaseException], ...] = (Exception,)
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ExecutorError("retry policy needs max_attempts >= 1")
+        if self.base_delay < 0 or self.max_delay < 0:
+            raise ExecutorError("retry delays must be non-negative")
+        if self.backoff < 1.0:
+            raise ExecutorError("retry backoff must be >= 1")
+        if not 0.0 <= self.jitter < 1.0:
+            raise ExecutorError("retry jitter must be in [0, 1)")
+
+    def retryable(self, exc: BaseException) -> bool:
+        """True if *exc* is worth another attempt under this policy."""
+        if isinstance(exc, CancelledError):
+            return False
+        return isinstance(exc, self.retry_on)
+
+    def delay_for(self, attempt: int, key: Union[str, int] = 0) -> float:
+        """Seconds to wait before re-running after failed *attempt*
+        (1-based).  *key* individualizes the jitter stream per task so
+        co-failing tasks don't retry in lockstep."""
+        if self.base_delay <= 0:
+            return 0.0
+        delay = min(self.base_delay * self.backoff ** (attempt - 1), self.max_delay)
+        if self.jitter > 0:
+            u = (derive_seed(self.seed, "retry", key, attempt) % _JITTER_STEPS) / _JITTER_STEPS
+            delay *= 1.0 + self.jitter * (2.0 * u - 1.0)
+        return delay
+
+
+@dataclass(frozen=True)
+class ResiliencePolicy:
+    """Run-level resilience: a retry policy plus a per-task deadline.
+
+    ``timeout`` is a per-task budget in seconds applied to every task of
+    the submission that doesn't set its own ``task.timeout(...)``.  Both
+    fields are optional; ``ResiliencePolicy()`` is a no-op policy.
+    """
+
+    retry: Optional[RetryPolicy] = None
+    timeout: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.timeout is not None and self.timeout <= 0:
+            raise ExecutorError("policy timeout must be positive")
+
+
+def normalize_policy(
+    policy: Union[ResiliencePolicy, RetryPolicy, None]
+) -> ResiliencePolicy:
+    """Accept either policy flavor (or ``None``) and canonicalize."""
+    if policy is None:
+        return ResiliencePolicy()
+    if isinstance(policy, RetryPolicy):
+        return ResiliencePolicy(retry=policy)
+    if isinstance(policy, ResiliencePolicy):
+        return policy
+    raise ExecutorError(
+        f"policy must be a RetryPolicy or ResiliencePolicy, got {type(policy).__name__}"
+    )

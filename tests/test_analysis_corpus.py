@@ -86,7 +86,7 @@ class TestGeneratedCorpus:
         report = lint(gen.graph, gpu_memory_bytes=STRESS_POOL_BYTES)
         assert report.clean, [str(d) for d in report.at_least(Severity.WARNING)]
 
-    @pytest.mark.parametrize("kwargs", [{"fault": True}, {"gate": True}])
+    @pytest.mark.parametrize("kwargs", [{"fallbacks": False}, {"gate": True}])
     def test_fault_and_gate_variants_lint_clean(self, kwargs):
         gen = generate_graph(3, num_gpus=2, **kwargs)
         assert lint(gen.graph, gpu_memory_bytes=STRESS_POOL_BYTES).clean

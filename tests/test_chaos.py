@@ -1,0 +1,87 @@
+"""Chaos harness: seeded fault-scenario sweeps (docs/resilience.md)."""
+
+import json
+
+from repro.cli import main
+from repro.resilience.chaos import (
+    CHAOS_REPORT_SCHEMA,
+    KINDS,
+    run_chaos,
+    run_scenario,
+)
+
+
+class TestScenarios:
+    def test_kinds_cycle_over_index(self):
+        for i in (0, 3, 7):
+            out = run_scenario(i, seed=0)
+            assert out.kind == KINDS[i % len(KINDS)]
+            assert out.ok, out.violations
+
+    def test_deterministic_parameters(self):
+        a = run_scenario(2, seed=0)
+        b = run_scenario(2, seed=0)
+        assert (a.seed, a.kind, a.workers, a.gpus) == (
+            b.seed,
+            b.kind,
+            b.workers,
+            b.gpus,
+        )
+        assert a.num_records == b.num_records
+        c = run_scenario(2, seed=1)
+        assert (a.seed, a.workers) != (c.seed, c.workers) or a.gpus != c.gpus
+
+    def test_expected_failure_scenario(self):
+        # degrade scenarios alternate fallbacks; index 9 (second degrade)
+        # drops them and must fail with a structured error
+        out = run_scenario(9, seed=0)
+        assert out.kind == "degrade"
+        assert out.expect_failure
+        assert not out.completed
+        assert out.ok, out.violations
+        assert "TaskFailedError" in out.error
+
+
+class TestSweep:
+    def test_smoke_sweep(self):
+        lines = []
+        report = run_chaos(10, seed=0, log=lines.append)
+        assert report.ok, report.violations
+        assert report.num_scenarios == 10
+        assert len(lines) == 10
+        assert report.num_completed + report.num_failed_as_expected == 10
+        # the sweep exercised the resilience machinery, not just clean runs
+        assert sum(report.counters.values()) > 0
+
+    def test_report_serialization(self):
+        report = run_chaos(3, seed=0)
+        d = report.to_dict()
+        assert d["schema"] == CHAOS_REPORT_SCHEMA
+        assert d["num_scenarios"] == 3
+        assert len(d["scenarios"]) == 3
+        for s in d["scenarios"]:
+            assert set(s) >= {
+                "index",
+                "kind",
+                "seed",
+                "completed",
+                "violations",
+                "counters",
+            }
+        # round-trips through JSON
+        assert json.loads(report.to_json())["ok"] == report.ok
+
+
+class TestCli:
+    def test_chaos_smoke_exit_code(self, capsys):
+        assert main(["chaos", "--smoke"]) == 0
+        out = capsys.readouterr().out
+        assert "chaos: OK" in out
+
+    def test_chaos_json_artifact(self, tmp_path, capsys):
+        path = tmp_path / "chaos.json"
+        assert main(["chaos", "--smoke", "--json", str(path)]) == 0
+        data = json.loads(path.read_text())
+        assert data["schema"] == CHAOS_REPORT_SCHEMA
+        assert data["ok"] is True
+        assert data["num_scenarios"] == 10

@@ -256,7 +256,7 @@ class TestStressHarness:
         report = run_stress(seeds=1, configs=[(2, 2)], faults=True)
         assert report.ok, "\n".join(report.violations)
         modes = {o.mode for o in report.outcomes}
-        assert modes == {"normal", "fault", "cancel"}
+        assert modes == {"normal", "fault", "retry", "cancel"}
 
     def test_determinism_single_worker_host_only(self):
         """Same graph + seed on one worker yields the identical

@@ -362,6 +362,7 @@ class TestRunReport:
             },
             "placement": {"tasks_per_device": {"0": 1}},
             "counters": {"executor.tasks_executed": [2, 0]},
+            "events": [],
         }
         assert RUN_REPORT_SCHEMA == "repro.run-report/1"
         assert json.loads(rep.to_json())["schema"] == RUN_REPORT_SCHEMA
