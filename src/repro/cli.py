@@ -26,7 +26,13 @@ Commands:
   seeded device-fault scenarios (allocation failures, kernel faults,
   stream stalls, device death, zero-GPU degradation) through the
   resilience layer and validate every recovery
-  (see docs/resilience.md).
+  (see docs/resilience.md);
+- ``soak [--scenarios N] [--seed S] [--smoke] [--json OUT]`` — sweep
+  seeded multi-tenant overload scenarios (bounded admission under
+  block/reject/shed backpressure, priorities, deadlines, caller-side
+  cancels, graceful drain) through the service layer, reconcile every
+  submission outcome, and validate every trace (see docs/runtime.md,
+  "Submission lifecycle").
 """
 
 from __future__ import annotations
@@ -255,6 +261,43 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def _cmd_soak(args: argparse.Namespace) -> int:
+    from repro.service import run_soak
+
+    scenarios = 6 if args.smoke else args.scenarios
+    print(f"soak sweep: {scenarios} seeded overload scenario(s), "
+          f"seed={args.seed} ...")
+    report = run_soak(scenarios, seed=args.seed, log=print)
+    totals = report.totals
+    print(f"  total: {totals['submitted']} submitted = "
+          f"{totals['rejected']} rejected + {totals['admitted']} admitted; "
+          f"admitted = {totals['completed']} completed + "
+          f"{totals['shed']} shed + "
+          f"{totals['deadline_exceeded']} deadline + "
+          f"{totals['cancelled']} cancelled + {totals['failed']} failed")
+    for key, val in sorted(report.counters.items()):
+        print(f"    {key:<36} {val}")
+    wall = report.to_dict()["wall_latency_s"]
+    submit = report.to_dict()["submit_latency_s"]
+    print(f"    wall latency p50/p95/p99 (s):      "
+          f"{wall['p50']:.4f} / {wall['p95']:.4f} / {wall['p99']:.4f}")
+    print(f"    submit latency p50/p95/p99 (s):    "
+          f"{submit['p50']:.4f} / {submit['p95']:.4f} / {submit['p99']:.4f}")
+    if not report.ok:
+        for v in report.violations[:20]:
+            print(f"    {v}")
+        more = len(report.violations) - 20
+        if more > 0:
+            print(f"    ... and {more} more")
+    if args.json:
+        with open(args.json, "w") as fh:
+            fh.write(report.to_json())
+            fh.write("\n")
+        print(f"wrote soak report to {args.json}")
+    print(f"\nsoak: {'OK' if report.ok else 'FAILED'}")
+    return 0 if report.ok else 1
+
+
 def _cmd_lint(args: argparse.Namespace) -> int:
     from repro.analysis import Severity, lint, render_dot, render_json, render_text
     from repro.analysis.corpus import (
@@ -414,6 +457,30 @@ def build_parser() -> argparse.ArgumentParser:
         help="also write the full scenario report as JSON",
     )
 
+    soak = sub.add_parser(
+        "soak",
+        help="sweep seeded multi-tenant overload scenarios through "
+             "the service layer",
+    )
+    soak.add_argument(
+        "--scenarios", type=int, default=50,
+        help="number of overload scenarios (default 50)",
+    )
+    soak.add_argument(
+        "--seed", type=int, default=0,
+        help="sweep seed; every scenario derives deterministically "
+             "from it (default 0)",
+    )
+    soak.add_argument(
+        "--smoke", action="store_true",
+        help="quick 6-scenario sweep for CI smoke jobs",
+    )
+    soak.add_argument(
+        "--json", default="", metavar="OUT.json",
+        help="also write the full soak report as JSON "
+             "(schema repro.soak-report/1)",
+    )
+
     lint = sub.add_parser(
         "lint", help="statically analyze task graphs with hflint"
     )
@@ -481,6 +548,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "gantt": _cmd_gantt,
         "check": _cmd_check,
         "chaos": _cmd_chaos,
+        "soak": _cmd_soak,
         "lint": _cmd_lint,
         "profile": _cmd_profile,
     }

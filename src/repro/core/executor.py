@@ -39,6 +39,21 @@ whose data lived on the dead device, re-packs their placement groups
 onto surviving GPUs (or degrades every GPU task to its registered
 ``.host_fallback`` when none survive), rebuilds join counters over the
 remaining nodes, and re-dispatches.
+
+**Overload protection** (docs/runtime.md, "Submission lifecycle").
+An :class:`~repro.service.AdmissionController` attached at
+construction (``Executor(admission=...)``) bounds outstanding
+submissions by topology count and predicted device-memory footprint
+(the hflint HF020 static model), with ``block``/``reject``/``shed``
+backpressure.  ``run(..., deadline=, priority=)`` arms a per-submission
+deadline on the shared timer wheel (firing takes the cooperative-cancel
+path and records a structured ``deadline_exceeded`` event) and orders
+both the graph FIFO and the cross-graph overflow queue by priority.
+``drain(timeout=)`` stops admission and settles every outstanding
+future; ``shutdown(wait=False)`` never strands a future — anything
+still unresolved after teardown resolves with ``CancelledError``.
+Progress is observable through the ``service.*`` metrics
+(docs/observability.md).
 """
 
 from __future__ import annotations
@@ -50,7 +65,7 @@ import random
 import threading
 import time
 from collections import deque
-from concurrent.futures import Future, InvalidStateError
+from concurrent.futures import CancelledError, Future, InvalidStateError
 from typing import Any, Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
@@ -62,8 +77,9 @@ from repro.core.observer import ExecutorObserver
 from repro.core.placement import CostMetric, DevicePlacement
 from repro.core.task import PullTask
 from repro.core.topology import Topology
-from repro.core.wsq import WorkStealingQueue
+from repro.core.wsq import PriorityOverflowQueue, WorkStealingQueue
 from repro.errors import (
+    AdmissionRejectedError,
     DeviceFailedError,
     ExecutorError,
     KernelError,
@@ -80,6 +96,10 @@ from repro.resilience.degrade import (
     run_degraded_kernel,
     run_degraded_pull,
     run_degraded_push,
+)
+from repro.service.admission import (
+    AdmissionController,
+    predicted_footprint_bytes,
 )
 
 #: queue items are (topology, node, generation) triples; stale
@@ -221,6 +241,7 @@ class Executor:
         observers: Sequence[ExecutorObserver] = (),
         cost_metric: Optional[CostMetric] = None,
         seed: int = 0,
+        admission: Optional[AdmissionController] = None,
     ) -> None:
         if num_workers is None:
             num_workers = os.cpu_count() or 1
@@ -237,9 +258,14 @@ class Executor:
         self._queues: List[WorkStealingQueue[WorkItem]] = [
             WorkStealingQueue() for _ in range(num_workers)
         ]
-        self._shared: WorkStealingQueue[WorkItem] = WorkStealingQueue()
+        # the shared overflow queue orders cross-graph dispatch by
+        # submission priority (docs/runtime.md, submission lifecycle)
+        self._shared: PriorityOverflowQueue[WorkItem] = PriorityOverflowQueue()
         self._notifier = Notifier()
         self._done = False
+        self._draining = False
+        self._admission = admission
+        self._submit_seq = itertools.count()
 
         # metric instruments (docs/observability.md): lane counters are
         # indexed by worker id and written only by that worker's thread,
@@ -292,6 +318,36 @@ class Executor:
         self._m_degraded = self.metrics.counter(
             "resilience.degraded_topologies"
         )
+
+        # service counters + overload gauge (docs/runtime.md submission
+        # lifecycle, docs/observability.md); sharded Counters — safe
+        # from submitter, worker, and timer threads
+        self._m_admitted = self.metrics.counter("service.admitted")
+        self._m_rejected = self.metrics.counter("service.rejected")
+        self._m_shed = self.metrics.counter("service.shed")
+        self._m_deadline = self.metrics.counter("service.deadline_exceeded")
+        self._m_adm_blocked = self.metrics.counter("service.admission_blocked")
+        self._m_drain_cancelled = self.metrics.counter(
+            "service.drain_cancelled"
+        )
+        self._m_adm_wait = self.metrics.histogram(
+            "service.admission_wait_seconds"
+        )
+        self.metrics.register_callback(
+            "service.overload_state", self._overload_state
+        )
+        if admission is not None:
+            self.metrics.register_callback(
+                "service.topologies_in_use",
+                lambda: admission.in_use_topologies,
+            )
+            self.metrics.register_callback(
+                "service.footprint_in_use_bytes",
+                lambda: admission.in_use_bytes,
+            )
+            self.metrics.register_callback(
+                "service.admission_waiting", lambda: admission.waiting
+            )
 
         # per-graph topology FIFO: serializes repeated submissions of
         # the same graph (join counters live on shared nodes)
@@ -346,6 +402,28 @@ class Executor:
         with self._quarantine_lock:
             return sorted(self._alive_gpus)
 
+    @property
+    def admission(self) -> Optional[AdmissionController]:
+        """The attached admission controller, if any (inspection)."""
+        return self._admission
+
+    @property
+    def draining(self) -> bool:
+        """True once :meth:`drain` (or shutdown) stopped admission."""
+        return self._draining
+
+    def _overload_state(self) -> int:
+        """``service.overload_state`` gauge: 0 = admitting freely,
+        1 = at capacity (admissions queue or fail per policy),
+        2 = at capacity with submitters blocked waiting,
+        3 = draining/shut down (no admission at all)."""
+        if self._draining or self._done:
+            return 3
+        ctrl = self._admission
+        if ctrl is None or not ctrl.saturated:
+            return 0
+        return 2 if ctrl.waiting else 1
+
     def add_observer(self, observer: ExecutorObserver) -> None:
         self._observers.append(observer)
 
@@ -394,6 +472,8 @@ class Executor:
         lint: bool = False,
         metrics: bool = False,
         policy: Optional[object] = None,
+        deadline: Optional[float] = None,
+        priority: int = 0,
     ) -> Future:
         """Run *graph* once; non-blocking, returns a future.
 
@@ -416,8 +496,26 @@ class Executor:
         :class:`~repro.resilience.ResiliencePolicy` to every task of
         the submission; per-task ``task.retry``/``task.timeout``
         settings take precedence (docs/resilience.md).
+
+        *deadline* (seconds from submission) bounds the whole
+        submission: when it fires, the run is cancelled cooperatively —
+        queued, it resolves with ``CancelledError`` immediately;
+        started, the remaining tasks flush unrun — and a structured
+        ``deadline_exceeded`` event is recorded.  *priority* (higher
+        runs first, default 0) orders the graph's submission FIFO and
+        cross-graph dispatch, drives the admission controller's waiter
+        order, and decides shed victims (docs/runtime.md, "Submission
+        lifecycle").
         """
-        return self.run_n(graph, 1, lint=lint, metrics=metrics, policy=policy)
+        return self.run_n(
+            graph,
+            1,
+            lint=lint,
+            metrics=metrics,
+            policy=policy,
+            deadline=deadline,
+            priority=priority,
+        )
 
     def run_n(
         self,
@@ -427,13 +525,23 @@ class Executor:
         lint: bool = False,
         metrics: bool = False,
         policy: Optional[object] = None,
+        deadline: Optional[float] = None,
+        priority: int = 0,
     ) -> Future:
         """Run *graph* *n* times back to back; non-blocking."""
         if n < 0:
             raise ExecutorError("repeat count must be non-negative")
+        if deadline is not None and deadline <= 0:
+            raise ExecutorError("deadline must be positive (seconds)")
         if lint:
             self._lint_gate(graph)
-        topology = Topology(graph, repeats=n, policy=policy)
+        topology = Topology(
+            graph,
+            repeats=n,
+            policy=policy,
+            priority=priority,
+            deadline_s=deadline,
+        )
         if metrics:
             return self._submit_profiled(topology)
         return self._submit(topology)
@@ -446,6 +554,8 @@ class Executor:
         lint: bool = False,
         metrics: bool = False,
         policy: Optional[object] = None,
+        deadline: Optional[float] = None,
+        priority: int = 0,
     ) -> Future:
         """Run *graph* repeatedly until *predicate()* is True.
 
@@ -454,9 +564,18 @@ class Executor:
         """
         if not callable(predicate):
             raise ExecutorError("run_until requires a callable predicate")
+        if deadline is not None and deadline <= 0:
+            raise ExecutorError("deadline must be positive (seconds)")
         if lint:
             self._lint_gate(graph)
-        topology = Topology(graph, repeats=None, predicate=predicate, policy=policy)
+        topology = Topology(
+            graph,
+            repeats=None,
+            predicate=predicate,
+            policy=policy,
+            priority=priority,
+            deadline_s=deadline,
+        )
         if metrics:
             return self._submit_profiled(topology)
         return self._submit(topology)
@@ -472,27 +591,22 @@ class Executor:
         when the future is not an outstanding submission of this
         executor (e.g. already done).
         """
-        queued: Optional[Topology] = None
         with self._graph_lock:
             topology = self._futures.get(future)
             if topology is None or future.done():
                 return False
-            if not topology.started:
-                q = self._graph_queues.get(id(topology.graph))
-                if q is not None and topology in q:
-                    q.remove(topology)
-                    if not q:
-                        del self._graph_queues[id(topology.graph)]
-                self._futures.pop(topology.future, None)
+            removed = not topology.started and self._remove_queued_locked(
+                topology
+            )
+            if removed:
+                # drop the alias too when cancelling via a profiled
+                # outer future
                 self._futures.pop(future, None)
-                queued = topology
-        topology.cancel()
-        if queued is not None:
+        if removed:
             # never dispatched: resolve the future here, right now
-            queued.complete()
-            with self._topology_cv:
-                self._num_topologies -= 1
-                self._topology_cv.notify_all()
+            self._resolve_removed(topology, None)
+        else:
+            topology.cancel()
         return True
 
     def wait_for_all(self) -> None:
@@ -501,15 +615,95 @@ class Executor:
             while self._num_topologies > 0:
                 self._topology_cv.wait()
 
-    def shutdown(self, wait: bool = True) -> None:
+    def drain(self, timeout: Optional[float] = None, *, cancel_grace: float = 10.0) -> bool:
+        """Stop admitting new work and settle every outstanding
+        submission (docs/runtime.md, "Submission lifecycle").
+
+        From the first call on, ``run``/``run_n``/``run_until`` raise
+        :class:`~repro.errors.ExecutorError`; submitters blocked inside
+        the admission controller are turned away the moment capacity
+        frees for them (their capacity is handed straight back).
+        In-flight and queued submissions run to completion.  Returns
+        True when everything finished within *timeout* seconds
+        (``None`` = wait forever).
+
+        On timeout every straggler is cancelled — queued topologies
+        resolve with ``CancelledError`` immediately; started ones take
+        the cooperative flush path — and each records a structured
+        ``drain_cancelled`` event.  After *cancel_grace* more seconds
+        any future still unresolved (a wedged host task the runtime
+        cannot interrupt) is force-resolved with ``ExecutorError``, so
+        no caller blocks forever; the internal accounting settles when
+        the wedged task eventually returns.  Returns False.
+        """
+        self._draining = True
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._topology_cv:
+            while self._num_topologies > 0:
+                if deadline is None:
+                    self._topology_cv.wait()
+                    continue
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    break
+                self._topology_cv.wait(remaining)
+            if self._num_topologies == 0:
+                return True
+        # timeout: cancel the stragglers (dedupe — a profiled
+        # submission maps two futures to one topology)
+        with self._graph_lock:
+            stragglers = list(dict.fromkeys(self._futures.values()))
+        for topo in stragglers:
+            removed = False
+            with self._graph_lock:
+                if not topo.started:
+                    removed = self._remove_queued_locked(topo)
+            self._m_drain_cancelled.inc()
+            topo.event("drain_cancelled", started=topo.started)
+            if removed:
+                self._resolve_removed(topo, None)
+            else:
+                topo.cancel()
+        self._notifier.notify_all()
+        grace_deadline = time.monotonic() + cancel_grace
+        with self._topology_cv:
+            while self._num_topologies > 0:
+                remaining = grace_deadline - time.monotonic()
+                if remaining <= 0:
+                    break
+                self._topology_cv.wait(remaining)
+        # anything still unresolved is wedged: settle the futures (the
+        # run itself finalizes whenever the stuck task returns)
+        for topo in stragglers:
+            try:
+                topo.future.set_exception(
+                    ExecutorError(
+                        "drain timed out and the submission did not "
+                        "settle within the cancel grace period"
+                    )
+                )
+            except InvalidStateError:
+                pass
+        return False
+
+    def shutdown(
+        self, wait: bool = True, drain_timeout: Optional[float] = None
+    ) -> None:
         """Stop workers and tear down the GPU runtime (idempotent).
 
-        With ``wait=False`` pending delayed retries are abandoned; any
-        topology waiting on one never resolves (the executor is going
-        away regardless).
+        With *drain_timeout* set, a graceful :meth:`drain` bounded by
+        that many seconds runs first (``wait`` is then ignored).  With
+        ``wait=False`` outstanding submissions are abandoned — but
+        never stranded: after teardown, every future still unresolved
+        (including topologies parked on delayed retries) resolves with
+        ``CancelledError``.
         """
-        if wait and not self._done:
-            self.wait_for_all()
+        self._draining = True
+        if not self._done:
+            if drain_timeout is not None:
+                self.drain(drain_timeout)
+            elif wait:
+                self.wait_for_all()
         self._done = True
         self._notifier.notify_all()
         for t in self._threads:
@@ -519,6 +713,30 @@ class Executor:
         # sentinel; synchronizing would re-raise sticky errors and hang
         # on quarantined streams
         self._gpu.destroy()
+        self._resolve_stranded()
+
+    def _resolve_stranded(self) -> None:
+        """Resolve every future left outstanding after teardown.
+
+        Runs with all workers joined, the timer stopped, and the GPU
+        dispatchers destroyed — nothing can race us, and nothing will
+        ever drive these topologies again (``wait=False`` shutdowns
+        abandon running passes and delayed retries mid-flight).  Every
+        such future resolves with ``CancelledError`` so no caller
+        blocks forever."""
+        with self._graph_lock:
+            stranded = list(dict.fromkeys(self._futures.values()))
+            self._futures.clear()
+            self._graph_queues.clear()
+        for topo in stranded:
+            self._cancel_topology_deadline(topo)
+            topo.cancel()
+            topo.complete()
+            self._release_admission(topo)
+        with self._topology_cv:
+            if self._num_topologies:
+                self._num_topologies = 0
+                self._topology_cv.notify_all()
 
     def __enter__(self) -> "Executor":
         return self
@@ -547,7 +765,16 @@ class Executor:
         t0 = time.perf_counter()
         outer: Future = Future()
         outer.run_report = None  # type: ignore[attr-defined]
-        inner = self._submit(topology)
+        try:
+            inner = self._submit(topology)
+        except BaseException:
+            # admission rejection / drain refusal: the done callback
+            # below will never run, so detach the observer here
+            try:
+                self.remove_observer(obs)
+            except ValueError:  # pragma: no cover - defensive
+                pass
+            raise
         # alias the outer future so Executor.cancel(outer) works; the
         # done callback (which always runs after this mapping exists)
         # cleans it up
@@ -597,25 +824,209 @@ class Executor:
     def _submit(self, topology: Topology) -> Future:
         if self._done:
             raise ExecutorError("executor is shut down")
+        if self._draining:
+            raise ExecutorError("executor is draining; submission refused")
         graph = topology.graph
         if topology.repeats == 0 or graph.empty:
             # nothing to execute: resolve immediately with zero passes
             topology.future.set_result(0)
             return topology.future
         graph.validate()
+        self._admit(topology)
+        if self._draining or self._done:
+            # drain began while we blocked for admission: hand the
+            # capacity straight back and refuse
+            self._release_admission(topology)
+            raise ExecutorError("executor is draining; submission refused")
+        self._m_admitted.inc()
         with self._topology_cv:
             self._num_topologies += 1
+        topology.submit_seq = next(self._submit_seq)
         start_now = False
         with self._graph_lock:
             q = self._graph_queues.setdefault(id(graph), deque())
-            q.append(topology)
+            # priority insertion: before the first *queued* sibling of
+            # strictly lower priority (never before the started front),
+            # FIFO within a priority
+            idx = len(q)
+            for i in range(1 if q and q[0].started else 0, len(q)):
+                if q[i].priority < topology.priority:
+                    idx = i
+                    break
+            q.insert(idx, topology)
             self._futures[topology.future] = topology
             start_now = len(q) == 1
             if start_now:
                 topology.started = True
+        self._arm_topology_deadline(topology)
         if start_now:
             self._start_topology(topology)
         return topology.future
+
+    # ------------------------------------------------------------------
+    # overload protection (docs/runtime.md, "Submission lifecycle")
+    # ------------------------------------------------------------------
+    def _admit(self, topology: Topology) -> None:
+        """Charge the submission to the admission ledger (no-op without
+        a controller); raises
+        :class:`~repro.errors.AdmissionRejectedError` per the policy."""
+        ctrl = self._admission
+        if ctrl is None:
+            return
+        fp = 0
+        if ctrl.max_footprint_bytes is not None:
+            fp = predicted_footprint_bytes(topology.graph)
+        topology.footprint_bytes = fp
+        pri = topology.priority
+        if not ctrl.would_ever_fit(fp):
+            self._m_rejected.inc()
+            raise ctrl.rejection("never_fits", priority=pri, footprint_bytes=fp)
+        if ctrl.try_acquire(fp):
+            topology.admitted = True
+            self._m_adm_wait.observe(0.0)
+            return
+        if ctrl.policy == "reject":
+            self._m_rejected.inc()
+            raise ctrl.rejection("capacity", priority=pri, footprint_bytes=fp)
+        if ctrl.policy == "shed":
+            while not ctrl.try_acquire(fp):
+                if not self._shed_lowest(pri):
+                    self._m_rejected.inc()
+                    raise ctrl.rejection(
+                        "capacity", priority=pri, footprint_bytes=fp
+                    )
+            topology.admitted = True
+            self._m_adm_wait.observe(0.0)
+            return
+        # block: wait for capacity; highest-priority waiter is admitted
+        # first (the controller orders its waiter set)
+        self._m_adm_blocked.inc()
+        try:
+            waited = ctrl.acquire(fp, priority=pri)
+        except AdmissionRejectedError:
+            self._m_rejected.inc()
+            raise
+        topology.admitted = True
+        self._m_adm_wait.observe(waited)
+
+    def _shed_lowest(self, priority: int) -> bool:
+        """Evict the lowest-priority *queued* (never started) topology
+        whose priority is strictly below *priority*; False when no such
+        victim exists.  Youngest-first within a priority, so the oldest
+        accepted work survives longest.  The victim's future resolves
+        with a structured ``AdmissionRejectedError("shed")`` and its
+        capacity returns to the ledger."""
+        victim: Optional[Topology] = None
+        with self._graph_lock:
+            for q in self._graph_queues.values():
+                for t in q:
+                    if t.started or t.priority >= priority:
+                        continue
+                    if (
+                        victim is None
+                        or t.priority < victim.priority
+                        or (
+                            t.priority == victim.priority
+                            and t.submit_seq > victim.submit_seq
+                        )
+                    ):
+                        victim = t
+            if victim is None:
+                return False
+            self._remove_queued_locked(victim)
+        self._m_shed.inc()
+        victim.event(
+            "admission_shed", priority=victim.priority, by_priority=priority
+        )
+        assert self._admission is not None
+        exc = self._admission.rejection(
+            "shed",
+            priority=victim.priority,
+            footprint_bytes=victim.footprint_bytes,
+        )
+        self._resolve_removed(victim, exc)
+        return True
+
+    def _remove_queued_locked(self, topology: Topology) -> bool:
+        """Unlink a not-yet-started topology from its graph queue and
+        the futures map; caller holds ``_graph_lock``.  False when it is
+        already started or already gone (another remover won)."""
+        if topology.started:
+            return False
+        q = self._graph_queues.get(id(topology.graph))
+        if q is None or topology not in q:
+            return False
+        q.remove(topology)
+        if not q:
+            del self._graph_queues[id(topology.graph)]
+        self._futures.pop(topology.future, None)
+        return True
+
+    def _resolve_removed(
+        self, topology: Topology, exc: Optional[BaseException]
+    ) -> None:
+        """Settle a topology removed from its graph queue before it
+        started: cancel its deadline, resolve the future (*exc*, or
+        ``CancelledError`` when None), return its admission capacity,
+        and drop it from the outstanding count.  Must be called exactly
+        once, by whichever path's :meth:`_remove_queued_locked` returned
+        True, and never under ``_graph_lock`` (future callbacks run
+        inline and may take it)."""
+        self._cancel_topology_deadline(topology)
+        if exc is None:
+            topology.cancel()
+        else:
+            topology.fail(exc)
+        topology.complete()
+        self._release_admission(topology)
+        with self._topology_cv:
+            self._num_topologies -= 1
+            self._topology_cv.notify_all()
+
+    def _release_admission(self, topology: Topology) -> None:
+        """Return the topology's admission capacity, exactly once."""
+        if self._admission is not None and topology.take_admission_release():
+            self._admission.release(topology.footprint_bytes)
+
+    def _arm_topology_deadline(self, topology: Topology) -> None:
+        if topology.deadline_s is None:
+            return
+        topology.deadline_entry = self._timer.schedule(
+            topology.deadline_s, lambda: self._deadline_fire(topology)
+        )
+
+    def _cancel_topology_deadline(self, topology: Topology) -> None:
+        entry = topology.deadline_entry
+        if entry is not None:
+            _TimerThread.cancel(entry)
+            topology.deadline_entry = None
+
+    def _deadline_fire(self, topology: Topology) -> None:
+        """Timer target for a submission deadline (timer thread).
+
+        Still queued: the topology unlinks and resolves with
+        ``CancelledError`` right here.  Started: the cooperative-cancel
+        path flushes the remaining tasks and the normal finalization
+        resolves the future.  Either way a structured
+        ``deadline_exceeded`` event is recorded."""
+        if topology.future.done() or topology.failed:
+            return
+        removed = False
+        with self._graph_lock:
+            if not topology.started:
+                removed = self._remove_queued_locked(topology)
+        self._m_deadline.inc()
+        topology.event(
+            "deadline_exceeded",
+            deadline_s=topology.deadline_s,
+            started=topology.started,
+            passes_done=topology.passes_done,
+        )
+        if removed:
+            self._resolve_removed(topology, None)
+        else:
+            topology.cancel()
+            self._notifier.notify_all()
 
     def _start_topology(self, topology: Topology) -> None:
         graph = topology.graph
@@ -675,18 +1086,26 @@ class Executor:
             node.host_shadow = None
         for obs in self._observers:
             obs.on_topology_end(graph.name, len(graph.nodes))
+        self._cancel_topology_deadline(topology)
         topology.complete()
+        self._release_admission(topology)
         # start the next queued topology of this graph, if any
         next_topology: Optional[Topology] = None
         with self._graph_lock:
             self._futures.pop(topology.future, None)
             q = self._graph_queues.get(id(graph))
-            if q:
-                q.popleft()
-                if q:
+            if q is not None:
+                # identity-checked removal: a concurrent shed/cancel/
+                # deadline may have reshaped the queue, so never pop a
+                # sibling blindly
+                if q and q[0] is topology:
+                    q.popleft()
+                elif topology in q:  # pragma: no cover - hardening
+                    q.remove(topology)
+                if q and not q[0].started:
                     next_topology = q[0]
                     next_topology.started = True
-                else:
+                elif not q:
                     del self._graph_queues[id(graph)]
         with self._topology_cv:
             self._num_topologies -= 1
@@ -715,7 +1134,7 @@ class Executor:
         if wid is not None:
             self._queues[wid].push(item)
         else:
-            self._shared.push(item)
+            self._shared.push(item, topology.priority)
         self._notifier.notify_one()
 
     def _next_item(self, wid: int, rng: random.Random) -> Optional[WorkItem]:

@@ -21,12 +21,19 @@ Since the resilience layer (docs/resilience.md) it also tracks:
   the last in-flight task to leave triggers the re-placement/replay
   pass;
 - structured failure events surfaced in the RunReport.
+
+Since the overload-protection layer (docs/runtime.md, "Submission
+lifecycle") it additionally carries the submission's *priority* (orders
+the graph FIFO and the cross-graph overflow queue), its *deadline*
+(armed on the executor's timer wheel; firing cancels the submission
+with a structured ``deadline_exceeded`` event), and the admission
+ledger bookkeeping (predicted footprint, exactly-once release).
 """
 
 from __future__ import annotations
 
 import threading
-from concurrent.futures import Future
+from concurrent.futures import Future, InvalidStateError
 from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Set
 
 from repro.resilience.policy import normalize_policy
@@ -46,6 +53,8 @@ class Topology:
         repeats: Optional[int] = 1,
         predicate: Optional[Callable[[], bool]] = None,
         policy: Optional[object] = None,
+        priority: int = 0,
+        deadline_s: Optional[float] = None,
     ) -> None:
         """*repeats*: fixed pass count (``run``/``run_n``), or ``None``
         with *predicate*: run passes until ``predicate()`` is True
@@ -70,6 +79,23 @@ class Topology:
         #: True once the executor began (or promoted) this topology;
         #: queued topologies cancel immediately (Executor.cancel)
         self.started = False
+        # -- service state (docs/runtime.md, submission lifecycle) ------
+        #: higher runs first: orders the graph FIFO and the cross-graph
+        #: overflow queue; the shed policy evicts lower priorities
+        self.priority = priority
+        #: seconds from submission until the deadline cancels the run
+        self.deadline_s = deadline_s
+        #: global submission order (executor-stamped); shed victim
+        #: tie-break within a priority
+        self.submit_seq = 0
+        #: live timer-wheel entry for the armed deadline (nulled on fire)
+        self.deadline_entry: Optional[list] = None
+        #: predicted device-memory footprint charged to the admission
+        #: ledger (hflint HF020 static model; 0 when unlimited)
+        self.footprint_bytes = 0
+        #: True while this topology holds admission capacity
+        self.admitted = False
+        self._admission_released = False
         #: True when running GPU tasks on host shadows (zero survivors)
         self.degraded = False
         #: scheduling generation; recovery bumps it so stale queue
@@ -145,11 +171,28 @@ class Topology:
         return bool(self.predicate())
 
     def complete(self) -> None:
-        """Resolve the future (exception if any task failed)."""
-        if self.error is not None:
-            self.future.set_exception(self.error)
-        else:
-            self.future.set_result(self.passes_done)
+        """Resolve the future (exception if any task failed).
+
+        Tolerates an already-resolved future: a drain timeout or a
+        ``wait=False`` shutdown may have force-resolved it while the
+        flush cascade was still finishing (docs/runtime.md).
+        """
+        try:
+            if self.error is not None:
+                self.future.set_exception(self.error)
+            else:
+                self.future.set_result(self.passes_done)
+        except InvalidStateError:
+            pass
+
+    def take_admission_release(self) -> bool:
+        """Claim the one-time admission-ledger release; True for the
+        single caller that must return this topology's capacity."""
+        with self._lock:
+            if not self.admitted or self._admission_released:
+                return False
+            self._admission_released = True
+            return True
 
     # -- resilience accounting (docs/resilience.md) --------------------
     def record_attempt(self, nid: int, error: BaseException) -> List[BaseException]:

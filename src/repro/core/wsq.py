@@ -26,6 +26,8 @@ serial task spine or a stealing imbalance.
 
 from __future__ import annotations
 
+import heapq
+import itertools
 import threading
 from collections import deque
 from typing import Generic, Optional, TypeVar
@@ -67,6 +69,61 @@ class WorkStealingQueue(Generic[T]):
     def __len__(self) -> int:
         with self._lock:
             return len(self._deque)
+
+    @property
+    def empty(self) -> bool:
+        return len(self) == 0
+
+    @property
+    def high_water(self) -> int:
+        """Maximum queue length ever reached (never resets)."""
+        with self._lock:
+            return self._high_water
+
+
+class PriorityOverflowQueue(Generic[T]):
+    """The executor's shared overflow queue, ordered by priority.
+
+    Submissions and GPU-callback completions land here (workers keep
+    their private :class:`WorkStealingQueue`).  With the
+    overload-protection layer (docs/runtime.md, "Submission
+    lifecycle") the overflow queue is where *cross-graph* dispatch
+    order is decided, so it pops the highest-priority item first — FIFO
+    within a priority — instead of plain FIFO.  A locked binary heap is
+    fine here: this queue is off the workers' hot path (local pops and
+    steals dominate), and per-item cost stays O(log n).
+
+    Any thread may :meth:`push`; any thread may :meth:`steal` (the
+    thief-side name keeps the worker loop symmetric with
+    :class:`WorkStealingQueue`).  :attr:`high_water` matches the
+    work-stealing queue's observability contract.
+    """
+
+    __slots__ = ("_heap", "_lock", "_seq", "_high_water")
+
+    def __init__(self) -> None:
+        self._heap: list = []
+        self._lock = threading.Lock()
+        self._seq = itertools.count()
+        self._high_water = 0
+
+    def push(self, item: T, priority: int = 0) -> None:
+        """Insert *item*; higher *priority* pops first."""
+        with self._lock:
+            heapq.heappush(self._heap, (-priority, next(self._seq), item))
+            if len(self._heap) > self._high_water:
+                self._high_water = len(self._heap)
+
+    def steal(self) -> Optional[T]:
+        """Pop the highest-priority (oldest within ties) item."""
+        with self._lock:
+            if self._heap:
+                return heapq.heappop(self._heap)[2]
+            return None
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._heap)
 
     @property
     def empty(self) -> bool:

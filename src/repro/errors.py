@@ -56,6 +56,50 @@ class ExecutorError(HeteroflowError):
     requires GPUs on a GPU-less executor, use after shutdown."""
 
 
+class AdmissionRejectedError(ExecutorError):
+    """The overload-protection layer (:mod:`repro.service`) refused a
+    submission.
+
+    Raised synchronously from ``Executor.run``/``run_n``/``run_until``
+    when the attached :class:`~repro.service.AdmissionController` is at
+    capacity under the ``reject`` policy, when a ``block``-policy
+    submitter times out waiting for capacity, or when a ``shed``-policy
+    submission cannot find a lower-priority victim to evict.  It also
+    resolves the future of a queued topology that was *evicted* by a
+    higher-priority ``shed`` admission.
+
+    Structured fields: :attr:`reason` (``"capacity"``, ``"timeout"``,
+    ``"shed"``, or ``"never_fits"``), :attr:`policy`, the submission's
+    :attr:`priority` and predicted :attr:`footprint_bytes`, and the
+    controller's :attr:`in_use_topologies` / :attr:`in_use_bytes` at
+    decision time (see docs/runtime.md, "Submission lifecycle").
+    """
+
+    def __init__(
+        self,
+        reason: str,
+        *,
+        policy: str = "",
+        priority: int = 0,
+        footprint_bytes: int = 0,
+        in_use_topologies: int = 0,
+        in_use_bytes: int = 0,
+        message: str = "",
+    ) -> None:
+        self.reason = reason
+        self.policy = policy
+        self.priority = priority
+        self.footprint_bytes = footprint_bytes
+        self.in_use_topologies = in_use_topologies
+        self.in_use_bytes = in_use_bytes
+        super().__init__(
+            message
+            or f"admission {reason} (policy={policy!r}, priority={priority}, "
+            f"footprint={footprint_bytes}B, in use: "
+            f"{in_use_topologies} topologies / {in_use_bytes}B)"
+        )
+
+
 class TaskFailedError(ExecutorError):
     """A task exhausted its resilience budget (retries/timeouts/device
     recovery) and failed the topology.

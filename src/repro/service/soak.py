@@ -1,0 +1,535 @@
+"""Soak harness: multi-tenant overload scenarios against one executor.
+
+Where the chaos harness (:mod:`repro.resilience.chaos`) stresses the
+*fault* path one submission at a time, the soak harness stresses the
+*submission* path many tenants at a time: each scenario starts one
+executor with a bounded :class:`~repro.service.AdmissionController`
+(the policy cycles ``block``/``reject``/``shed`` over the scenario
+index), then lets several submitter threads race mixed workloads at
+it — ``run``/``run_n``/``run_until`` over seeded generated graphs
+(:mod:`repro.check.generator`), stacked resubmissions of the same
+graph (so queued siblings exist to shed, cancel, and deadline), random
+priorities, random deadlines (some armed to fire, some generous), and
+random caller-side cancels.
+
+Every scenario is then checked three ways:
+
+1. **Reconciliation** — every submission reaches exactly one terminal
+   outcome, so ``submitted == rejected + admitted`` and ``admitted ==
+   completed + shed + deadline_exceeded + cancelled + failed`` must
+   hold *exactly*, and the executor's ``service.*`` counters must
+   agree; a future still unresolved after the sweep is a stranded
+   future and a violation.
+2. **Trace validation** — the run's :class:`TraceObserver` records are
+   filtered per graph (node ids are globally unique) and checked by the
+   schedule validator; graphs with cancelled/shed/deadline submissions
+   validate with ``allow_partial``.
+3. **Oracle** — graphs whose every submission completed must produce
+   bit-identical results to the generator's host-side replay.
+
+The harness records per-submission latency (submit call and
+end-to-end) and emits p50/p95/p99 percentiles; ``python -m repro soak
+--json`` writes the whole report with schema
+:data:`SOAK_REPORT_SCHEMA` (the CI artifact
+``BENCH_service_soak.json``).
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from concurrent.futures import CancelledError
+from concurrent.futures import TimeoutError as FutureTimeoutError
+
+from repro.check.generator import GeneratedGraph, generate_graph
+from repro.check.validate import validate_schedule
+from repro.core.executor import Executor
+from repro.core.observer import TraceObserver
+from repro.errors import AdmissionRejectedError, ExecutorError
+from repro.service.admission import POLICIES, AdmissionController
+from repro.utils.rng import derive_seed
+
+#: schema identifier of the serialized report; bump on layout changes
+SOAK_REPORT_SCHEMA = "repro.soak-report/1"
+
+#: per-future settle deadline — an unresolved future is itself a
+#: stranded-future violation
+_RESULT_TIMEOUT = 60.0
+
+#: the terminal outcome classes every submission reconciles into
+OUTCOMES = (
+    "completed",
+    "rejected",
+    "shed",
+    "deadline_exceeded",
+    "cancelled",
+    "failed",
+)
+
+#: service counters aggregated across the sweep
+_COUNTER_KEYS = (
+    "service.admitted",
+    "service.rejected",
+    "service.shed",
+    "service.deadline_exceeded",
+    "service.admission_blocked",
+    "service.drain_cancelled",
+)
+
+
+def _percentiles(samples: List[float]) -> Dict[str, float]:
+    """p50/p95/p99 by nearest-rank over *samples* (empty -> zeros)."""
+    if not samples:
+        return {"p50": 0.0, "p95": 0.0, "p99": 0.0}
+    ordered = sorted(samples)
+    last = len(ordered) - 1
+
+    def at(q: float) -> float:
+        return ordered[min(last, int(round(q * last)))]
+
+    return {"p50": at(0.50), "p95": at(0.95), "p99": at(0.99)}
+
+
+@dataclass
+class _Submission:
+    """One ``run*`` call a submitter thread made (admitted or not)."""
+
+    graph_key: tuple
+    mode: str
+    priority: int
+    deadline: Optional[float]
+    expected_passes: int
+    submit_latency: float
+    future: Optional[object] = None  # None: rejected at submission
+    reject_reason: str = ""
+    cancel_requested: bool = False
+    outcome: str = ""
+    wall_latency: float = 0.0
+
+
+@dataclass
+class SoakScenario:
+    """One executed soak scenario."""
+
+    index: int
+    policy: str
+    seed: int
+    workers: int
+    gpus: int
+    max_topologies: int
+    submitters: int
+    num_graphs: int = 0
+    num_records: int = 0
+    counts: Dict[str, int] = field(default_factory=dict)
+    counters: Dict[str, int] = field(default_factory=dict)
+    submit_latency: Dict[str, float] = field(default_factory=dict)
+    wall_latency: Dict[str, float] = field(default_factory=dict)
+    violations: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    @property
+    def submitted(self) -> int:
+        return sum(self.counts.values())
+
+    @property
+    def admitted(self) -> int:
+        return self.submitted - self.counts.get("rejected", 0)
+
+    def to_dict(self) -> dict:
+        return {
+            "index": self.index,
+            "policy": self.policy,
+            "seed": self.seed,
+            "workers": self.workers,
+            "gpus": self.gpus,
+            "max_topologies": self.max_topologies,
+            "submitters": self.submitters,
+            "num_graphs": self.num_graphs,
+            "num_records": self.num_records,
+            "submitted": self.submitted,
+            "admitted": self.admitted,
+            "counts": {k: self.counts.get(k, 0) for k in OUTCOMES},
+            "counters": dict(sorted(self.counters.items())),
+            "submit_latency_s": dict(self.submit_latency),
+            "wall_latency_s": dict(self.wall_latency),
+            "violations": list(self.violations),
+        }
+
+
+@dataclass
+class SoakReport:
+    """Aggregated outcome of one soak sweep."""
+
+    seed: int
+    scenarios: List[SoakScenario] = field(default_factory=list)
+    counters: Dict[str, int] = field(default_factory=dict)
+    #: end-to-end latencies of every admitted submission, sweep-wide
+    wall_samples: List[float] = field(default_factory=list)
+    submit_samples: List[float] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return all(s.ok for s in self.scenarios)
+
+    @property
+    def num_scenarios(self) -> int:
+        return len(self.scenarios)
+
+    @property
+    def totals(self) -> Dict[str, int]:
+        out = {k: 0 for k in OUTCOMES}
+        for s in self.scenarios:
+            for k in OUTCOMES:
+                out[k] += s.counts.get(k, 0)
+        out["submitted"] = sum(s.submitted for s in self.scenarios)
+        out["admitted"] = sum(s.admitted for s in self.scenarios)
+        return out
+
+    @property
+    def violations(self) -> List[str]:
+        out: List[str] = []
+        for s in self.scenarios:
+            out.extend(
+                f"[#{s.index} {s.policy} seed={s.seed}] {v}"
+                for v in s.violations
+            )
+        return out
+
+    def to_dict(self) -> dict:
+        return {
+            "schema": SOAK_REPORT_SCHEMA,
+            "seed": self.seed,
+            "num_scenarios": self.num_scenarios,
+            "ok": self.ok,
+            "totals": self.totals,
+            "counters": dict(sorted(self.counters.items())),
+            "submit_latency_s": _percentiles(self.submit_samples),
+            "wall_latency_s": _percentiles(self.wall_samples),
+            "scenarios": [s.to_dict() for s in self.scenarios],
+        }
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+
+def _classify(sub: _Submission, violations: List[str]) -> None:
+    """Resolve one submission's terminal outcome (mutates ``sub``)."""
+    if sub.future is None:
+        sub.outcome = "rejected"
+        return
+    try:
+        sub.future.result(timeout=_RESULT_TIMEOUT)
+        sub.outcome = "completed"
+        return
+    except AdmissionRejectedError as exc:
+        sub.outcome = "shed"
+        if exc.reason != "shed":
+            violations.append(
+                f"future resolved with AdmissionRejectedError "
+                f"reason={exc.reason!r}; only 'shed' may reach a future"
+            )
+        return
+    except FutureTimeoutError:
+        sub.outcome = "failed"
+        violations.append(
+            f"stranded future: submission ({sub.mode}, "
+            f"priority={sub.priority}) unresolved after "
+            f"{_RESULT_TIMEOUT:.0f}s"
+        )
+        return
+    except CancelledError:
+        if sub.cancel_requested:
+            sub.outcome = "cancelled"
+        elif sub.deadline is not None:
+            sub.outcome = "deadline_exceeded"
+        else:
+            sub.outcome = "cancelled"
+            violations.append(
+                f"unexpected CancelledError: no cancel requested and "
+                f"no deadline set ({sub.mode}, priority={sub.priority})"
+            )
+        return
+    except BaseException as exc:  # noqa: BLE001 - harness boundary
+        sub.outcome = "failed"
+        violations.append(
+            f"submission failed unexpectedly: {exc!r} ({sub.mode})"
+        )
+
+
+def run_scenario(index: int, seed: int = 0) -> SoakScenario:
+    """Run soak scenario *index* of the sweep seeded with *seed*.
+
+    Graph shapes, workload mix, priorities, deadlines, and cancel
+    choices all derive deterministically from ``(index, seed)``; only
+    thread interleavings vary between runs.
+    """
+    sseed = derive_seed(seed, "soak", index)
+    rng = random.Random(sseed)
+    policy = POLICIES[index % len(POLICIES)]
+    workers = rng.choice((2, 4))
+    gpus = rng.choice((1, 2))
+    max_topologies = rng.randint(3, 6)
+    submitters = rng.randint(3, 5)
+
+    scenario = SoakScenario(
+        index=index,
+        policy=policy,
+        seed=sseed % (1 << 31),
+        workers=workers,
+        gpus=gpus,
+        max_topologies=max_topologies,
+        submitters=submitters,
+    )
+    ctrl = AdmissionController(
+        max_topologies=max_topologies,
+        policy=policy,
+        block_timeout=5.0 if policy == "block" else None,
+    )
+    obs = TraceObserver()
+    ex = Executor(
+        num_workers=workers,
+        num_gpus=gpus,
+        observers=[obs],
+        seed=scenario.seed,
+        admission=ctrl,
+    )
+
+    graphs: Dict[tuple, GeneratedGraph] = {}
+    graphs_lock = threading.Lock()
+    submissions: List[_Submission] = []
+    subs_lock = threading.Lock()
+    violations: List[str] = []
+
+    def submitter(tid: int) -> None:
+        srng = random.Random(derive_seed(sseed, "tenant", tid))
+        for g in range(srng.randint(2, 3)):
+            gseed = derive_seed(sseed, "graph", tid, g) % (1 << 31)
+            gen = generate_graph(
+                gseed,
+                num_gpus=gpus,
+                max_hosts=4,
+                max_chains=2,
+                max_kernels=2,
+                max_len=64,
+            )
+            key = (tid, g)
+            with graphs_lock:
+                graphs[key] = gen
+            # stacked submissions of the same graph create the queued
+            # siblings that shedding, deadlines, and cancels act on
+            for _ in range(srng.randint(1, 3)):
+                mode = srng.choice(("run", "run_n", "run_until"))
+                priority = srng.randint(0, 3)
+                roll = srng.random()
+                deadline = (
+                    0.003 if roll < 0.15 else 30.0 if roll < 0.30 else None
+                )
+                expected = 1
+                t0 = time.monotonic()
+                try:
+                    if mode == "run":
+                        fut = ex.run(
+                            gen.graph, priority=priority, deadline=deadline
+                        )
+                    elif mode == "run_n":
+                        expected = srng.randint(1, 2)
+                        fut = ex.run_n(
+                            gen.graph,
+                            expected,
+                            priority=priority,
+                            deadline=deadline,
+                        )
+                    else:
+                        expected = srng.randint(1, 2)
+                        state = {"n": 0}
+
+                        def pred(state=state, target=expected) -> bool:
+                            state["n"] += 1
+                            return state["n"] >= target
+
+                        fut = ex.run_until(
+                            gen.graph,
+                            pred,
+                            priority=priority,
+                            deadline=deadline,
+                        )
+                except AdmissionRejectedError as exc:
+                    with subs_lock:
+                        submissions.append(
+                            _Submission(
+                                graph_key=key,
+                                mode=mode,
+                                priority=priority,
+                                deadline=deadline,
+                                expected_passes=0,
+                                submit_latency=time.monotonic() - t0,
+                                reject_reason=exc.reason,
+                            )
+                        )
+                    continue
+                sub = _Submission(
+                    graph_key=key,
+                    mode=mode,
+                    priority=priority,
+                    deadline=deadline,
+                    expected_passes=expected,
+                    submit_latency=time.monotonic() - t0,
+                    future=fut,
+                )
+                fut.add_done_callback(
+                    lambda f, sub=sub, t0=t0: setattr(
+                        sub, "wall_latency", time.monotonic() - t0
+                    )
+                )
+                with subs_lock:
+                    submissions.append(sub)
+                if srng.random() < 0.15:
+                    time.sleep(srng.random() * 0.004)
+                    sub.cancel_requested = ex.cancel(fut)
+
+    threads = [
+        threading.Thread(target=submitter, args=(tid,), name=f"soak-t{tid}")
+        for tid in range(submitters)
+    ]
+    try:
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        # settle every future and classify its terminal outcome
+        for sub in submissions:
+            _classify(sub, violations)
+        if not ex.drain(timeout=_RESULT_TIMEOUT):
+            violations.append("drain timed out after every future settled")
+        for sub in submissions:
+            if sub.future is not None and not sub.future.done():
+                violations.append(
+                    f"stranded future after drain ({sub.mode}, "
+                    f"outcome={sub.outcome})"
+                )
+        snapshot = ex.metrics.snapshot()
+    finally:
+        ex.shutdown(wait=False)
+
+    # -- reconciliation ----------------------------------------------
+    counts = {k: 0 for k in OUTCOMES}
+    for sub in submissions:
+        counts[sub.outcome] += 1
+    scenario.counts = counts
+    admitted = len(submissions) - counts["rejected"]
+    settled = sum(counts[k] for k in OUTCOMES if k != "rejected")
+    if settled != admitted:  # pragma: no cover - counts are exhaustive
+        violations.append(
+            f"outcome reconciliation broke: {settled} settled vs "
+            f"{admitted} admitted"
+        )
+    for key in _COUNTER_KEYS:
+        val = snapshot.get(key)
+        if isinstance(val, int):
+            scenario.counters[key] = val
+    for key, want in (
+        ("service.admitted", admitted),
+        ("service.rejected", counts["rejected"]),
+        ("service.shed", counts["shed"]),
+    ):
+        got = scenario.counters.get(key, 0)
+        if got != want:
+            violations.append(
+                f"counter {key} = {got}, but the harness observed {want}"
+            )
+    # the deadline counter may exceed the classified count: a deadline
+    # can fire in the race window where the run is completing anyway
+    if scenario.counters.get("service.deadline_exceeded", 0) < counts[
+        "deadline_exceeded"
+    ]:
+        violations.append(
+            f"counter service.deadline_exceeded = "
+            f"{scenario.counters.get('service.deadline_exceeded', 0)} < "
+            f"{counts['deadline_exceeded']} classified deadline outcomes"
+        )
+
+    # -- per-graph trace validation + oracle --------------------------
+    scenario.num_graphs = len(graphs)
+    by_graph: Dict[tuple, List[_Submission]] = {}
+    for sub in submissions:
+        by_graph.setdefault(sub.graph_key, []).append(sub)
+    for key, gen in graphs.items():
+        subs = by_graph.get(key, [])
+        nids = {n.nid for n in gen.graph.nodes}
+        records = [r for r in obs.records if r.nid in nids]
+        scenario.num_records += len(records)
+        expected = sum(
+            s.expected_passes for s in subs if s.outcome != "rejected"
+        )
+        all_completed = all(s.outcome == "completed" for s in subs)
+        report = validate_schedule(
+            gen.graph,
+            records,
+            passes=max(expected, 1),
+            num_gpus=gpus,
+            allow_partial=not all_completed,
+        )
+        violations.extend(
+            f"graph {key}: {v}" for v in report.violations
+        )
+        if all_completed and expected > 0:
+            violations.extend(
+                f"graph {key}: {v}" for v in gen.verify(passes=expected)
+            )
+
+    scenario.violations = violations
+    wall = [s.wall_latency for s in submissions if s.future is not None]
+    submit = [s.submit_latency for s in submissions]
+    scenario.wall_latency = _percentiles(wall)
+    scenario.submit_latency = _percentiles(submit)
+    # stash raw samples for sweep-wide percentiles via a side channel
+    scenario._wall_samples = wall  # type: ignore[attr-defined]
+    scenario._submit_samples = submit  # type: ignore[attr-defined]
+    return scenario
+
+
+def run_soak(
+    scenarios: int = 50,
+    *,
+    seed: int = 0,
+    log: Optional[Callable[[str], None]] = None,
+) -> SoakReport:
+    """Sweep *scenarios* seeded overload scenarios; returns a report.
+
+    The sweep never raises on violations — the caller decides (the CLI
+    exits nonzero, tests assert on :attr:`SoakReport.ok`).
+    """
+    report = SoakReport(seed=seed)
+    for i in range(scenarios):
+        scenario = run_scenario(i, seed)
+        for key, val in scenario.counters.items():
+            report.counters[key] = report.counters.get(key, 0) + val
+        report.wall_samples.extend(
+            getattr(scenario, "_wall_samples", ())
+        )
+        report.submit_samples.extend(
+            getattr(scenario, "_submit_samples", ())
+        )
+        report.scenarios.append(scenario)
+        if log is not None:
+            c = scenario.counts
+            state = "ok" if scenario.ok else "VIOLATION"
+            log(
+                f"  #{scenario.index:>3} {scenario.policy:<7} "
+                f"seed={scenario.seed:<11} {scenario.workers}w x "
+                f"{scenario.gpus}g cap={scenario.max_topologies}  "
+                f"{scenario.submitted:>2} submitted "
+                f"{c.get('completed', 0):>2} done "
+                f"{c.get('rejected', 0)} rej {c.get('shed', 0)} shed "
+                f"{c.get('deadline_exceeded', 0)} ddl "
+                f"{c.get('cancelled', 0)} cancel  {state}"
+            )
+    return report
