@@ -52,12 +52,14 @@ from repro.core.heteroflow import Heteroflow
 from repro.core.node import TaskType
 from repro.core.observer import TraceObserver
 from repro.core.task import HostTask, KernelTask, PullTask, PushTask, Task
+from repro.core.topology import FrozenTopology
 from repro.errors import (
     AllocationError,
     CycleError,
     DeviceError,
     EmptyTaskError,
     ExecutorError,
+    FrozenTopologyError,
     GraphError,
     HeteroflowError,
     KernelError,
@@ -75,6 +77,8 @@ __all__ = [
     "EmptyTaskError",
     "Executor",
     "ExecutorError",
+    "FrozenTopology",
+    "FrozenTopologyError",
     "GraphError",
     "Heteroflow",
     "HeteroflowError",

@@ -12,12 +12,21 @@ A race/invariant checker for the executor, GPU runtime, and allocator:
 - :mod:`repro.check.mutants` — deliberately-buggy executors proving the
   validator catches real scheduler bugs;
 - :mod:`repro.check.stress` — the config x seed sweep behind
-  ``python -m repro check --stress``.
+  ``python -m repro check --stress``;
+- :mod:`repro.check.replay` — the fresh-vs-frozen differential sweep
+  behind ``python -m repro check --replay`` (docs/runtime.md, "Freeze
+  and replay").
 """
 
 from repro.check.audit import AllocatorAuditor, AuditReport, AllocEvent
 from repro.check.generator import GeneratedGraph, generate_graph
 from repro.check.mutants import MutantExecutor, SelftestResult, run_mutant_selftest
+from repro.check.replay import (
+    REPLAY_CONFIGS,
+    ReplayOutcome,
+    ReplayReport,
+    run_replay_check,
+)
 from repro.check.stress import (
     DEFAULT_CONFIGS,
     RunOutcome,
@@ -38,6 +47,9 @@ __all__ = [
     "DEFAULT_CONFIGS",
     "GeneratedGraph",
     "MutantExecutor",
+    "REPLAY_CONFIGS",
+    "ReplayOutcome",
+    "ReplayReport",
     "RunOutcome",
     "ScheduleReport",
     "SelftestResult",
@@ -46,6 +58,7 @@ __all__ = [
     "generate_graph",
     "run_determinism_check",
     "run_mutant_selftest",
+    "run_replay_check",
     "run_stress",
     "validate_schedule",
 ]

@@ -10,9 +10,11 @@ Commands:
   graph in GraphViz DOT;
 - ``trace OUTPUT.json`` — run saxpy under a trace observer and write a
   chrome://tracing / Perfetto JSON file;
-- ``check [--stress]`` — run the schedule-validation subsystem: the
-  mutant self-test, and optionally the full config x seed stress sweep
-  (see docs/testing.md);
+- ``check [--stress] [--replay|--replay-smoke]`` — run the
+  schedule-validation subsystem: the mutant self-test, optionally the
+  full config x seed stress sweep, and optionally the fresh-vs-frozen
+  differential replay sweep (see docs/testing.md and docs/runtime.md,
+  "Freeze and replay");
 - ``lint [workloads...] [--json|--dot]`` — run the hflint static
   analyzer over the shipped flows (and, with ``--examples DIR`` or an
   auto-detected ``examples/`` directory, the example graphs); exits
@@ -213,10 +215,11 @@ def _cmd_check(args: argparse.Namespace) -> int:
     if args.stress:
         configs = args.configs or None
         n_cfg = len(configs) if configs else 3
-        print(f"\nstress sweep: {args.seeds} seed(s) x {n_cfg} config(s)"
+        seeds = args.seeds if args.seeds is not None else 25
+        print(f"\nstress sweep: {seeds} seed(s) x {n_cfg} config(s)"
               f"{' with fault injection' if args.faults else ''} ...")
         report = run_stress(
-            args.seeds, configs, faults=args.faults, log=print
+            seeds, configs, faults=args.faults, log=print
         )
         print(f"  total: {report.num_runs} run(s), "
               f"{report.num_allocs} allocation(s) / {report.num_frees} free(s) "
@@ -226,6 +229,28 @@ def _cmd_check(args: argparse.Namespace) -> int:
             for v in report.violations[:20]:
                 print(f"    {v}")
             more = len(report.violations) - 20
+            if more > 0:
+                print(f"    ... and {more} more")
+
+    if args.replay or args.replay_smoke:
+        from repro.check import run_replay_check
+
+        if args.replay_smoke:
+            seeds, configs = 4, [(2, 0), (2, 2)]
+        else:
+            seeds = args.seeds if args.seeds is not None else 13
+            configs = args.configs or None
+        n_cfg = len(configs) if configs else 4
+        print(f"\ndifferential replay sweep: {seeds} seed(s) x "
+              f"{n_cfg} config(s), fresh vs frozen ...")
+        replay_report = run_replay_check(seeds, configs, log=print)
+        print(f"  total: {replay_report.num_scenarios} scenario(s), "
+              f"{len(replay_report.violations)} violation(s)")
+        if not replay_report.ok:
+            failures += 1
+            for v in replay_report.violations[:20]:
+                print(f"    {v}")
+            more = len(replay_report.violations) - 20
             if more > 0:
                 print(f"    ... and {more} more")
 
@@ -422,8 +447,9 @@ def build_parser() -> argparse.ArgumentParser:
              "every trace",
     )
     check.add_argument(
-        "--seeds", type=int, default=25,
-        help="random graphs per configuration (default 25)",
+        "--seeds", type=int, default=None,
+        help="random graphs per configuration (default: 25 for "
+             "--stress, 13 for --replay)",
     )
     check.add_argument(
         "--configs", type=_parse_configs, default=None, metavar="WxG,...",
@@ -432,6 +458,16 @@ def build_parser() -> argparse.ArgumentParser:
     check.add_argument(
         "--faults", action="store_true",
         help="also run fault-injection and cancellation variants",
+    )
+    check.add_argument(
+        "--replay", action="store_true",
+        help="differential replay sweep: every generated graph runs "
+             "fresh and frozen-replayed; traces, oracles, and results "
+             "must agree (docs/runtime.md, \"Freeze and replay\")",
+    )
+    check.add_argument(
+        "--replay-smoke", action="store_true",
+        help="quick 8-scenario differential replay sweep for CI",
     )
 
     chaos = sub.add_parser(

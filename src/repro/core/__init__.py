@@ -26,17 +26,20 @@ from repro.core.patterns import gpu_map, parallel_for, pipeline, reduce_tree
 from repro.core.placement import DevicePlacement, PlacementResult
 from repro.core.serialize import graph_to_dict, graph_to_json, skeleton_from_dict
 from repro.core.task import HostTask, KernelTask, PullTask, PushTask, Task
+from repro.core.topology import FrozenTopology, ReplayTopology
 
 __all__ = [
     "DevicePlacement",
     "Executor",
     "ExecutorObserver",
+    "FrozenTopology",
     "Heteroflow",
     "HostTask",
     "KernelTask",
     "PlacementResult",
     "PullTask",
     "PushTask",
+    "ReplayTopology",
     "Task",
     "TaskType",
     "TraceObserver",

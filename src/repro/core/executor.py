@@ -66,7 +66,7 @@ import threading
 import time
 from collections import deque
 from concurrent.futures import CancelledError, Future, InvalidStateError
-from typing import Any, Callable, Dict, List, Optional, Sequence, Set, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Set, Tuple, Union
 
 import numpy as np
 
@@ -74,9 +74,14 @@ from repro.core.heteroflow import Heteroflow
 from repro.core.node import Node, TaskType
 from repro.core.notifier import Notifier
 from repro.core.observer import ExecutorObserver
-from repro.core.placement import CostMetric, DevicePlacement
+from repro.core.placement import (
+    CostMetric,
+    DevicePlacement,
+    apply_assignment,
+    snapshot_assignment,
+)
 from repro.core.task import PullTask
-from repro.core.topology import Topology
+from repro.core.topology import FrozenTopology, ReplayTopology, Topology
 from repro.core.wsq import PriorityOverflowQueue, WorkStealingQueue
 from repro.errors import (
     AdmissionRejectedError,
@@ -109,6 +114,33 @@ WorkItem = Tuple[Topology, Node, int]
 #: how long a committed sleeper waits before re-polling the queues;
 #: bounds the cost of any lost-wakeup bug without busy spinning
 _SLEEP_TIMEOUT = 0.02
+
+#: slots per fast-path work item: large enough to amortize queue and
+#: notifier traffic over many empty host tasks, small enough that
+#: thieves still find stealable chunks on wide graphs
+_FAST_CHUNK = 32
+
+
+class _CompiledPlan:
+    """Executor-side cached plan for one :class:`FrozenTopology`.
+
+    The frozen topology itself is executor-agnostic; the placement
+    grouping and device assignment depend on this executor's GPU count
+    and which devices are still alive, so they cache here, keyed by
+    ``frozen.fid``.  ``alive`` snapshots the live-device set the plan
+    was compiled against — any difference (a device died, or the stale
+    plan was replanned in place during recovery) invalidates the entry
+    and the next submission recompiles.
+    """
+
+    __slots__ = ("placement", "pairs", "alive")
+
+    def __init__(self, placement, pairs, alive) -> None:
+        self.placement = placement
+        #: (node, ordinal) assignment snapshot, re-applied at each
+        #: replay start (recovery of a sibling run may have moved nodes)
+        self.pairs = pairs
+        self.alive = alive
 
 
 class _TimerThread:
@@ -333,6 +365,20 @@ class Executor:
         self._m_adm_wait = self.metrics.histogram(
             "service.admission_wait_seconds"
         )
+
+        # freeze-and-replay counters (docs/runtime.md "Freeze and
+        # replay", docs/observability.md); sharded Counters — submitter
+        # and worker threads both start topologies
+        self._m_replay_hits = self.metrics.counter("replay.cache_hits")
+        self._m_replay_misses = self.metrics.counter("replay.cache_misses")
+        self._m_plan_reuses = self.metrics.counter("replay.plan_reuses")
+        self._m_fast_path = self.metrics.counter("replay.fast_path")
+        self._m_replay_latency = self.metrics.histogram(
+            "replay.latency_seconds"
+        )
+        #: frozen.fid -> _CompiledPlan; guarded by the graph FIFO (one
+        #: started topology per graph), so no extra lock is needed
+        self._plan_cache: Dict[int, _CompiledPlan] = {}
         self.metrics.register_callback(
             "service.overload_state", self._overload_state
         )
@@ -446,13 +492,15 @@ class Executor:
             self.remove_observer(obs)
         return obs
 
-    def lint(self, graph: Heteroflow):
+    def lint(self, graph: Union[Heteroflow, FrozenTopology]):
         """Run hflint over *graph* against this executor's pool size.
 
         Returns the :class:`repro.analysis.LintReport`; the HF020
         capacity prediction uses the per-device pool capacity this
         executor actually allocates (buddy-rounded), so a graph that
         lints clean here will not statically exhaust these pools.
+        For a :class:`~repro.core.topology.FrozenTopology` the report
+        comes from the frozen lint cache (one analysis per pool size).
         """
         from repro.analysis import lint as _lint
 
@@ -460,22 +508,36 @@ class Executor:
             pool = self._gpu.device(0).heap.capacity
         else:
             pool = self._gpu_memory_bytes
+        if isinstance(graph, FrozenTopology):
+            return graph.lint(gpu_memory_bytes=pool)
         return _lint(graph, gpu_memory_bytes=pool)
 
-    def _lint_gate(self, graph: Heteroflow) -> None:
+    def _lint_gate(self, graph: Union[Heteroflow, FrozenTopology]) -> None:
         self.lint(graph).raise_if_errors()
 
     def run(
         self,
-        graph: Heteroflow,
+        graph: Union[Heteroflow, FrozenTopology],
         *,
         lint: bool = False,
         metrics: bool = False,
         policy: Optional[object] = None,
         deadline: Optional[float] = None,
         priority: int = 0,
+        bindings: Optional[Dict[str, Callable]] = None,
     ) -> Future:
         """Run *graph* once; non-blocking, returns a future.
+
+        *graph* may be a :class:`~repro.core.topology.FrozenTopology`
+        (from ``Heteroflow.freeze()``): the submission then replays the
+        compiled plan — no validation, no placement pass, admission
+        footprint from the frozen cache — and host-only graphs take a
+        slot-based fast path with no per-node allocation.  *bindings*
+        (frozen submissions only) maps host-task names to replacement
+        callables for this submission; the graph itself stays immutable
+        (docs/runtime.md, "Freeze and replay").  Deadlines, priorities,
+        admission, retries, and cancellation behave exactly as for a
+        fresh graph.
 
         With ``lint=True`` the graph first passes through the hflint
         static analyzer (:mod:`repro.analysis`) and submission raises
@@ -515,11 +577,29 @@ class Executor:
             policy=policy,
             deadline=deadline,
             priority=priority,
+            bindings=bindings,
         )
+
+    def _make_topology(
+        self,
+        graph: Union[Heteroflow, FrozenTopology],
+        bindings: Optional[Dict[str, Callable]],
+        **kwargs: Any,
+    ) -> Topology:
+        """Build the submission topology: a slot-replay
+        :class:`ReplayTopology` for frozen graphs, a plain
+        :class:`Topology` otherwise."""
+        if isinstance(graph, FrozenTopology):
+            return ReplayTopology(graph, bindings=bindings, **kwargs)
+        if bindings:
+            raise ExecutorError(
+                "bindings= requires a FrozenTopology (Heteroflow.freeze())"
+            )
+        return Topology(graph, **kwargs)
 
     def run_n(
         self,
-        graph: Heteroflow,
+        graph: Union[Heteroflow, FrozenTopology],
         n: int,
         *,
         lint: bool = False,
@@ -527,6 +607,7 @@ class Executor:
         policy: Optional[object] = None,
         deadline: Optional[float] = None,
         priority: int = 0,
+        bindings: Optional[Dict[str, Callable]] = None,
     ) -> Future:
         """Run *graph* *n* times back to back; non-blocking."""
         if n < 0:
@@ -535,8 +616,9 @@ class Executor:
             raise ExecutorError("deadline must be positive (seconds)")
         if lint:
             self._lint_gate(graph)
-        topology = Topology(
+        topology = self._make_topology(
             graph,
+            bindings,
             repeats=n,
             policy=policy,
             priority=priority,
@@ -548,7 +630,7 @@ class Executor:
 
     def run_until(
         self,
-        graph: Heteroflow,
+        graph: Union[Heteroflow, FrozenTopology],
         predicate: Callable[[], bool],
         *,
         lint: bool = False,
@@ -556,6 +638,7 @@ class Executor:
         policy: Optional[object] = None,
         deadline: Optional[float] = None,
         priority: int = 0,
+        bindings: Optional[Dict[str, Callable]] = None,
     ) -> Future:
         """Run *graph* repeatedly until *predicate()* is True.
 
@@ -568,8 +651,9 @@ class Executor:
             raise ExecutorError("deadline must be positive (seconds)")
         if lint:
             self._lint_gate(graph)
-        topology = Topology(
+        topology = self._make_topology(
             graph,
+            bindings,
             repeats=None,
             predicate=predicate,
             policy=policy,
@@ -831,7 +915,12 @@ class Executor:
             # nothing to execute: resolve immediately with zero passes
             topology.future.set_result(0)
             return topology.future
-        graph.validate()
+        if topology.frozen is None:
+            # frozen graphs validated at freeze() and cannot have
+            # changed since; fresh graphs re-validate every submission
+            graph.validate()
+        else:
+            topology.t_submit = time.perf_counter()
         self._admit(topology)
         if self._draining or self._done:
             # drain began while we blocked for admission: hand the
@@ -875,7 +964,12 @@ class Executor:
             return
         fp = 0
         if ctrl.max_footprint_bytes is not None:
-            fp = predicted_footprint_bytes(topology.graph)
+            # frozen submissions read the footprint from the one-time
+            # freeze cache instead of re-deriving the capacity model
+            if topology.frozen is not None:
+                fp = topology.frozen.predicted_footprint()
+            else:
+                fp = predicted_footprint_bytes(topology.graph)
         topology.footprint_bytes = fp
         pri = topology.priority
         if not ctrl.would_ever_fit(fp):
@@ -1029,6 +1123,9 @@ class Executor:
             self._notifier.notify_all()
 
     def _start_topology(self, topology: Topology) -> None:
+        if topology.frozen is not None:
+            self._start_frozen(topology)
+            return
         graph = topology.graph
         for obs in self._observers:
             obs.on_topology_begin(graph.name, len(graph.nodes))
@@ -1066,7 +1163,73 @@ class Executor:
             return
         self._dispatch_pass(topology)
 
+    # ------------------------------------------------------------------
+    # freeze and replay (docs/runtime.md, "Freeze and replay")
+    # ------------------------------------------------------------------
+    def _start_frozen(self, topology: Topology) -> None:
+        """Start a replay: reuse (or compile) the cached plan instead of
+        re-running Algorithm-1 placement per submission."""
+        frozen = topology.frozen
+        assert frozen is not None
+        graph = topology.graph
+        for obs in self._observers:
+            obs.on_topology_begin(graph.name, len(graph.nodes))
+        if topology.fast:
+            self._m_fast_path.inc()
+        try:
+            alive = frozenset(self._alive_gpus)
+            if frozen.has_gpu and self.num_gpus > 0 and not alive:
+                # every configured device already failed: degrade from
+                # the start, exactly as the fresh path does
+                missing = kernels_without_fallback(graph.nodes)
+                if missing:
+                    raise ExecutorError(
+                        f"no GPUs survive and kernel task "
+                        f"{missing[0].name!r} has no host fallback"
+                    )
+                topology.degraded = True
+                self._m_degraded.inc()
+                topology.event("degraded", at="start", alive=[])
+            else:
+                plan = self._plan_cache.get(frozen.fid)
+                if plan is not None and plan.alive == alive:
+                    self._m_replay_hits.inc()
+                else:
+                    # first submission, or the live-device set changed
+                    # (which also invalidates a plan whose placement
+                    # was replanned in place during recovery)
+                    self._m_replay_misses.inc()
+                    placement = self._placement.place(
+                        graph.nodes, self.num_gpus
+                    )
+                    if frozen.has_gpu and len(alive) < self.num_gpus:
+                        replan(
+                            graph.nodes,
+                            placement,
+                            sorted(alive),
+                            self._placement.cost_metric,
+                        )
+                    plan = _CompiledPlan(
+                        placement, snapshot_assignment(graph.nodes), alive
+                    )
+                    self._plan_cache[frozen.fid] = plan
+                # re-apply the assignment: device ordinals live on the
+                # shared nodes, and a fresh run or a sibling's recovery
+                # pass may have moved them since the plan was compiled
+                apply_assignment(plan.pairs)
+                topology.placement = plan.placement
+        except Exception as exc:  # placement failure fails the run
+            topology.fail(exc)
+            self._finalize_topology(topology)
+            return
+        self._dispatch_pass(topology)
+
     def _dispatch_pass(self, topology: Topology) -> None:
+        if topology.frozen is not None:
+            self._m_plan_reuses.inc()
+            if topology.fast:
+                self._dispatch_pass_fast(topology)
+                return
         graph = topology.graph
         topology.begin_pass()
         for node in graph.nodes:
@@ -1074,6 +1237,30 @@ class Executor:
         sources = [n for n in graph.nodes if n.is_source]
         for node in sources:
             self._schedule(topology, node)
+
+    def _dispatch_pass_fast(self, rtop: ReplayTopology) -> None:
+        """Seed one fast-path pass: reset the preallocated slot joins
+        and enqueue the frozen source slots in chunks.  Chunking
+        amortizes queue and notifier traffic across many small tasks;
+        :meth:`_invoke_fast` runs chains inline and spills excess
+        ready slots back as stealable chunks."""
+        rtop.begin_pass()
+        rtop.reset_joins()
+        sources = rtop.frozen.source_slots
+        gen = rtop.gen
+        wid = getattr(self._tls, "wid", None)
+        notify = self._notifier.notify_one
+        if wid is not None:
+            queue = self._queues[wid]
+            for i in range(0, len(sources), _FAST_CHUNK):
+                queue.push((rtop, sources[i : i + _FAST_CHUNK], gen))
+                notify()
+        else:
+            shared = self._shared
+            priority = rtop.priority
+            for i in range(0, len(sources), _FAST_CHUNK):
+                shared.push((rtop, sources[i : i + _FAST_CHUNK], gen), priority)
+                notify()
 
     def _finalize_topology(self, topology: Topology) -> None:
         graph = topology.graph
@@ -1086,6 +1273,10 @@ class Executor:
             node.host_shadow = None
         for obs in self._observers:
             obs.on_topology_end(graph.name, len(graph.nodes))
+        if topology.frozen is not None:
+            self._m_replay_latency.observe(
+                time.perf_counter() - topology.t_submit
+            )
         self._cancel_topology_deadline(topology)
         topology.complete()
         self._release_admission(topology)
@@ -1189,6 +1380,10 @@ class Executor:
     # task invocation (visitor pattern over task types)
     # ------------------------------------------------------------------
     def _invoke(self, wid: int, topology: Topology, node: Node, gen: int = 0) -> None:
+        if node.__class__ is tuple:
+            # fast-path work item: a chunk of frozen slot indices
+            self._invoke_fast(wid, topology, node, gen)  # type: ignore[arg-type]
+            return
         if gen != topology.gen:
             # recovery invalidated this item and rescheduled the node
             return
@@ -1214,8 +1409,14 @@ class Executor:
             if topology.degraded and node.type.is_gpu:
                 self._invoke_degraded(attempt)
             elif node.type is TaskType.HOST:
-                assert node.callable is not None
-                node.callable()
+                fn = node.callable
+                if topology.bound is not None:
+                    # frozen general path with run(..., bindings=...):
+                    # the override lives on the submission, never on
+                    # the shared (immutable) node
+                    fn = topology.bound.get(node.nid, fn)
+                assert fn is not None
+                fn()
                 self._attempt_finished(attempt, self._post_timeout(attempt))
             elif node.type is TaskType.PULL:
                 self._arm_deadline(attempt)
@@ -1230,6 +1431,111 @@ class Executor:
                 raise ExecutorError(f"cannot execute task of type {node.type}")
         except BaseException as exc:  # noqa: BLE001 - routed to policy
             self._attempt_finished(attempt, exc)
+
+    def _invoke_fast(
+        self, wid: int, rtop: ReplayTopology, slots: Tuple[int, ...], gen: int
+    ) -> None:
+        """Slot-based replay fast path (host-only frozen graphs).
+
+        Processes a chunk of ready slots with *inline continuation*:
+        when a completed slot readies exactly one successor (the chain
+        case) it runs in the same loop iteration with no queue or
+        notifier round trip; wider fan-out keeps up to one chunk local
+        and spills the rest as stealable chunk items.  Per task this
+        costs one lock acquisition (successor release + pass
+        accounting under ``replay_lock``), the callable, and a lane
+        counter store — no per-node ``_Attempt`` allocation, no
+        enter/leave traffic (host-only graphs cannot see device
+        failures), no per-task dict churn.  Cancellation and deadlines
+        still apply: a failed/cancelled topology flushes remaining
+        slots unrun, exactly like the general path.
+        """
+        if gen != rtop.gen:  # pragma: no cover - host-only: never bumps
+            return
+        frozen = rtop.frozen
+        nodes = frozen.nodes
+        callables = rtop.callables
+        succ_slots = frozen.succ_slots
+        joins = rtop.joins
+        lock = rtop.replay_lock
+        observers = self._observers
+        queue = self._queues[wid]
+        notify = self._notifier.notify_one
+        m_tasks = self._m_tasks
+        m_flushed = self._m_flushed
+        todo = list(slots)
+        while todo:
+            s = todo.pop()
+            if rtop.failed:
+                # fast-cancel: count the slot without running it
+                m_flushed.inc(wid)
+            else:
+                m_tasks.inc(wid)
+                if observers:
+                    node = nodes[s]
+                    for obs in observers:
+                        obs.on_task_begin(wid, node)
+                    try:
+                        callables[s]()
+                    except BaseException as exc:  # noqa: BLE001
+                        self._fast_task_failed(rtop, s, exc)
+                    for obs in observers:
+                        obs.on_task_end(wid, node)
+                else:
+                    try:
+                        callables[s]()
+                    except BaseException as exc:  # noqa: BLE001
+                        self._fast_task_failed(rtop, s, exc)
+            ready: Optional[List[int]] = None
+            with lock:
+                for t in succ_slots[s]:
+                    nt = joins[t] - 1
+                    joins[t] = nt
+                    if nt == 0:
+                        if ready is None:
+                            ready = [t]
+                        else:
+                            ready.append(t)
+                rtop.pending -= 1
+                done = rtop.pending == 0
+            if ready is not None:
+                todo.extend(ready)
+                extra = len(todo) - _FAST_CHUNK
+                if extra > 0:
+                    # keep one chunk for inline continuation; spill the
+                    # rest so idle workers can steal the fan-out
+                    spill = todo[:extra]
+                    del todo[:extra]
+                    for i in range(0, extra, _FAST_CHUNK):
+                        queue.push(
+                            (rtop, tuple(spill[i : i + _FAST_CHUNK]), gen)
+                        )
+                        notify()
+            if done:
+                if rtop.pass_completed():
+                    self._finalize_topology(rtop)
+                else:
+                    self._dispatch_pass(rtop)
+                return
+
+    def _fast_task_failed(
+        self, rtop: ReplayTopology, slot: int, exc: BaseException
+    ) -> None:
+        """Record a fast-path task failure (rare path, kept cold).
+
+        Fast-path eligibility guarantees no retry policy is in play, so
+        the raw exception fails the topology — the same terminal
+        behavior the general path has without resilience."""
+        node = rtop.frozen.nodes[slot]
+        rtop.record_attempt(node.nid, exc)
+        rtop.event(
+            "task_failed",
+            task=node.name,
+            nid=node.nid,
+            attempts=1,
+            error=type(exc).__name__,
+        )
+        rtop.fail(exc)
 
     def _invoke_degraded(self, attempt: _Attempt) -> None:
         """Run a GPU task on the host (zero survivors; docs/resilience.md)."""

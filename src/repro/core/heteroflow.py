@@ -16,7 +16,7 @@ from typing import Any, Callable, Dict, List, Optional, Type
 
 from repro.core.node import Node, TaskType
 from repro.core.task import HostTask, KernelTask, PullTask, PushTask, Task, handle_for
-from repro.errors import CycleError, GraphError
+from repro.errors import CycleError, FrozenTopologyError, GraphError
 from repro.utils.dot import DotWriter
 
 _graph_ids = itertools.count()
@@ -37,9 +37,13 @@ class Heteroflow:
     def __init__(self, name: str = "") -> None:
         self.name = name or f"heteroflow{next(_graph_ids)}"
         self._nodes: List[Node] = []
+        #: compiled form, set by :meth:`freeze` (docs/runtime.md)
+        self._frozen = None
 
     # -- task creation ---------------------------------------------
     def _add(self, type_: TaskType, name: str = "") -> Node:
+        if self._frozen is not None:
+            raise FrozenTopologyError("add a task", self.name)
         node = Node(type_, name)
         self._nodes.append(node)
         return node
@@ -104,6 +108,8 @@ class Heteroflow:
 
     def clear(self) -> None:
         """Remove all tasks (outstanding handles become dangling)."""
+        if self._frozen is not None:
+            raise FrozenTopologyError("clear", self.name)
         self._nodes.clear()
 
     # -- validation --------------------------------------------------
@@ -153,6 +159,40 @@ class Heteroflow:
     def has_gpu_tasks(self) -> bool:
         return any(n.type.is_gpu for n in self._nodes)
 
+    # -- freeze and replay (docs/runtime.md, "Freeze and replay") ----
+    @property
+    def frozen(self) -> bool:
+        """True once :meth:`freeze` compiled this graph."""
+        return self._frozen is not None
+
+    def freeze(self):
+        """Compile this graph into an immutable
+        :class:`~repro.core.topology.FrozenTopology` (idempotent).
+
+        One planning pass validates the graph and precomputes the
+        topological ready-order slots, per-slot successor lists, join
+        counters, and host callables; the executor adds (and caches)
+        the device-placement plan and buddy-rounded footprint on first
+        submission.  ``Executor.run(frozen)`` then replays the graph
+        through a slot-based fast path with no per-submission
+        validation, placement, or per-node allocation.
+
+        Freezing is one-way: every later mutation — task creation,
+        ``precede``/``succeed``, work rebinding, retry/timeout/launch
+        configuration, ``clear()`` — raises a structured
+        :class:`~repro.errors.FrozenTopologyError`.  Per-submission host
+        callables go through ``run(frozen, bindings=...)`` instead.
+        """
+        if self._frozen is not None:
+            return self._frozen
+        from repro.core.topology import FrozenTopology
+
+        frozen = FrozenTopology(self)
+        self._frozen = frozen
+        for n in self._nodes:
+            n.frozen = True
+        return frozen
+
     def lint(self, **kwargs):
         """Run the hflint static analyzer over this graph.
 
@@ -161,7 +201,13 @@ class Heteroflow:
         predictions, ...); keyword arguments are forwarded to
         :func:`repro.analysis.lint`.  Purely an inspection — the graph
         is not modified and nothing executes.
+
+        After :meth:`freeze` the graph can no longer change, so reports
+        are cached on the frozen topology (one analysis per distinct
+        keyword set) and repeat calls return the same object.
         """
+        if self._frozen is not None:
+            return self._frozen.lint(**kwargs)
         from repro.analysis import lint as _lint
 
         return _lint(self, **kwargs)

@@ -15,7 +15,7 @@ import threading
 from enum import Enum
 from typing import TYPE_CHECKING, Any, Callable, List, Optional, Tuple
 
-from repro.errors import GraphError
+from repro.errors import FrozenTopologyError, GraphError
 from repro.gpu.kernel import LaunchConfig
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -74,6 +74,8 @@ class Node:
         "fallback_fn",  # KERNEL: host fallback callable
         "pull_snapshot",  # PULL: host bytes captured at H2D completion
         "host_shadow",  # PULL: degraded-mode host-resident copy
+        # freeze-and-replay (docs/runtime.md, "Freeze and replay")
+        "frozen",  # True once the owning graph was frozen
     )
 
     def __init__(self, type_: TaskType, name: str = "") -> None:
@@ -103,6 +105,7 @@ class Node:
         self.fallback_fn: Optional[Callable] = None
         self.pull_snapshot = None
         self.host_shadow = None
+        self.frozen = False
 
     # -- structure ---------------------------------------------------
     def precede(self, other: "Node") -> None:
@@ -111,6 +114,8 @@ class Node:
         edges and counts each as a dependency)."""
         if other is self:
             raise GraphError(f"task {self.name!r} cannot precede itself")
+        if self.frozen or other.frozen:
+            raise FrozenTopologyError("precede", self.name)
         self.successors.append(other)
         other.dependents.append(self)
 

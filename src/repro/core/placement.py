@@ -21,7 +21,7 @@ the source pull task", Listing 6 discussion).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.node import Node, TaskType
 from repro.errors import ExecutorError
@@ -48,6 +48,30 @@ def default_cost_metric(group: Sequence[Node]) -> float:
         elif n.type is TaskType.KERNEL:
             cost += KERNEL_WEIGHT
     return max(cost, 1.0)
+
+
+def snapshot_assignment(nodes: Sequence[Node]) -> "Tuple[Tuple[Node, int], ...]":
+    """Capture the current ``(node, device)`` assignment of every GPU
+    task among *nodes* as an immutable snapshot.
+
+    Used by the executor's compiled-plan cache (docs/runtime.md,
+    "Freeze and replay"): a frozen graph is placed once and the
+    snapshot re-applied per replay with :func:`apply_assignment`,
+    instead of re-running Algorithm 1 per submission.
+    """
+    return tuple((n, n.device) for n in nodes if n.type.is_gpu)
+
+
+def apply_assignment(pairs: "Tuple[Tuple[Node, int], ...]") -> None:
+    """Write a :func:`snapshot_assignment` snapshot back onto its nodes.
+
+    Device ordinals live on the shared graph nodes, so interleaved
+    fresh runs or a sibling submission's recovery pass may have moved
+    them since the snapshot was taken; re-applying restores the cached
+    plan's assignment in O(GPU tasks) with no union-find or packing.
+    """
+    for node, device in pairs:
+        node.device = device
 
 
 @dataclass

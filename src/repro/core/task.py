@@ -12,7 +12,7 @@ from __future__ import annotations
 from typing import Any, Callable, Optional, Tuple
 
 from repro.core.node import Node, TaskType
-from repro.errors import EmptyTaskError, GraphError
+from repro.errors import EmptyTaskError, FrozenTopologyError, GraphError
 from repro.gpu.kernel import LaunchConfig
 from repro.utils.span import Span
 
@@ -36,6 +36,15 @@ class Task:
             raise EmptyTaskError("operation on an empty task handle")
         return self._node
 
+    def _mutable(self, operation: str) -> Node:
+        """Resolve the node for a mutating method; raises
+        :class:`~repro.errors.FrozenTopologyError` once the owning graph
+        was frozen (docs/runtime.md, "Freeze and replay")."""
+        node = self._require()
+        if node.frozen:
+            raise FrozenTopologyError(operation, node.name)
+        return node
+
     @property
     def node(self) -> Node:
         """The underlying node (internal; used by executor/placement)."""
@@ -54,7 +63,7 @@ class Task:
 
     def rename(self, name: str) -> "Task":
         """Set a human-readable name; returns self for chaining."""
-        self._require().name = str(name)
+        self._mutable("rename").name = str(name)
         return self
 
     @property
@@ -72,14 +81,14 @@ class Task:
     # -- dependencies ---------------------------------------------------
     def precede(self, *tasks: "Task") -> "Task":
         """Force this task to run before every task in *tasks*."""
-        me = self._require()
+        me = self._mutable("precede")
         for t in tasks:
             me.precede(t._require())
         return self
 
     def succeed(self, *tasks: "Task") -> "Task":
         """Force this task to run after every task in *tasks*."""
-        me = self._require()
+        me = self._mutable("succeed")
         for t in tasks:
             t._require().precede(me)
         return self
@@ -94,7 +103,7 @@ class Task:
         """
         from repro.resilience.policy import RetryPolicy
 
-        node = self._require()
+        node = self._mutable("retry")
         if policy is None:
             policy = RetryPolicy(**kwargs)
         elif kwargs:
@@ -113,7 +122,7 @@ class Task:
         run-level policy timeout for this task)."""
         if seconds is not None and seconds <= 0:
             raise GraphError("task timeout must be positive")
-        self._require().timeout_s = None if seconds is None else float(seconds)
+        self._mutable("timeout").timeout_s = None if seconds is None else float(seconds)
         return self
 
     def __repr__(self) -> str:  # pragma: no cover
@@ -131,7 +140,7 @@ class HostTask(Task):
         """(Re)bind the callable; used to fill placeholders."""
         if not callable(callable_):
             raise GraphError("host task requires a callable")
-        node = self._require()
+        node = self._mutable("host")
         node.callable = callable_
         node.type = TaskType.HOST
         return self
@@ -144,7 +153,7 @@ class PullTask(Task):
 
     def pull(self, *args: Any) -> "PullTask":
         """(Re)bind the host span; arguments follow :class:`Span` forms."""
-        node = self._require()
+        node = self._mutable("pull")
         node.span = args[0] if len(args) == 1 and isinstance(args[0], Span) else Span(*args)
         node.type = TaskType.PULL
         return self
@@ -164,7 +173,7 @@ class PushTask(Task):
         """(Re)bind the source pull task and target span."""
         if not isinstance(source, PullTask) or source.empty:
             raise GraphError("push task requires a non-empty pull task source")
-        node = self._require()
+        node = self._mutable("push")
         node.source = source.node
         node.span = args[0] if len(args) == 1 and isinstance(args[0], Span) else Span(*args)
         node.type = TaskType.PUSH
@@ -186,7 +195,7 @@ class KernelTask(Task):
         """
         if not callable(fn):
             raise GraphError("kernel task requires a callable kernel")
-        node = self._require()
+        node = self._mutable("kernel")
         node.kernel_fn = fn
         node.kernel_args = tuple(args)
         node.kernel_sources = [a.node for a in args if isinstance(a, PullTask)]
@@ -197,7 +206,7 @@ class KernelTask(Task):
 
     # -- access-mode declarations (consumed by repro.analysis) -------
     def _declare(self, attr: str, pulls: Tuple["PullTask", ...]) -> "KernelTask":
-        node = self._require()
+        node = self._mutable(attr.replace("kernel_", ""))
         for p in pulls:
             if not isinstance(p, PullTask) or p.empty:
                 raise GraphError(
@@ -241,7 +250,7 @@ class KernelTask(Task):
         is a plain numpy function of its views, which all simulated
         kernels are.
         """
-        node = self._require()
+        node = self._mutable("host_fallback")
         if fn is None:
             if node.kernel_fn is None:
                 raise GraphError(
@@ -257,7 +266,7 @@ class KernelTask(Task):
 
     # -- launch-shape builders (paper: .block_x(...) etc.) ----------
     def _update(self, **kw: int) -> "KernelTask":
-        node = self._require()
+        node = self._mutable("update the launch shape of")
         grid = list(node.launch.grid)
         block = list(node.launch.block)
         shm = node.launch.shm
@@ -289,17 +298,17 @@ class KernelTask(Task):
         return self._update(block_z=v)
 
     def shm(self, nbytes: int) -> "KernelTask":
-        node = self._require()
+        node = self._mutable("shm")
         node.launch = LaunchConfig(node.launch.grid, node.launch.block, int(nbytes))
         return self
 
     def grid(self, gx: int, gy: int = 1, gz: int = 1) -> "KernelTask":
-        node = self._require()
+        node = self._mutable("grid")
         node.launch = LaunchConfig((int(gx), int(gy), int(gz)), node.launch.block, node.launch.shm)
         return self
 
     def block(self, bx: int, by: int = 1, bz: int = 1) -> "KernelTask":
-        node = self._require()
+        node = self._mutable("block")
         node.launch = LaunchConfig(node.launch.grid, (int(bx), int(by), int(bz)), node.launch.shm)
         return self
 

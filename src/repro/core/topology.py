@@ -32,10 +32,12 @@ ledger bookkeeping (predicted footprint, exactly-once release).
 
 from __future__ import annotations
 
+import itertools
 import threading
 from concurrent.futures import Future, InvalidStateError
-from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Set
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Set, Tuple
 
+from repro.errors import GraphError
 from repro.resilience.policy import normalize_policy
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -115,6 +117,16 @@ class Topology:
         #: device ordinals whose failure awaits recovery
         self._recovery_devices: Set[int] = set()
         self._recovering = False
+        # -- freeze-and-replay (docs/runtime.md, "Freeze and replay") --
+        #: the FrozenTopology behind this submission (None = fresh run)
+        self.frozen: Optional["FrozenTopology"] = None
+        #: True when the slot-based replay fast path applies
+        self.fast = False
+        #: per-submission host-callable overrides, nid-keyed (general
+        #: path); None when no bindings were given
+        self.bound: Optional[Dict[int, Callable]] = None
+        #: submission timestamp for the replay latency histogram
+        self.t_submit = 0.0
 
     # -- failure handling ----------------------------------------------
     def fail(self, error: BaseException) -> None:
@@ -263,3 +275,192 @@ class Topology:
     def recovery_pending(self) -> bool:
         with self._lock:
             return bool(self._recovery_devices) or self._recovering
+
+
+_frozen_ids = itertools.count()
+
+
+class FrozenTopology:
+    """Immutable compiled form of a :class:`Heteroflow` graph.
+
+    Built by :meth:`Heteroflow.freeze`: one planning pass validates the
+    graph and lowers it to *slots* — a topological order where node
+    *s*'s successor and join-counter state are plain tuple lookups, no
+    per-node dict or lock traffic.  The executor keys its compiled-plan
+    cache (placement grouping, device assignment, buddy-rounded
+    footprint) on :attr:`fid`, so repeated ``run(frozen)`` submissions
+    replay without re-running Algorithm-1 placement or graph
+    validation (docs/runtime.md, "Freeze and replay").
+
+    The compiled state is shared by every replay and never mutated;
+    per-submission state (join counters, callables patched by
+    ``bindings=``) lives on the :class:`ReplayTopology`.
+    """
+
+    def __init__(self, graph: "Heteroflow") -> None:
+        if graph.empty:
+            raise GraphError(f"cannot freeze empty graph {graph.name!r}")
+        graph.validate()
+        order = graph.topological_order()
+        self.graph = graph
+        #: plan-cache key: unique per freeze, stable across submissions
+        self.fid = next(_frozen_ids)
+        #: slot -> node, in topological (ready) order
+        self.nodes: Tuple = tuple(order)
+        slot_of = {id(n): s for s, n in enumerate(order)}
+        #: slot -> successor slots (tuple of ints)
+        self.succ_slots: Tuple[Tuple[int, ...], ...] = tuple(
+            tuple(slot_of[id(s)] for s in n.successors) for n in order
+        )
+        #: slot -> initial join counter (number of dependents)
+        self.join_init: Tuple[int, ...] = tuple(
+            len(n.dependents) for n in order
+        )
+        #: slots with no dependents (run-ready at pass start)
+        self.source_slots: Tuple[int, ...] = tuple(
+            s for s, n in enumerate(order) if not n.dependents
+        )
+        #: slot -> host callable (None for GPU slots)
+        self.callables: Tuple = tuple(n.callable for n in order)
+        self.has_gpu = any(n.type.is_gpu for n in order)
+        #: slot-based fast path: host-only graphs with no per-task
+        #: resilience overrides (GPU slots and retry/timeout routing
+        #: go through the general per-node machinery)
+        self.fast_capable = not self.has_gpu and all(
+            n.retry_policy is None and n.timeout_s is None for n in order
+        )
+        # bindings lookup: host-task name -> slot; duplicate names are
+        # poisoned (-1) and rejected at bind time
+        host_slots: Dict[str, int] = {}
+        for s, n in enumerate(order):
+            if n.callable is not None:
+                host_slots[n.name] = -1 if n.name in host_slots else s
+        self._host_slots = host_slots
+        self._footprint: Optional[int] = None
+        self._lint_cache: Dict[tuple, object] = {}
+
+    @property
+    def name(self) -> str:
+        return self.graph.name
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self.nodes)
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    def predicted_footprint(self) -> int:
+        """Buddy-rounded device-memory footprint, computed once.
+
+        Same quantity as
+        :func:`repro.service.admission.predicted_footprint_bytes` — the
+        admission ledger charges replays from this cache instead of
+        re-deriving the HF020 capacity model per submission.
+        """
+        fp = self._footprint
+        if fp is None:
+            from repro.service.admission import predicted_footprint_bytes
+
+            fp = predicted_footprint_bytes(self.graph)
+            self._footprint = fp
+        return fp
+
+    def lint(self, **kwargs):
+        """Cached hflint report (the graph can no longer change).
+
+        One analysis per distinct keyword set; repeat calls return the
+        identical :class:`repro.analysis.LintReport` object.
+        """
+        try:
+            key = tuple(sorted(kwargs.items()))
+        except TypeError:
+            key = None
+        if key is not None:
+            cached = self._lint_cache.get(key)
+            if cached is not None:
+                return cached
+        from repro.analysis import lint as _lint
+
+        report = _lint(self.graph, **kwargs)
+        if key is not None:
+            self._lint_cache[key] = report
+        return report
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"FrozenTopology({self.graph.name!r}, slots={len(self.nodes)}, "
+            f"fast={self.fast_capable})"
+        )
+
+
+class ReplayTopology(Topology):
+    """Per-submission state for one replay of a :class:`FrozenTopology`.
+
+    Inherits the whole submission lifecycle from :class:`Topology`
+    (graph FIFO, futures, cancel/deadline, admission release, drain and
+    shutdown stranding guarantees) and adds the preallocated slot state
+    the executor's fast path mutates: a per-slot join-counter array
+    reset from the frozen ``join_init`` each pass, one lock covering
+    successor release + pass accounting, and the (possibly
+    ``bindings``-patched) per-slot callable table.
+    """
+
+    def __init__(
+        self,
+        frozen: FrozenTopology,
+        repeats: Optional[int] = 1,
+        predicate: Optional[Callable[[], bool]] = None,
+        policy: Optional[object] = None,
+        priority: int = 0,
+        deadline_s: Optional[float] = None,
+        bindings: Optional[Dict[str, Callable]] = None,
+    ) -> None:
+        super().__init__(
+            frozen.graph,
+            repeats=repeats,
+            predicate=predicate,
+            policy=policy,
+            priority=priority,
+            deadline_s=deadline_s,
+        )
+        self.frozen = frozen
+        if bindings:
+            callables = list(frozen.callables)
+            bound: Dict[int, Callable] = {}
+            for name, fn in bindings.items():
+                slot = frozen._host_slots.get(name)
+                if slot is None:
+                    raise GraphError(
+                        f"bindings: frozen graph {frozen.graph.name!r} has "
+                        f"no host task named {name!r}"
+                    )
+                if slot < 0:
+                    raise GraphError(
+                        f"bindings: host task name {name!r} is ambiguous "
+                        f"in frozen graph {frozen.graph.name!r}"
+                    )
+                if not callable(fn):
+                    raise GraphError(
+                        f"bindings: value for {name!r} is not callable"
+                    )
+                callables[slot] = fn
+                bound[frozen.nodes[slot].nid] = fn
+            self.callables: Tuple = tuple(callables)
+            self.bound = bound
+        else:
+            # share the frozen table: zero per-submission allocation
+            self.callables = frozen.callables
+        #: per-slot join counters, reset from join_init each pass
+        self.joins: List[int] = list(frozen.join_init)
+        #: one lock per completion: successor release + pass accounting
+        self.replay_lock = threading.Lock()
+        #: slot fast path applies only without run-level resilience
+        self.fast = (
+            frozen.fast_capable
+            and self.retry_policy is None
+            and self.timeout_s is None
+        )
+
+    def reset_joins(self) -> None:
+        self.joins[:] = self.frozen.join_init

@@ -51,6 +51,35 @@ class LintError(GraphError):
         )
 
 
+class FrozenTopologyError(GraphError):
+    """A mutation was attempted on a graph after ``Heteroflow.freeze()``.
+
+    Freezing compiles the graph into an immutable
+    :class:`~repro.core.topology.FrozenTopology` whose placement plan,
+    ready-order slots, and footprint are cached by the executor; any
+    later structural or payload mutation would silently invalidate that
+    compiled plan, so every mutation entry point (task creation,
+    dependency edges, work rebinding, retry/timeout/launch-shape
+    configuration, ``clear()``) raises this error instead.
+
+    Structured fields: :attr:`operation` (the refused method, e.g.
+    ``"precede"``) and :attr:`target` (the task or graph name).  Use
+    ``Executor.run(frozen, bindings=...)`` to swap host callables per
+    submission without thawing the graph (docs/runtime.md, "Freeze and
+    replay").
+    """
+
+    def __init__(self, operation: str, target: str = "") -> None:
+        self.operation = operation
+        self.target = target
+        where = f" on {target!r}" if target else ""
+        super().__init__(
+            f"cannot {operation}{where}: the graph is frozen "
+            f"(Heteroflow.freeze()); rebuild a new graph to mutate, or "
+            f"use run(frozen, bindings=...) to swap host callables"
+        )
+
+
 class ExecutorError(HeteroflowError):
     """Executor misuse: invalid worker/GPU counts, running a graph that
     requires GPUs on a GPU-less executor, use after shutdown."""

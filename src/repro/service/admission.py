@@ -54,6 +54,13 @@ def predicted_footprint_bytes(graph) -> int:
     against a single device pool (docs/analysis.md).  Spans whose size
     cannot be resolved statically contribute zero (the runtime will
     still enforce the pools themselves at allocation time).
+
+    Fresh submissions derive this per submission; frozen-graph replays
+    charge the value cached on the
+    :class:`~repro.core.topology.FrozenTopology`
+    (``predicted_footprint()``, computed once at first admission) —
+    same quantity, no per-replay model walk (docs/runtime.md, "Freeze
+    and replay").
     """
     from repro.analysis.model import GraphModel
 

@@ -199,6 +199,76 @@ class TestExecutorCounters:
 
 
 # ---------------------------------------------------------------------
+# replay.* counters (docs/runtime.md, "Freeze and replay")
+# ---------------------------------------------------------------------
+class TestReplayCounters:
+    def test_fast_path_exact_counts(self):
+        """Host-only replays: every counter value is fully determined
+        by the submission sequence."""
+        frozen = _diamond().freeze()
+        with Executor(num_workers=1, num_gpus=0) as ex:
+            for _ in range(3):
+                ex.run(frozen).result()  # 3 submissions, 1 pass each
+            ex.run_n(frozen, 4).result()  # 1 submission, 4 passes
+            snap = ex.metrics.snapshot()
+        # one cache entry compiled on first submission, reused after
+        assert snap["replay.cache_misses"] == 1
+        assert snap["replay.cache_hits"] == 3
+        # one plan reuse per dispatched pass: 3*1 + 4
+        assert snap["replay.plan_reuses"] == 7
+        # every submission was fast-path eligible
+        assert snap["replay.fast_path"] == 4
+        # one latency observation per finished submission
+        hist = snap["replay.latency_seconds"]
+        assert hist["count"] == 4
+        assert hist["min"] > 0.0
+        assert hist["sum"] >= 4 * hist["min"]
+        # fast-path tasks still feed the per-worker execution lanes
+        assert snap["executor.tasks_executed"] == [4 * 7]
+
+    def test_general_path_counts_and_no_fast_increment(self):
+        import numpy as np
+
+        data = np.zeros(8)
+        hf = Heteroflow("gpu")
+        pull = hf.pull(data, name="pull")
+        kern = hf.kernel(lambda x: None, pull, name="k").succeed(pull)
+        hf.push(pull, data, name="push").succeed(kern)
+        frozen = hf.freeze()
+        with Executor(num_workers=1, num_gpus=1) as ex:
+            for _ in range(2):
+                ex.run(frozen).result()
+            snap = ex.metrics.snapshot()
+        assert snap["replay.cache_misses"] == 1
+        assert snap["replay.cache_hits"] == 1
+        assert snap["replay.plan_reuses"] == 2
+        assert snap["replay.fast_path"] == 0  # GPU graphs are not fast
+        assert snap["replay.latency_seconds"]["count"] == 2
+
+    def test_fresh_runs_leave_replay_counters_zero(self):
+        with Executor(num_workers=1, num_gpus=0) as ex:
+            ex.run(_diamond()).result()
+            snap = ex.metrics.snapshot()
+        assert snap["replay.cache_hits"] == 0
+        assert snap["replay.cache_misses"] == 0
+        assert snap["replay.plan_reuses"] == 0
+        assert snap["replay.fast_path"] == 0
+        assert snap["replay.latency_seconds"]["count"] == 0
+
+    def test_distinct_frozen_graphs_get_distinct_cache_entries(self):
+        f1 = _diamond().freeze()
+        f2 = _diamond().freeze()
+        with Executor(num_workers=1, num_gpus=0) as ex:
+            ex.run(f1).result()
+            ex.run(f2).result()
+            ex.run(f1).result()
+            ex.run(f2).result()
+            snap = ex.metrics.snapshot()
+        assert snap["replay.cache_misses"] == 2  # one compile per fid
+        assert snap["replay.cache_hits"] == 2
+
+
+# ---------------------------------------------------------------------
 # buddy-pool counters
 # ---------------------------------------------------------------------
 class TestBuddyCounters:
