@@ -6,8 +6,11 @@ computes the reachability/happens-before closure of the DAG and a
 span-dataflow model (which tasks read and write each pull task's
 device span, derived from pull/push/kernel argument bindings and the
 :meth:`~repro.core.task.KernelTask.reads` /
-:meth:`~repro.core.task.KernelTask.writes` declarations), then emits
-severity-tiered diagnostics with stable ``HFnnn`` rule codes:
+:meth:`~repro.core.task.KernelTask.writes` declarations), plus a
+bytecode-level **effect inference** engine
+(:mod:`repro.analysis.effects`) that proves what each host/kernel
+callable reads, writes, and captures, then emits severity-tiered
+diagnostics with stable ``HFnnn`` rule codes:
 
 ========  ========  ===============================================
 code      severity  finding
@@ -19,11 +22,19 @@ HF010     error     span access with no path from its pull task
 HF011     error     write-write / read-write race on a span
 HF012     warning   push of a span no kernel ever writes
 HF013     info      duplicate or transitively-implied edge
+HF014     error     kernel provably writes a span declared read-only
+HF015     error     unordered host tasks race on a captured object
+HF016     warning   nondeterministic callable in a frozen topology
+HF017     warning   reads()/writes() names a span the body never uses
 HF020     error     placement group footprint exceeds any GPU pool
 ========  ========  ===============================================
 
 Entry points: :func:`lint`, ``Heteroflow.lint()``, the
 ``Executor.run(..., lint=True)`` gate, and ``python -m repro lint``.
+The dynamic half — the hfsan runtime sanitizer
+(:mod:`repro.analysis.sanitize`) behind
+``Executor.run(..., sanitize=True)`` and ``python -m repro sanitize``
+— cross-checks the inference against observed accesses at run time.
 The full rule catalog with examples and fixes is in
 ``docs/analysis.md``.
 """
@@ -35,8 +46,21 @@ from repro.analysis.diagnostics import (
     Rule,
     Severity,
 )
+from repro.analysis.effects import (
+    CallableEffects,
+    Mutation,
+    RootEffect,
+    TaskEffects,
+    infer_callable_effects,
+    infer_task_effects,
+)
 from repro.analysis.linter import lint
-from repro.analysis.model import GraphModel, PlacementGroup, SpanAccess
+from repro.analysis.model import (
+    GraphModel,
+    PlacementGroup,
+    SpanAccess,
+    predicted_footprint_bytes,
+)
 from repro.analysis.report import (
     JSON_SCHEMA_VERSION,
     render_dot,
@@ -44,19 +68,36 @@ from repro.analysis.report import (
     render_text,
 )
 from repro.analysis.rules import ALL_RULES
+from repro.analysis.sanitize import (
+    Divergence,
+    RecordingArray,
+    SanitizeReport,
+    SanitizerSession,
+)
 
 __all__ = [
     "ALL_RULES",
+    "CallableEffects",
     "Diagnostic",
+    "Divergence",
     "GraphModel",
     "JSON_SCHEMA_VERSION",
     "LintReport",
+    "Mutation",
     "PlacementGroup",
     "RULES",
+    "RecordingArray",
+    "RootEffect",
     "Rule",
+    "SanitizeReport",
+    "SanitizerSession",
     "Severity",
     "SpanAccess",
+    "TaskEffects",
+    "infer_callable_effects",
+    "infer_task_effects",
     "lint",
+    "predicted_footprint_bytes",
     "render_dot",
     "render_json",
     "render_text",

@@ -46,6 +46,9 @@ def build_saxpy():
         .block_x(256)
         .grid_x((n + 255) // 256)
     )
+    # y is read-modify-write; declaring both modes keeps the effect
+    # rules (HF014/HF017) in agreement with the inferred body effects
+    kernel.reads(pull_y).writes(pull_y)
     push_x = hf.push(pull_x, x, name="push_x")
     push_y = hf.push(pull_y, y, name="push_y")
     host_x.precede(pull_x)

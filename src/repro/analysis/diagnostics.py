@@ -98,6 +98,35 @@ RULES: Dict[str, Rule] = {
             "transitive path",
         ),
         Rule(
+            "HF014",
+            "undeclared span write",
+            Severity.ERROR,
+            "effect inference proves a kernel writes a span its "
+            "reads() declaration marks read-only",
+        ),
+        Rule(
+            "HF015",
+            "host data race",
+            Severity.ERROR,
+            "two unordered host tasks share a captured Python object "
+            "and at least one mutates it without a common lock",
+        ),
+        Rule(
+            "HF016",
+            "nondeterministic callable in frozen topology",
+            Severity.WARNING,
+            "a task inside a frozen/replayed topology calls a "
+            "nondeterminism source (random/time/uuid, unordered-set "
+            "iteration), so replays may diverge",
+        ),
+        Rule(
+            "HF017",
+            "stale access declaration",
+            Severity.WARNING,
+            "a reads()/writes() declaration names a span the kernel "
+            "body provably never touches",
+        ),
+        Rule(
             "HF020",
             "placement group exceeds device pool",
             Severity.ERROR,
@@ -119,6 +148,9 @@ class Diagnostic:
     data: Dict[str, Any] = field(default_factory=dict)
     #: severity override; defaults to the catalog severity
     severity: Optional[Severity] = None
+    #: graph-local node indices of ``tasks`` (same order), assigned by
+    #: the linter; the deterministic-ordering tiebreaker
+    nids: Tuple[int, ...] = ()
 
     def __post_init__(self) -> None:
         if self.code not in RULES:
@@ -126,6 +158,7 @@ class Diagnostic:
         if self.severity is None:
             self.severity = RULES[self.code].severity
         self.tasks = tuple(self.tasks)
+        self.nids = tuple(self.nids)
 
     @property
     def rule(self) -> Rule:
@@ -139,6 +172,7 @@ class Diagnostic:
             "severity": self.severity.label,
             "message": self.message,
             "tasks": list(self.tasks),
+            "nids": list(self.nids),
             "data": dict(sorted(self.data.items())),
         }
 
@@ -148,8 +182,11 @@ class Diagnostic:
 
 
 def sort_key(d: Diagnostic):
-    """Deterministic report order: severity first, then code, tasks."""
-    return (-int(d.severity), d.code, d.tasks, d.message)
+    """Deterministic report order: severity first, then rule code, then
+    the graph-local node indices of the involved tasks (``nids``), with
+    task names and the message as final tiebreakers.  The order is
+    locked by the JSON golden test."""
+    return (-int(d.severity), d.code, d.nids, d.tasks, d.message)
 
 
 @dataclass
@@ -160,6 +197,9 @@ class LintReport:
     num_tasks: int
     gpu_memory_bytes: int
     diagnostics: List[Diagnostic] = field(default_factory=list)
+    #: per-task inferred-effects summary (task name -> effect dict),
+    #: attached by the linter; part of the schema-v2 JSON document
+    effects: Dict[str, Any] = field(default_factory=dict)
 
     def extend(self, diags: List[Diagnostic]) -> None:
         self.diagnostics.extend(diags)
@@ -221,6 +261,7 @@ class LintReport:
             "clean": self.clean,
             "counts": self.counts(),
             "diagnostics": [d.as_dict() for d in self.diagnostics],
+            "effects": {k: self.effects[k] for k in sorted(self.effects)},
         }
 
     def __str__(self) -> str:  # pragma: no cover - debugging aid

@@ -55,4 +55,19 @@ def lint(
             report.extend(fn(model, gpu_memory_bytes=pool))
         else:
             report.extend(fn(model))
+
+    # anchor every diagnostic to graph-local node indices: the stable
+    # ordering tiebreaker (sort by severity, code, then nid)
+    index = {n.name: i for i, n in reversed(list(enumerate(model.nodes)))}
+    for d in report.diagnostics:
+        d.nids = tuple(index.get(name, -1) for name in d.tasks)
+
+    # attach the inferred-effects summary when the effect rules ran
+    # (schema v2); restricting `rules=` to pre-effect codes keeps the
+    # pass byte-code-free and the summary empty
+    if selected & {"HF014", "HF015", "HF016", "HF017"}:
+        report.effects = {
+            node.name: te.effects.as_dict()
+            for node, te in model.effects().items()
+        }
     return report.finalize()

@@ -15,7 +15,13 @@ into three indexed views:
   tasks read it (D2H);
 - **placement groups** — the union-find grouping of Algorithm 1
   (kernels unioned with their source pulls) plus each group's
-  buddy-rounded span footprint, the basis of static OOM prediction.
+  buddy-rounded span footprint, the basis of static OOM prediction
+  (HF020) *and* of service-admission accounting — both consume the
+  same :func:`predicted_footprint_bytes`, so they can never drift;
+- **effects** (lazy) — per-task inferred memory effects from
+  :mod:`repro.analysis.effects`, computed on first use so plain
+  structural consumers (e.g. admission) never pay for bytecode
+  analysis.
 
 The model never executes user code beyond resolving span sizes (the
 same late binding :meth:`repro.utils.span.Span.host_array` performs);
@@ -62,6 +68,25 @@ class PlacementGroup:
     @property
     def pulls(self) -> List[Node]:
         return [n for n in self.members if n.type is TaskType.PULL]
+
+
+def predicted_footprint_bytes(graph) -> int:
+    """Static device-memory footprint of *graph*, in bytes.
+
+    Sums the buddy-rounded span footprints of the graph's Algorithm-1
+    placement groups — the same quantity hflint's HF020 rule compares
+    against a single device pool (docs/analysis.md).  Spans whose size
+    cannot be resolved statically contribute zero (the runtime will
+    still enforce the pools themselves at allocation time).
+
+    This is the **single** definition shared by the analyzer and the
+    service admission ledger (:mod:`repro.service.admission` re-exports
+    it); frozen-graph replays charge the value cached on the
+    :class:`~repro.core.topology.FrozenTopology`
+    (``predicted_footprint()``) — same quantity, no per-replay model
+    walk (docs/runtime.md, "Freeze and replay").
+    """
+    return sum(g.footprint_bytes for g in GraphModel(graph).groups)
 
 
 def _unbound_reason(node: Node) -> Optional[str]:
@@ -114,6 +139,7 @@ class GraphModel:
         #: pull node -> accesses of its device span (pull excluded)
         self.span_accesses: Dict[Node, List[SpanAccess]] = {}
         self.groups: List[PlacementGroup] = []
+        self._effects: Optional[Dict[Node, object]] = None
         self._build()
 
     # -- construction ------------------------------------------------
@@ -238,6 +264,27 @@ class GraphModel:
         self.groups.sort(key=lambda g: self._index[id(g.root)])
 
     # -- queries -----------------------------------------------------
+    def effects(self) -> Dict[Node, object]:
+        """Inferred per-task memory effects, computed lazily.
+
+        Maps each host/kernel node to its
+        :class:`~repro.analysis.effects.TaskEffects` (nodes whose
+        callable could not be inferred at all map to an *opaque*
+        record, never to a missing key).  Structural consumers that
+        never call this pay nothing for bytecode analysis.
+        """
+        if self._effects is None:
+            from repro.analysis.effects import infer_task_effects
+
+            out = {}
+            for n in self.nodes:
+                if n.type in (TaskType.HOST, TaskType.KERNEL):
+                    te = infer_task_effects(n)
+                    if te is not None:
+                        out[n] = te
+            self._effects = out
+        return self._effects
+
     @property
     def acyclic(self) -> bool:
         return self.cycle is None

@@ -14,8 +14,12 @@ from repro.analysis.diagnostics import Diagnostic, LintReport, Severity
 from repro.core.node import TaskType
 from repro.utils.dot import DotWriter
 
-#: bump only with a documented migration; consumers key off this
-JSON_SCHEMA_VERSION = 1
+#: bump only with a documented migration; consumers key off this.
+#: v2: diagnostics carry ``nids`` (graph-local node indices, the
+#: deterministic-ordering tiebreaker) and each graph report carries an
+#: ``effects`` map with the per-task inferred memory effects
+#: (docs/analysis.md, "Effect inference").
+JSON_SCHEMA_VERSION = 2
 
 _SEVERITY_FILL = {
     Severity.ERROR: "indianred1",

@@ -1,19 +1,25 @@
 """The hflint rules: HF001-HF003 (structure), HF010-HF013 (span
-dataflow), HF020 (capacity prediction).
+dataflow), HF014-HF017 (inferred effects), HF020 (capacity prediction).
 
 Each rule is a pure function from a :class:`~repro.analysis.model.GraphModel`
 to a list of :class:`~repro.analysis.diagnostics.Diagnostic` objects.
-Rules that need the happens-before closure (HF010/HF011/HF013) are
-skipped while the graph is cyclic — HF001 already makes the run fail,
-and path queries are undefined on a cyclic graph.
+Rules that need the happens-before closure (HF010/HF011/HF013/HF015)
+are skipped while the graph is cyclic — HF001 already makes the run
+fail, and path queries are undefined on a cyclic graph.
+
+The effect rules consume :meth:`GraphModel.effects` (bytecode-level
+inference, :mod:`repro.analysis.effects`) and fire only on *confident*
+facts: a callable the engine could not fully prove never produces an
+HF014/HF017, and HF015 only reports mutations the engine actually saw.
 """
 
 from __future__ import annotations
 
 from itertools import combinations
-from typing import Callable, Dict, List
+from typing import Callable, Dict, List, Optional
 
 from repro.analysis.diagnostics import Diagnostic
+from repro.analysis.effects import UNKNOWN, RootEffect
 from repro.analysis.model import GraphModel, SpanAccess
 from repro.core.node import Node, TaskType
 
@@ -221,6 +227,195 @@ def check_hf013_redundant_edge(model: GraphModel) -> List[Diagnostic]:
     return out
 
 
+def check_hf014_undeclared_write(model: GraphModel) -> List[Diagnostic]:
+    """HF014: a kernel provably writes a span declared read-only.
+
+    Fires only when the effect engine is *confident* about the span
+    parameter: a direct subscript store, in-place operator, or mutating
+    method on the bound argument.  Parameters that escape into opaque
+    calls never fire (the write cannot be proven).
+    """
+    out: List[Diagnostic] = []
+    for node, te in model.effects().items():
+        if node.type is not TaskType.KERNEL:
+            continue
+        for pull, eff in te.span.items():
+            declared_read = (
+                pull in node.kernel_reads and pull not in node.kernel_writes
+            )
+            if not declared_read:
+                continue
+            if eff.writes and eff.confident:
+                kinds = sorted({m.kind for m in eff.mutations})
+                out.append(
+                    Diagnostic(
+                        "HF014",
+                        f"kernel {node.name!r} declares the span of pull "
+                        f"task {pull.name!r} read-only via reads(), but "
+                        f"its body writes it ({', '.join(kinds)} on "
+                        f"parameter {eff.name!r}); declare it with "
+                        "writes() or fix the kernel",
+                        tasks=(node.name, pull.name),
+                        data={
+                            "span": pull.name,
+                            "param": eff.name,
+                            "mutations": [m.as_dict() for m in eff.mutations],
+                        },
+                    )
+                )
+    return out
+
+
+def _hf015_conflict(a: RootEffect, b: RootEffect) -> Optional[str]:
+    """Why two unordered tasks' accesses to one object conflict.
+
+    Returns None for the patterns that are idiomatically safe:
+
+    - every access on both sides holds a common lock;
+    - disjoint constant-key element/attribute stores;
+    - unknown-key element stores on both sides (sharded outputs, e.g.
+      ``results[widx] = ...`` across matcher tasks);
+    - an element store against a pure read (atomic under the GIL).
+    """
+    if a.guarded & b.guarded:
+        return None
+    for w, o in ((a, b), (b, a)):
+        for m in w.mutations:
+            if m.whole:
+                if o.accessed:
+                    return f"{m.kind} clobbers the whole object"
+            elif m.key is not UNKNOWN:
+                for om in o.mutations:
+                    if (
+                        not om.whole
+                        and om.kind == m.kind
+                        and om.key is not UNKNOWN
+                        and om.key == m.key
+                    ):
+                        return (
+                            f"both tasks store {m.kind} key {m.detail}"
+                        )
+    return None
+
+
+def check_hf015_host_race(model: GraphModel) -> List[Diagnostic]:
+    """HF015: two unordered host tasks racing on captured state.
+
+    The Python-level analogue of HF011: inferred captured-object
+    effects replace the span dataflow, and the happens-before closure
+    decides which pairs can actually overlap.
+    """
+    if not model.acyclic:
+        return []
+    effects = model.effects()
+    # captured object -> [(node, effect)] over host tasks
+    shared: Dict[int, List] = {}
+    for node, te in effects.items():
+        if node.type is not TaskType.HOST:
+            continue
+        for obj_id, eff in te.effects.captured.items():
+            if eff.accessed:
+                shared.setdefault(obj_id, []).append((node, eff))
+    out: List[Diagnostic] = []
+    seen = set()
+    for obj_id, users in shared.items():
+        if len(users) < 2:
+            continue
+        for (na, ea), (nb, eb) in combinations(users, 2):
+            if na is nb or model.ordered(na, nb):
+                continue
+            why = _hf015_conflict(ea, eb)
+            if why is None:
+                continue
+            key = (min(id(na), id(nb)), max(id(na), id(nb)), obj_id)
+            if key in seen:
+                continue
+            seen.add(key)
+            out.append(
+                Diagnostic(
+                    "HF015",
+                    f"data race on captured {ea.obj_type} {ea.name!r}: "
+                    f"host tasks {na.name!r} and {nb.name!r} have no "
+                    f"dependency path between them and {why}; order "
+                    "them explicitly or guard both accesses with one "
+                    "lock",
+                    tasks=model.names(na, nb),
+                    data={
+                        "object": ea.name,
+                        "object_type": ea.obj_type,
+                        "conflict": why,
+                        "mutations_a": [m.as_dict() for m in ea.mutations],
+                        "mutations_b": [m.as_dict() for m in eb.mutations],
+                    },
+                )
+            )
+    return out
+
+
+def check_hf016_nondet_frozen(model: GraphModel) -> List[Diagnostic]:
+    """HF016: nondeterminism inside a frozen/replayed topology.
+
+    Frozen topologies exist to be replayed (docs/runtime.md, "Freeze
+    and replay"), and the differential replay harness compares runs —
+    a callable drawing from ``random``/``time`` or iterating an
+    unordered set makes replays diverge by construction.  Unfrozen
+    graphs stay silent: nondeterminism is only a hazard once the
+    topology is compiled for replay.
+    """
+    if not getattr(model.graph, "frozen", False):
+        return []
+    out: List[Diagnostic] = []
+    for node, te in model.effects().items():
+        if not te.nondet:
+            continue
+        sources = sorted(set(te.nondet))
+        out.append(
+            Diagnostic(
+                "HF016",
+                f"{node.type.value} task {node.name!r} is "
+                "nondeterministic inside a frozen topology "
+                f"({sources[0]}{', ...' if len(sources) > 1 else ''}); "
+                "replays of this graph may diverge — seed the source "
+                "or move it out of the frozen graph",
+                tasks=(node.name,),
+                data={"sources": sources},
+            )
+        )
+    return out
+
+
+def check_hf017_stale_declaration(model: GraphModel) -> List[Diagnostic]:
+    """HF017: a reads()/writes() declaration the body never uses.
+
+    Fires only on *confident* analyses where the span-bound parameter
+    is provably untouched — never read, never written, never escaping
+    into an opaque call.  A stale declaration misleads both human
+    readers and the HF011 race rule (a pull declared read-only races
+    less), so it surfaces as a warning.
+    """
+    out: List[Diagnostic] = []
+    for node, te in model.effects().items():
+        if node.type is not TaskType.KERNEL:
+            continue
+        for pull, eff in te.span.items():
+            declared = pull in node.kernel_reads or pull in node.kernel_writes
+            if not declared:
+                continue
+            if eff.confident and not eff.accessed:
+                out.append(
+                    Diagnostic(
+                        "HF017",
+                        f"kernel {node.name!r} declares access to the "
+                        f"span of pull task {pull.name!r}, but its body "
+                        f"never touches parameter {eff.name!r}; drop "
+                        "the stale declaration or fix the kernel",
+                        tasks=(node.name, pull.name),
+                        data={"span": pull.name, "param": eff.name},
+                    )
+                )
+    return out
+
+
 def check_hf020_group_capacity(
     model: GraphModel, *, gpu_memory_bytes: int
 ) -> List[Diagnostic]:
@@ -273,5 +468,9 @@ ALL_RULES: Dict[str, RuleFn] = {
     "HF011": check_hf011_span_race,
     "HF012": check_hf012_push_unwritten,
     "HF013": check_hf013_redundant_edge,
+    "HF014": check_hf014_undeclared_write,
+    "HF015": check_hf015_host_race,
+    "HF016": check_hf016_nondet_frozen,
+    "HF017": check_hf017_stale_declaration,
     "HF020": check_hf020_group_capacity,
 }

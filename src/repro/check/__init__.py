@@ -15,7 +15,11 @@ A race/invariant checker for the executor, GPU runtime, and allocator:
   ``python -m repro check --stress``;
 - :mod:`repro.check.replay` — the fresh-vs-frozen differential sweep
   behind ``python -m repro check --replay`` (docs/runtime.md, "Freeze
-  and replay").
+  and replay");
+- :mod:`repro.check.sanitize` — the effect-inference soundness sweep
+  behind ``python -m repro check --sanitize``: seeded graphs run under
+  the hfsan runtime sanitizer and must report zero static/dynamic
+  divergence (docs/analysis.md, "Sanitizer").
 """
 
 from repro.check.audit import AllocatorAuditor, AuditReport, AllocEvent
@@ -26,6 +30,12 @@ from repro.check.replay import (
     ReplayOutcome,
     ReplayReport,
     run_replay_check,
+)
+from repro.check.sanitize import (
+    SWEEP_SCHEMA,
+    SanitizeOutcome,
+    SanitizeSweepReport,
+    run_sanitize_sweep,
 )
 from repro.check.stress import (
     DEFAULT_CONFIGS,
@@ -51,6 +61,9 @@ __all__ = [
     "ReplayOutcome",
     "ReplayReport",
     "RunOutcome",
+    "SWEEP_SCHEMA",
+    "SanitizeOutcome",
+    "SanitizeSweepReport",
     "ScheduleReport",
     "SelftestResult",
     "StressReport",
@@ -59,6 +72,7 @@ __all__ = [
     "run_determinism_check",
     "run_mutant_selftest",
     "run_replay_check",
+    "run_sanitize_sweep",
     "run_stress",
     "validate_schedule",
 ]

@@ -10,15 +10,21 @@ Commands:
   graph in GraphViz DOT;
 - ``trace OUTPUT.json`` — run saxpy under a trace observer and write a
   chrome://tracing / Perfetto JSON file;
-- ``check [--stress] [--replay|--replay-smoke]`` — run the
-  schedule-validation subsystem: the mutant self-test, optionally the
-  full config x seed stress sweep, and optionally the fresh-vs-frozen
-  differential replay sweep (see docs/testing.md and docs/runtime.md,
-  "Freeze and replay");
+- ``check [--stress] [--replay|--replay-smoke] [--sanitize]`` — run
+  the schedule-validation subsystem: the mutant self-test, optionally
+  the full config x seed stress sweep, optionally the fresh-vs-frozen
+  differential replay sweep, and optionally the effect-inference
+  soundness sweep (see docs/testing.md, docs/runtime.md "Freeze and
+  replay", and docs/analysis.md "Sanitizer");
 - ``lint [workloads...] [--json|--dot]`` — run the hflint static
   analyzer over the shipped flows (and, with ``--examples DIR`` or an
   auto-detected ``examples/`` directory, the example graphs); exits
   nonzero on error-severity findings (see docs/analysis.md);
+- ``sanitize [workloads...] [--sweep N] [--json OUT]`` — run workloads
+  under the hfsan runtime sanitizer and cross-check every observed
+  span/captured-object access against the static effect inference;
+  exits nonzero on any static/dynamic divergence (docs/analysis.md,
+  "Sanitizer");
 - ``profile {saxpy,timing,placement,sparsenn}`` — run a workload on
   the threaded runtime with metrics enabled and print its
   :class:`~repro.metrics.RunReport` (``--json`` for the stable
@@ -232,6 +238,21 @@ def _cmd_check(args: argparse.Namespace) -> int:
             if more > 0:
                 print(f"    ... and {more} more")
 
+    if args.sanitize:
+        from repro.check import run_sanitize_sweep
+
+        seeds = args.seeds if args.seeds is not None else 25
+        print(f"\nsanitize sweep: {seeds} seed(s), static effect "
+              f"inference vs observed accesses ...")
+        san_report = run_sanitize_sweep(seeds, log=print)
+        if not san_report.ok:
+            failures += 1
+            for v in san_report.violations[:20]:
+                print(f"    {v}")
+            more = len(san_report.violations) - 20
+            if more > 0:
+                print(f"    ... and {more} more")
+
     if args.replay or args.replay_smoke:
         from repro.check import run_replay_check
 
@@ -369,6 +390,58 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     return 1 if flagged else 0
 
 
+def _cmd_sanitize(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.analysis.corpus import BUILTIN_CORPUS
+    from repro.core import Executor
+
+    unknown = [w for w in args.workloads if w not in BUILTIN_CORPUS]
+    if unknown:
+        print(f"unknown workloads: {', '.join(unknown)}", file=sys.stderr)
+        print(f"available: {', '.join(BUILTIN_CORPUS)}", file=sys.stderr)
+        return 2
+
+    names = args.workloads or list(BUILTIN_CORPUS)
+    failures = 0
+    doc = {"schema": "repro.sanitize-cli/1", "workloads": {}, "sweep": None}
+    with Executor(num_workers=args.workers, num_gpus=args.gpus) as ex:
+        for name in names:
+            graph = BUILTIN_CORPUS[name]()
+            fut = ex.run(graph, sanitize=True)
+            fut.result()
+            rep = fut.sanitize_report
+            doc["workloads"][name] = rep.as_dict()
+            status = "OK" if rep.ok else "DIVERGED"
+            print(f"{name}: {rep.checked_tasks} task(s) checked, "
+                  f"{rep.confident_tasks} confident, "
+                  f"{rep.proxied_objects} object(s) proxied, "
+                  f"{len(rep.divergences)} divergence(s) -> {status}")
+            for d in rep.divergences[:8]:
+                print(f"    {d.kind}: {d.task} / {d.root} ({d.detail})")
+            if not rep.ok:
+                failures += 1
+
+    if args.sweep:
+        from repro.check import run_sanitize_sweep
+
+        print(f"\nsanitize sweep: {args.sweep} seeded graph(s) ...")
+        sweep = run_sanitize_sweep(args.sweep, log=print)
+        doc["sweep"] = sweep.as_dict()
+        if not sweep.ok:
+            failures += 1
+            for v in sweep.violations[:20]:
+                print(f"    {v}")
+
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump(doc, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote sanitize report to {args.json}")
+    print(f"\nsanitize: {'OK' if failures == 0 else 'FAILED'}")
+    return 0 if failures == 0 else 1
+
+
 def _cmd_profile(args: argparse.Namespace) -> int:
     from repro.analysis.corpus import BUILTIN_CORPUS
     from repro.core import Executor, TraceObserver
@@ -469,6 +542,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--replay-smoke", action="store_true",
         help="quick 8-scenario differential replay sweep for CI",
     )
+    check.add_argument(
+        "--sanitize", action="store_true",
+        help="sanitizer soundness sweep: run generated graphs under "
+             "hfsan and require zero static/dynamic divergence "
+             "(docs/analysis.md, \"Sanitizer\")",
+    )
 
     chaos = sub.add_parser(
         "chaos",
@@ -551,6 +630,27 @@ def build_parser() -> argparse.ArgumentParser:
              "(default: the runtime default of 64 MiB)",
     )
 
+    sanitize = sub.add_parser(
+        "sanitize",
+        help="run workloads under the hfsan runtime sanitizer",
+    )
+    sanitize.add_argument(
+        "workloads", nargs="*",
+        help="builtin graphs to sanitize: saxpy timing placement "
+             "sparsenn (default: all)",
+    )
+    sanitize.add_argument("--workers", type=int, default=4)
+    sanitize.add_argument("--gpus", type=int, default=2)
+    sanitize.add_argument(
+        "--sweep", type=int, default=0, metavar="N",
+        help="also run N seeded random graphs sanitized "
+             "(schema repro.sanitize-sweep/1)",
+    )
+    sanitize.add_argument(
+        "--json", default="", metavar="OUT.json",
+        help="also write the full sanitize report as JSON",
+    )
+
     profile = sub.add_parser(
         "profile",
         help="run a workload with metrics and print its RunReport",
@@ -586,6 +686,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "chaos": _cmd_chaos,
         "soak": _cmd_soak,
         "lint": _cmd_lint,
+        "sanitize": _cmd_sanitize,
         "profile": _cmd_profile,
     }
     if args.command is None:

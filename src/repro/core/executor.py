@@ -376,6 +376,11 @@ class Executor:
         self._m_replay_latency = self.metrics.histogram(
             "replay.latency_seconds"
         )
+        # hfsan counters (docs/analysis.md, "Sanitizer"); sharded
+        # Counters — the finish cross-check may run on any thread
+        self._m_sanitized = self.metrics.counter("sanitize.runs")
+        self._m_divergences = self.metrics.counter("sanitize.divergences")
+
         #: frozen.fid -> _CompiledPlan; guarded by the graph FIFO (one
         #: started topology per graph), so no extra lock is needed
         self._plan_cache: Dict[int, _CompiledPlan] = {}
@@ -521,6 +526,7 @@ class Executor:
         *,
         lint: bool = False,
         metrics: bool = False,
+        sanitize: bool = False,
         policy: Optional[object] = None,
         deadline: Optional[float] = None,
         priority: int = 0,
@@ -568,12 +574,20 @@ class Executor:
         cross-graph dispatch, drives the admission controller's waiter
         order, and decides shed victims (docs/runtime.md, "Submission
         lifecycle").
+        With ``sanitize=True`` the submission runs under the hfsan
+        runtime sanitizer (docs/analysis.md, "Sanitizer"): kernel span
+        arguments and host-captured mutable objects are wrapped in
+        recording proxies, and once the returned future completes its
+        ``sanitize_report`` attribute holds a
+        :class:`~repro.analysis.sanitize.SanitizeReport` cross-checking
+        every observed access against the static effect inference.
         """
         return self.run_n(
             graph,
             1,
             lint=lint,
             metrics=metrics,
+            sanitize=sanitize,
             policy=policy,
             deadline=deadline,
             priority=priority,
@@ -604,6 +618,7 @@ class Executor:
         *,
         lint: bool = False,
         metrics: bool = False,
+        sanitize: bool = False,
         policy: Optional[object] = None,
         deadline: Optional[float] = None,
         priority: int = 0,
@@ -624,6 +639,8 @@ class Executor:
             priority=priority,
             deadline_s=deadline,
         )
+        if sanitize:
+            return self._submit_sanitized(topology, metrics=metrics)
         if metrics:
             return self._submit_profiled(topology)
         return self._submit(topology)
@@ -635,6 +652,7 @@ class Executor:
         *,
         lint: bool = False,
         metrics: bool = False,
+        sanitize: bool = False,
         policy: Optional[object] = None,
         deadline: Optional[float] = None,
         priority: int = 0,
@@ -660,6 +678,8 @@ class Executor:
             priority=priority,
             deadline_s=deadline,
         )
+        if sanitize:
+            return self._submit_sanitized(topology, metrics=metrics)
         if metrics:
             return self._submit_profiled(topology)
         return self._submit(topology)
@@ -893,6 +913,71 @@ class Executor:
             except Exception:  # pragma: no cover - profiler bug
                 report = None
             outer.run_report = report  # type: ignore[attr-defined]
+            try:
+                if exc is not None:
+                    outer.set_exception(exc)
+                else:
+                    outer.set_result(f.result())
+            except InvalidStateError:
+                # the outer future was cancelled/resolved independently
+                pass
+
+        inner.add_done_callback(_done)
+        return outer
+
+    def _submit_sanitized(
+        self, topology: Topology, *, metrics: bool = False
+    ) -> Future:
+        """Submit under the hfsan runtime sanitizer; the returned future
+        carries a ``sanitize_report`` attribute once it completes
+        (docs/analysis.md, "Sanitizer").
+
+        The session must be built *before* submission — effect
+        inference has to see the original captured objects, and the
+        recording proxies must already sit in the host closures when
+        the first pass dispatches.  The fast replay path is disabled
+        for the run (it invokes host slots without the per-task
+        attribution hook); everything else — admission, deadlines,
+        retries, metrics profiling — composes unchanged.
+        """
+        from repro.analysis.sanitize import SanitizerSession
+
+        session = SanitizerSession(topology.graph)
+        topology.sanitizer = session
+        topology.fast = False
+        outer: Future = Future()
+        outer.sanitize_report = None  # type: ignore[attr-defined]
+        try:
+            if metrics:
+                inner = self._submit_profiled(topology)
+            else:
+                inner = self._submit(topology)
+        except BaseException:
+            # admission rejection / drain refusal: the done callback
+            # below will never run, so restore the closures here
+            session.uninstall()
+            raise
+        with self._graph_lock:
+            self._futures[outer] = topology
+
+        def _done(f: Future) -> None:
+            report = None
+            try:
+                report = session.finish()
+            except Exception:  # pragma: no cover - sanitizer bug
+                session.uninstall()
+            self._m_sanitized.inc()
+            if report is not None and report.divergences:
+                self._m_divergences.inc(len(report.divergences))
+            outer.sanitize_report = report  # type: ignore[attr-defined]
+            if metrics:
+                outer.run_report = getattr(  # type: ignore[attr-defined]
+                    f, "run_report", None
+                )
+            with self._graph_lock:
+                self._futures.pop(outer, None)
+                self._futures.pop(f, None)
+            exc = f.exception()
             try:
                 if exc is not None:
                     outer.set_exception(exc)
@@ -1416,6 +1501,10 @@ class Executor:
                     # the shared (immutable) node
                     fn = topology.bound.get(node.nid, fn)
                 assert fn is not None
+                if topology.sanitizer is not None:
+                    # attribute proxy accesses to this task for the
+                    # duration of the call (docs/analysis.md)
+                    fn = topology.sanitizer.wrap_host(node, fn)
                 fn()
                 self._attempt_finished(attempt, self._post_timeout(attempt))
             elif node.type is TaskType.PULL:
@@ -1957,13 +2046,19 @@ class Executor:
                 converted.append(buf)
             else:
                 converted.append(arg)
+        kernel_fn = node.kernel_fn
+        sanitizer = attempt.topology.sanitizer
+        if sanitizer is not None:
+            # the shim substitutes recording views for the span
+            # arguments after buffer-to-view decay (docs/analysis.md)
+            kernel_fn = sanitizer.wrap_kernel(node)
         with ScopedDeviceContext(device):
             stream = self._stream_for(wid, node.device)
             attempt.stream = stream
             launch_async(
                 stream,
                 node.launch,
-                node.kernel_fn,
+                kernel_fn,
                 *converted,
                 callback=self._attempt_callback(attempt),
             )

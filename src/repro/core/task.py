@@ -125,6 +125,18 @@ class Task:
         self._mutable("timeout").timeout_s = None if seconds is None else float(seconds)
         return self
 
+    def effects(self) -> Any:
+        """Infer this task's memory effects from its callable's bytecode.
+
+        Returns a :class:`repro.analysis.effects.TaskEffects` describing
+        which parameters, captured objects, and pull-task spans the body
+        reads or writes, plus nondeterminism markers.  Pure inspection:
+        nothing is executed and the graph is not modified.
+        """
+        from repro.analysis.effects import infer_task_effects
+
+        return infer_task_effects(self._require())
+
     def __repr__(self) -> str:  # pragma: no cover
         if self._node is None:
             return f"{type(self).__name__}(<empty>)"

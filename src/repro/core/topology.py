@@ -127,6 +127,9 @@ class Topology:
         self.bound: Optional[Dict[int, Callable]] = None
         #: submission timestamp for the replay latency histogram
         self.t_submit = 0.0
+        #: attached :class:`repro.analysis.sanitize.SanitizerSession`
+        #: for ``run(..., sanitize=True)`` submissions; None otherwise
+        self.sanitizer: Optional[object] = None
 
     # -- failure handling ----------------------------------------------
     def fail(self, error: BaseException) -> None:

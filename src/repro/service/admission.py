@@ -42,29 +42,15 @@ from typing import Optional
 
 from repro.errors import AdmissionRejectedError
 
+# The buddy-rounded static footprint model is owned by the analyzer —
+# one definition for lint rule HF020 and for this ledger, so the two
+# can never drift.  Re-exported here because the service layer is the
+# historical import site (repro.core.topology and user code import it
+# from repro.service.admission).
+from repro.analysis.model import predicted_footprint_bytes  # noqa: F401
+
 #: the three backpressure policies
 POLICIES = ("block", "reject", "shed")
-
-
-def predicted_footprint_bytes(graph) -> int:
-    """Static device-memory footprint of *graph*, in bytes.
-
-    Sums the buddy-rounded span footprints of the graph's Algorithm-1
-    placement groups — the same quantity hflint's HF020 rule compares
-    against a single device pool (docs/analysis.md).  Spans whose size
-    cannot be resolved statically contribute zero (the runtime will
-    still enforce the pools themselves at allocation time).
-
-    Fresh submissions derive this per submission; frozen-graph replays
-    charge the value cached on the
-    :class:`~repro.core.topology.FrozenTopology`
-    (``predicted_footprint()``, computed once at first admission) —
-    same quantity, no per-replay model walk (docs/runtime.md, "Freeze
-    and replay").
-    """
-    from repro.analysis.model import GraphModel
-
-    return sum(g.footprint_bytes for g in GraphModel(graph).groups)
 
 
 class AdmissionController:

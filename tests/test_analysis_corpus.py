@@ -148,7 +148,7 @@ class TestLintCli:
     def test_json_output_parses(self, capsys):
         assert main(["lint", "saxpy", "--json"]) == 0
         doc = json.loads(capsys.readouterr().out)
-        assert doc["version"] == 1
+        assert doc["version"] == 2
         assert doc["ok"] and doc["clean"]
         assert [g["graph"] for g in doc["graphs"]] == ["saxpy"]
 

@@ -40,13 +40,13 @@ def racy_graph():
 
 class TestJsonGolden:
     def test_schema_version(self):
-        assert JSON_SCHEMA_VERSION == 1
+        assert JSON_SCHEMA_VERSION == 2
 
     def test_golden_document(self):
         report = lint(roundtrip_graph(), gpu_memory_bytes=1 << 20)
         doc = json.loads(render_json([report]))
         assert doc == {
-            "version": 1,
+            "version": 2,
             "ok": True,
             "clean": False,
             "graphs": [
@@ -57,6 +57,7 @@ class TestJsonGolden:
                     "ok": True,
                     "clean": False,
                     "counts": {"error": 0, "warning": 1, "info": 0},
+                    "effects": {},
                     "diagnostics": [
                         {
                             "code": "HF012",
@@ -68,12 +69,30 @@ class TestJsonGolden:
                                 "span — the push returns the data unchanged"
                             ),
                             "tasks": ["q"],
+                            "nids": [1],
                             "data": {"span": "p"},
                         }
                     ],
                 }
             ],
         }
+
+    def test_effects_map_rendered_for_kernels(self):
+        hf = Heteroflow("fx")
+        p = hf.pull(np.zeros(8, dtype=np.float32), name="p")
+
+        def doubler(ctx, xs):
+            xs[:] = xs * 2.0
+
+        k = hf.kernel(doubler, p, name="k").writes(p).grid(1).block(8)
+        p.precede(k)
+        doc = json.loads(render_json([lint(hf)]))
+        effects = doc["graphs"][0]["effects"]
+        assert "k" in effects
+        ent = effects["k"]
+        assert ent["confident"] is True and ent["opaque"] is False
+        assert ent["params"]["xs"]["writes"] is True
+        assert ent["params"]["xs"]["mutations"][0]["kind"] == "setitem"
 
     def test_output_is_stable_across_runs(self):
         a = render_json([lint(racy_graph(), gpu_memory_bytes=1 << 20)])

@@ -35,6 +35,10 @@ class TestCatalog:
         assert RULES["HF011"].severity is Severity.ERROR
         assert RULES["HF012"].severity is Severity.WARNING
         assert RULES["HF013"].severity is Severity.INFO
+        assert RULES["HF014"].severity is Severity.ERROR
+        assert RULES["HF015"].severity is Severity.ERROR
+        assert RULES["HF016"].severity is Severity.WARNING
+        assert RULES["HF017"].severity is Severity.WARNING
         assert RULES["HF020"].severity is Severity.ERROR
 
     def test_unknown_code_rejected(self):
@@ -268,6 +272,194 @@ class TestHF013RedundantEdge:
         b.precede(d)
         c.precede(d)
         assert lint(hf).by_code("HF013") == []
+
+
+class TestHF014UndeclaredWrite:
+    def _graph(self, declare_write):
+        hf = Heteroflow("hf014")
+        p = hf.pull(np.zeros(8, dtype=np.float32), name="p")
+
+        def doubler(ctx, xs):
+            xs[:] = xs * 2.0
+
+        k = hf.kernel(doubler, p, name="k").grid(1).block(8)
+        if declare_write:
+            k.writes(p)
+        else:
+            k.reads(p)
+        p.precede(k)
+        return hf
+
+    def test_flags_write_behind_readonly_declaration(self):
+        report = lint(self._graph(declare_write=False))
+        flagged = report.by_code("HF014")
+        assert len(flagged) == 1
+        assert flagged[0].severity is Severity.ERROR
+        assert flagged[0].data["span"] == "p"
+        assert flagged[0].data["param"] == "xs"
+        kinds = {m["kind"] for m in flagged[0].data["mutations"]}
+        assert "setitem" in kinds
+
+    def test_silent_when_declared_written(self):
+        assert lint(self._graph(declare_write=True)).by_code("HF014") == []
+
+    def test_flags_write_proven_through_helper(self):
+        # the engine follows calls to analyzable captured helpers, so
+        # the write is still proven one level down
+        hf = Heteroflow("hf014-helper")
+        p = hf.pull(np.zeros(8, dtype=np.float32), name="p")
+
+        def helper(arr):
+            arr[:] = 0.0
+
+        def delegating(ctx, xs):
+            helper(xs)
+
+        k = hf.kernel(delegating, p, name="k").reads(p).grid(1).block(8)
+        p.precede(k)
+        assert len(lint(hf).by_code("HF014")) == 1
+
+    def test_silent_when_parameter_escapes(self):
+        # a dict-dispatched callee is opaque — the write cannot be
+        # proven, so the rule must stay quiet rather than guess
+        hf = Heteroflow("hf014-escape")
+        p = hf.pull(np.zeros(8, dtype=np.float32), name="p")
+        table = {"f": lambda arr: None}
+
+        def escaping(ctx, xs):
+            table["f"](xs)
+
+        k = hf.kernel(escaping, p, name="k").reads(p).grid(1).block(8)
+        p.precede(k)
+        assert lint(hf).by_code("HF014") == []
+
+    def test_mutant_deleted_writes_is_caught(self):
+        # the acceptance mutant: take a correct graph and delete the
+        # writes() declaration — HF014 must catch the hole
+        hf = self._graph(declare_write=True)
+        node = next(n for n in hf.nodes if n.name == "k")
+        node.kernel_reads = node.kernel_writes
+        node.kernel_writes = frozenset()
+        flagged = lint(hf).by_code("HF014")
+        assert len(flagged) == 1
+
+
+class TestHF015HostRace:
+    def _graph(self, ordered):
+        hf = Heteroflow("hf015")
+        state = {"hits": 0}
+
+        def bump():
+            state["hits"] = state["hits"] + 1
+
+        a = hf.host(bump, name="a")
+        b = hf.host(bump, name="b")
+        if ordered:
+            a.precede(b)
+        return hf
+
+    def test_flags_unordered_shared_dict_mutation(self):
+        flagged = lint(self._graph(ordered=False)).by_code("HF015")
+        assert len(flagged) == 1
+        assert flagged[0].severity is Severity.ERROR
+        assert flagged[0].data["object_type"] == "dict"
+        assert set(flagged[0].tasks) == {"a", "b"}
+
+    def test_silent_when_ordered(self):
+        assert lint(self._graph(ordered=True)).by_code("HF015") == []
+
+    def test_silent_on_disjoint_keys(self):
+        hf = Heteroflow("hf015-disjoint")
+        state = {}
+
+        def wa():
+            state["a"] = 1
+
+        def wb():
+            state["b"] = 2
+
+        hf.host(wa, name="a")
+        hf.host(wb, name="b")
+        assert lint(hf).by_code("HF015") == []
+
+    def test_silent_when_lock_guarded(self):
+        import threading
+
+        hf = Heteroflow("hf015-lock")
+        lock = threading.Lock()
+        state = {"hits": 0}
+
+        def bump():
+            with lock:
+                state["hits"] = state["hits"] + 1
+
+        hf.host(bump, name="a")
+        hf.host(bump, name="b")
+        assert lint(hf).by_code("HF015") == []
+
+
+class TestHF016NondetFrozen:
+    def _graph(self):
+        import random
+
+        hf = Heteroflow("hf016")
+        out = []
+        hf.host(lambda: out.append(random.random()), name="roll")
+        return hf
+
+    def test_flags_nondet_in_frozen_topology(self):
+        hf = self._graph()
+        hf.freeze()
+        flagged = lint(hf).by_code("HF016")
+        assert len(flagged) == 1
+        assert flagged[0].severity is Severity.WARNING
+        assert any("random" in s for s in flagged[0].data["sources"])
+
+    def test_silent_while_unfrozen(self):
+        assert lint(self._graph()).by_code("HF016") == []
+
+    def test_silent_on_seeded_generator_methods(self):
+        import random
+
+        hf = Heteroflow("hf016-seeded")
+        rng = random.Random(7)
+        out = []
+        hf.host(lambda: out.append(rng.random()), name="roll")
+        hf.freeze()
+        assert lint(hf).by_code("HF016") == []
+
+
+class TestHF017StaleDeclaration:
+    def _graph(self, touch):
+        hf = Heteroflow("hf017")
+        p = hf.pull(np.zeros(8, dtype=np.float32), name="p")
+        q = hf.pull(np.zeros(8, dtype=np.float32), name="q")
+
+        if touch:
+            def body(ctx, xs, ys):
+                ys[:] = xs * 2.0
+        else:
+            def body(ctx, xs, ys):
+                ys[:] = ys * 2.0  # xs never touched
+
+        k = (
+            hf.kernel(body, p, q, name="k")
+            .reads(p)
+            .writes(q)
+            .grid(1)
+            .block(8)
+        )
+        k.succeed(p, q)
+        return hf
+
+    def test_flags_untouched_declared_span(self):
+        flagged = lint(self._graph(touch=False)).by_code("HF017")
+        assert len(flagged) == 1
+        assert flagged[0].severity is Severity.WARNING
+        assert flagged[0].data == {"span": "p", "param": "xs"}
+
+    def test_silent_when_body_uses_the_span(self):
+        assert lint(self._graph(touch=True)).by_code("HF017") == []
 
 
 class TestHF020GroupCapacity:

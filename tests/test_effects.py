@@ -1,0 +1,279 @@
+"""Effect-inference engine tests (repro.analysis.effects).
+
+Edge cases the bytecode walker must get right: nested closures,
+comprehensions, conditional branches, *args forwarding, method
+references, span-argument rebinding, and nondeterminism detection —
+including bound builtin methods whose ``__module__`` is None.
+"""
+
+import random
+import threading
+import time
+import uuid
+
+import numpy as np
+
+from repro.analysis import (
+    infer_callable_effects,
+    infer_task_effects,
+)
+from repro.core import Heteroflow
+
+
+def span_effects(fn, nargs=1):
+    """Bind *fn* as a kernel over *nargs* pulls; return {name: RootEffect}."""
+    hf = Heteroflow("probe")
+    pulls = [
+        hf.pull(np.zeros(8, dtype=np.float32), name=f"p{i}")
+        for i in range(nargs)
+    ]
+    k = hf.kernel(fn, *pulls, name="k").grid(1).block(8)
+    te = infer_task_effects(k.node)
+    return {pull.name: eff for pull, eff in te.span.items()}
+
+
+class TestSpanParams:
+    def test_subscript_store_is_confident_write(self):
+        def fn(ctx, xs):
+            xs[0] = 1.0
+
+        eff = span_effects(fn)["p0"]
+        assert eff.writes and eff.confident and not eff.escapes
+        assert [m.kind for m in eff.mutations] == ["setitem"]
+
+    def test_slice_store_is_whole_object_write(self):
+        def fn(ctx, xs):
+            xs[:] = xs * 2.0
+
+        eff = span_effects(fn)["p0"]
+        assert eff.writes and eff.reads and eff.confident
+        assert eff.mutations[0].whole
+
+    def test_rebinding_is_a_read_not_a_write(self):
+        def fn(ctx, xs):
+            xs = xs * 2.0
+            return xs
+
+        eff = span_effects(fn)["p0"]
+        assert eff.reads and not eff.writes and eff.confident
+
+    def test_comprehension_reads_the_span(self):
+        def fn(ctx, xs):
+            return [v * 2 for v in xs]
+
+        eff = span_effects(fn)["p0"]
+        assert eff.reads and not eff.writes and eff.confident
+
+    def test_conditional_write_unions_branches(self):
+        def fn(ctx, xs):
+            if xs[0] > 0:
+                xs[1] = 1.0
+
+        eff = span_effects(fn)["p0"]
+        assert eff.reads and eff.writes and eff.confident
+
+    def test_nested_closure_write_is_proven(self):
+        # the param is promoted to a cell (MAKE_CELL); the inner
+        # function's store must still attribute to the span root
+        def fn(ctx, xs):
+            def inner():
+                xs[0] = 1.0
+
+            inner()
+
+        eff = span_effects(fn)["p0"]
+        assert eff.writes and eff.confident
+
+    def test_helper_call_is_followed(self):
+        def helper(arr):
+            arr[:] = 0.0
+
+        def fn(ctx, xs):
+            helper(xs)
+
+        eff = span_effects(fn)["p0"]
+        assert eff.writes and eff.confident
+
+    def test_star_args_forwarding_loses_confidence(self):
+        def fn(ctx, *args):
+            args[0][0] = 1.0
+
+        eff = span_effects(fn)["p0"]
+        assert eff.escapes and not eff.confident
+
+    def test_opaque_escape_loses_confidence(self):
+        table = {"f": lambda arr: None}
+
+        def fn(ctx, xs):
+            table["f"](xs)
+
+        eff = span_effects(fn)["p0"]
+        assert eff.escapes and not eff.confident
+
+    def test_safe_builtins_only_read(self):
+        def fn(ctx, xs):
+            return len(xs)
+
+        eff = span_effects(fn)["p0"]
+        assert eff.reads and not eff.writes and not eff.escapes
+        assert eff.confident
+
+    def test_two_params_tracked_separately(self):
+        def fn(ctx, xs, ys):
+            ys[:] = xs * 2.0
+
+        effs = span_effects(fn, nargs=2)
+        assert effs["p0"].reads and not effs["p0"].writes
+        assert effs["p1"].writes
+
+
+class TestCapturedState:
+    def test_method_reference_write_on_captured_list(self):
+        acc = []
+
+        def fn():
+            acc.append(1)
+
+        ce = infer_callable_effects(fn)
+        (eff,) = ce.captured.values()
+        assert eff.name == "acc" and eff.obj_type == "list"
+        assert eff.writes and eff.confident
+
+    def test_dict_store_records_key(self):
+        state = {}
+
+        def fn():
+            state["hits"] = 1
+
+        ce = infer_callable_effects(fn)
+        (eff,) = ce.captured.values()
+        assert eff.writes
+        assert any(m.kind == "setitem" for m in eff.mutations)
+
+    def test_pure_reads_stay_reads(self):
+        state = {"hits": 0}
+
+        def fn():
+            return state["hits"] > 0
+
+        ce = infer_callable_effects(fn)
+        (eff,) = ce.captured.values()
+        assert eff.reads and not eff.writes and eff.confident
+
+    def test_returning_a_tracked_element_escapes(self):
+        # handing a sub-object to the caller is a conservative escape:
+        # the engine can no longer prove what happens to it
+        state = {"hits": []}
+
+        def fn():
+            return state["hits"]
+
+        ce = infer_callable_effects(fn)
+        (eff,) = ce.captured.values()
+        assert eff.escapes and not eff.confident
+
+    def test_nested_closure_mutation_of_captured_dict(self):
+        state = {}
+
+        def fn():
+            def inner():
+                state["k"] = 1
+
+            inner()
+
+        ce = infer_callable_effects(fn)
+        (eff,) = ce.captured.values()
+        assert eff.writes and eff.confident
+
+    def test_lock_guarded_mutation_records_guard(self):
+        lock = threading.Lock()
+        state = {"hits": 0}
+
+        def fn():
+            with lock:
+                state["hits"] = state["hits"] + 1
+
+        ce = infer_callable_effects(fn)
+        effs = {e.name: e for e in ce.captured.values()}
+        assert effs["state"].writes
+        assert effs["state"].guarded  # every access holds the lock
+
+    def test_immutable_captures_are_not_roots(self):
+        n = 42
+        msg = "hello"
+
+        def fn():
+            return f"{msg}:{n}"
+
+        ce = infer_callable_effects(fn)
+        assert ce.captured == {}
+
+
+class TestNondet:
+    def _sources(self, fn):
+        return infer_callable_effects(fn).nondet
+
+    def test_random_module_function(self):
+        # random.random is a bound builtin method with __module__ None;
+        # resolution must go through __self__
+        assert any(
+            "random" in s for s in self._sources(lambda: random.random())
+        )
+
+    def test_time_module_function(self):
+        assert any(
+            "time" in s for s in self._sources(lambda: time.time())
+        )
+
+    def test_uuid(self):
+        assert any("uuid" in s for s in self._sources(lambda: uuid.uuid4()))
+
+    def test_numpy_global_rng(self):
+        assert any(
+            "numpy.random" in s
+            for s in self._sources(lambda: np.random.rand(3))
+        )
+
+    def test_seeded_generator_is_not_flagged(self):
+        rng = random.Random(7)
+        out = []
+
+        def fn():
+            out.append(rng.random())
+
+        assert self._sources(fn) == []
+
+    def test_deterministic_math_is_not_flagged(self):
+        def fn():
+            return sum(i * i for i in range(10))
+
+        assert self._sources(fn) == []
+
+
+class TestTaskAccessor:
+    def test_kernel_task_effects(self):
+        hf = Heteroflow("acc")
+        p = hf.pull(np.zeros(8, dtype=np.float32), name="p")
+
+        def doubler(ctx, xs):
+            xs[:] = xs * 2.0
+
+        k = hf.kernel(doubler, p, name="k").writes(p).grid(1).block(8)
+        te = k.effects()
+        assert te.effects.confident
+        (eff,) = te.span.values()
+        assert eff.reads and eff.writes
+
+    def test_host_task_effects(self):
+        hf = Heteroflow("acc")
+        log = []
+        h = hf.host(lambda: log.append(1), name="h")
+        te = h.effects()
+        (eff,) = te.effects.captured.values()
+        assert eff.writes
+
+    def test_opaque_callable_reports_opaque(self):
+        hf = Heteroflow("acc")
+        h = hf.host(time.sleep.__call__, name="h")
+        te = h.effects()
+        assert te.effects.opaque and not te.effects.confident
