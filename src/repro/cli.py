@@ -35,12 +35,19 @@ Commands:
   stream stalls, device death, zero-GPU degradation) through the
   resilience layer and validate every recovery
   (see docs/resilience.md);
-- ``soak [--scenarios N] [--seed S] [--smoke] [--json OUT]`` — sweep
-  seeded multi-tenant overload scenarios (bounded admission under
+- ``soak [--scenarios N] [--seed S] [--smoke] [--json OUT]
+  [--gateway [--workers N] [--kill-every K]]`` — sweep seeded
+  multi-tenant overload scenarios (bounded admission under
   block/reject/shed backpressure, priorities, deadlines, caller-side
   cancels, graceful drain) through the service layer, reconcile every
   submission outcome, and validate every trace (see docs/runtime.md,
-  "Submission lifecycle").
+  "Submission lifecycle"); with ``--gateway`` the same discipline runs
+  against a pool of spawned worker processes, with SIGKILL chaos and a
+  gateway-vs-single-process throughput comparison (docs/gateway.md);
+- ``serve [--workers N] [--duration S] [--traffic]`` — bring up the
+  multiprocess gateway, optionally self-drive frozen-replay traffic,
+  print one status line per tick, then drain and exit (the operator
+  entry point; see docs/gateway.md).
 """
 
 from __future__ import annotations
@@ -307,7 +314,55 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def _cmd_gateway_soak(args: argparse.Namespace) -> int:
+    from repro.gateway import run_gateway_soak
+
+    scenarios = 6 if args.smoke else args.scenarios
+    throughput = 40 if args.smoke else 200
+    print(f"gateway soak sweep: {scenarios} serving scenario(s) against "
+          f"{args.workers} worker process(es), seed={args.seed} ...")
+    report = run_gateway_soak(
+        scenarios,
+        workers=args.workers,
+        seed=args.seed,
+        kill_every=args.kill_every,
+        throughput_repeats=throughput,
+        log=print,
+    )
+    totals = report.totals
+    print(f"  total: {totals['submitted']} submitted = "
+          f"{totals['completed']} completed + {totals['rejected']} rejected + "
+          f"{totals['shed']} shed + {totals['deadline_exceeded']} deadline + "
+          f"{totals['cancelled']} cancelled + {totals['failed']} failed + "
+          f"{totals['worker_lost']} worker_lost; {totals['kills']} kill(s)")
+    for key in ("gateway.submits", "gateway.settled", "gateway.cancels",
+                "gateway.worker_deaths", "gateway.respawns",
+                "gateway.replans"):
+        print(f"    {key:<36} {report.gateway_counters.get(key, 0):.0f}")
+    if report.throughput:
+        t = report.throughput
+        print(f"    throughput: gateway {t['gateway_runs_per_s']:.1f} runs/s "
+              f"vs single-process {t['single_runs_per_s']:.1f} runs/s "
+              f"(speedup {t['speedup']:.2f}x on "
+              f"{report.to_dict()['cpu_count']} core(s))")
+    if not report.ok:
+        for v in report.violations[:20]:
+            print(f"    {v}")
+        more = len(report.violations) - 20
+        if more > 0:
+            print(f"    ... and {more} more")
+    if args.json:
+        with open(args.json, "w") as fh:
+            fh.write(report.to_json())
+            fh.write("\n")
+        print(f"wrote gateway soak report to {args.json}")
+    print(f"\ngateway soak: {'OK' if report.ok else 'FAILED'}")
+    return 0 if report.ok else 1
+
+
 def _cmd_soak(args: argparse.Namespace) -> int:
+    if args.gateway:
+        return _cmd_gateway_soak(args)
     from repro.service import run_soak
 
     scenarios = 6 if args.smoke else args.scenarios
@@ -342,6 +397,48 @@ def _cmd_soak(args: argparse.Namespace) -> int:
         print(f"wrote soak report to {args.json}")
     print(f"\nsoak: {'OK' if report.ok else 'FAILED'}")
     return 0 if report.ok else 1
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.gateway import BurstSpec, Gateway, WorkerConfig
+
+    async def session() -> int:
+        config = WorkerConfig(threads=args.threads, gpus=args.gpus)
+        async with Gateway(args.workers, worker=config) as gw:
+            print(f"gateway up: {args.workers} worker(s), each "
+                  f"{args.threads} thread(s) / {args.gpus} simulated GPU(s)"
+                  f" — pids "
+                  + ", ".join(str(h.proc.pid) for h in gw._workers))
+            fh = await gw.freeze(BurstSpec(width=16))
+            outstanding: list = []
+            deadline = asyncio.get_running_loop().time() + args.duration
+            while asyncio.get_running_loop().time() < deadline:
+                if args.traffic:
+                    outstanding.extend(
+                        gw.submit(fh) for _ in range(args.rate)
+                    )
+                    outstanding = [s for s in outstanding if not s.done()]
+                snap = gw.snapshot()
+                print(f"  alive={snap['gateway.workers_alive']:.0f}"
+                      f"/{args.workers} "
+                      f"inflight={snap['gateway.inflight']:.0f} "
+                      f"submits={snap['gateway.submits']:.0f} "
+                      f"settled={snap['gateway.settled']:.0f} "
+                      f"deaths={snap['gateway.worker_deaths']:.0f} "
+                      f"respawns={snap['gateway.respawns']:.0f}")
+                await asyncio.sleep(args.tick)
+            print("draining ...")
+            ok = await gw.drain(timeout=30.0)
+            snap = gw.snapshot()
+            print(f"served {snap['gateway.submits']:.0f} submission(s), "
+                  f"{snap['gateway.settled']:.0f} settled, "
+                  f"{snap['gateway.worker_deaths']:.0f} worker death(s)")
+            print(f"\nserve: {'OK' if ok else 'DRAIN TIMED OUT'}")
+            return 0 if ok else 1
+
+    return asyncio.run(session())
 
 
 def _cmd_lint(args: argparse.Namespace) -> int:
@@ -595,6 +692,52 @@ def build_parser() -> argparse.ArgumentParser:
         help="also write the full soak report as JSON "
              "(schema repro.soak-report/1)",
     )
+    soak.add_argument(
+        "--gateway", action="store_true",
+        help="run the sweep against the multiprocess gateway instead "
+             "of one in-process executor: worker-process pool, SIGKILL "
+             "chaos, throughput comparison (schema "
+             "repro.gateway-soak-report/1; docs/gateway.md)",
+    )
+    soak.add_argument(
+        "--workers", type=int, default=4,
+        help="gateway worker processes for --gateway (default 4)",
+    )
+    soak.add_argument(
+        "--kill-every", type=int, default=5, metavar="K",
+        help="SIGKILL a worker every K-th --gateway scenario "
+             "(0 disables chaos; default 5)",
+    )
+
+    serve = sub.add_parser(
+        "serve",
+        help="bring up the multiprocess gateway and report status "
+             "until drained",
+    )
+    serve.add_argument(
+        "--workers", type=int, default=2,
+        help="worker processes (default 2)",
+    )
+    serve.add_argument("--threads", type=int, default=2,
+                       help="executor threads per worker (default 2)")
+    serve.add_argument("--gpus", type=int, default=1,
+                       help="simulated GPUs per worker (default 1)")
+    serve.add_argument(
+        "--duration", type=float, default=3.0,
+        help="seconds to serve before draining (default 3)",
+    )
+    serve.add_argument(
+        "--traffic", action="store_true",
+        help="self-drive frozen burst replays while serving",
+    )
+    serve.add_argument(
+        "--rate", type=int, default=4,
+        help="submissions per tick with --traffic (default 4)",
+    )
+    serve.add_argument(
+        "--tick", type=float, default=0.5,
+        help="status-line interval in seconds (default 0.5)",
+    )
 
     lint = sub.add_parser(
         "lint", help="statically analyze task graphs with hflint"
@@ -685,6 +828,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "check": _cmd_check,
         "chaos": _cmd_chaos,
         "soak": _cmd_soak,
+        "serve": _cmd_serve,
         "lint": _cmd_lint,
         "sanitize": _cmd_sanitize,
         "profile": _cmd_profile,

@@ -196,6 +196,30 @@ class DeviceFailedError(DeviceError):
         super().__init__(message or f"device {ordinal} failed")
 
 
+class GatewayError(HeteroflowError):
+    """Multiprocess gateway misuse or failure (:mod:`repro.gateway`):
+    submitting to a draining/closed gateway, an unknown frozen handle,
+    or a submission the gateway had to force-settle at shutdown."""
+
+
+class WorkerDiedError(GatewayError):
+    """A gateway worker process died (crash, SIGKILL, or heartbeat
+    silence) with this submission in flight and no replan budget left.
+
+    Carries the :attr:`wid` of the dead worker and the detection
+    :attr:`reason` (``"exited"``, ``"heartbeat"``, or ``"pipe"``) so
+    operators can distinguish a crashed process from a wedged one
+    (docs/gateway.md, "Failure handling").
+    """
+
+    def __init__(self, wid: int, reason: str = "exited", message: str = "") -> None:
+        self.wid = wid
+        self.reason = reason
+        super().__init__(
+            message or f"gateway worker {wid} died ({reason}) mid-submission"
+        )
+
+
 class ValidationError(HeteroflowError):
     """A whole-execution invariant was violated: a task ran the wrong
     number of times, began before a predecessor ended, broke in-order

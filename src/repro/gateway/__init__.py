@@ -1,0 +1,56 @@
+"""Async multiprocess service gateway (docs/gateway.md).
+
+Public surface:
+
+- :class:`~repro.gateway.gateway.Gateway` — the asyncio front-end over
+  a pool of spawned executor worker processes, with submission
+  handles, streaming events, worker monitoring, and drain/shutdown
+  guarantees;
+- :class:`~repro.gateway.worker.WorkerConfig` — per-worker executor
+  shape (threads, simulated GPUs, admission policy);
+- the :class:`~repro.gateway.spec.WorkSpec` family
+  (:class:`~repro.gateway.spec.GeneratedSpec`,
+  :class:`~repro.gateway.spec.BuiltinSpec`,
+  :class:`~repro.gateway.spec.BurstSpec`) — picklable workload recipes
+  workers materialize locally;
+- :func:`~repro.gateway.soak.run_gateway_soak` — the multiprocess soak
+  harness behind ``python -m repro soak --gateway`` (imported lazily;
+  it pulls in the whole service stack).
+"""
+
+from __future__ import annotations
+
+from repro.gateway.gateway import (
+    FrozenHandle,
+    Gateway,
+    GraphHandle,
+    Result,
+    Submission,
+)
+from repro.gateway.messages import OUTCOMES, PROTOCOL_VERSION
+from repro.gateway.spec import BuiltinSpec, BurstSpec, GeneratedSpec, WorkSpec
+from repro.gateway.worker import WorkerConfig
+
+__all__ = [
+    "Gateway",
+    "GraphHandle",
+    "FrozenHandle",
+    "Result",
+    "Submission",
+    "WorkerConfig",
+    "WorkSpec",
+    "GeneratedSpec",
+    "BuiltinSpec",
+    "BurstSpec",
+    "OUTCOMES",
+    "PROTOCOL_VERSION",
+    "run_gateway_soak",
+]
+
+
+def __getattr__(name: str):
+    if name == "run_gateway_soak":
+        from repro.gateway.soak import run_gateway_soak
+
+        return run_gateway_soak
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

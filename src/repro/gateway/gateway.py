@@ -1,0 +1,741 @@
+"""Asyncio multiprocess gateway: submission front-end + worker pool.
+
+The tier above the single-process service layer (docs/gateway.md).  A
+:class:`Gateway` owns N **spawned worker processes** — each hosting a
+full :class:`repro.core.Executor` with its own simulated device group,
+admission controller, and metrics registry — and multiplexes an
+asyncio submission API over a pickle-framed pipe per worker:
+
+- :meth:`Gateway.submit` routes a :class:`~repro.gateway.spec.WorkSpec`
+  (or a pinned instance / frozen handle) to a worker and returns an
+  awaitable :class:`Submission` whose ``async for`` side streams
+  structured progress events;
+- :meth:`Gateway.freeze` ships a spec to every worker once; later
+  submissions replay by ``fid``, so the PR 6 compiled-plan fast path
+  survives the process boundary;
+- a **monitor task** heartbeats every worker, detects dead or
+  heartbeat-silent processes, respawns a replacement into the same
+  slot, and resolves the casualties' in-flight submissions through the
+  replan path (resubmit once to the replacement; a second loss settles
+  with a structured ``worker_lost`` outcome);
+- :meth:`Gateway.drain` / :meth:`Gateway.shutdown` compose the PR 5
+  per-executor guarantees across the pool, so every awaitable settles.
+
+The architecture follows vLLM's ``MultiprocessingGPUExecutor`` /
+``DistributedGPUExecutor`` split and StarPU's driver-per-device worker
+model: an asyncio front-end that fans control-plane messages out to
+per-device worker processes, with a result handler and worker monitor
+feeding completions back into the event loop.
+
+Everything is observable through the ``gateway.*`` metrics cataloged
+in docs/observability.md: ``gateway.workers_alive``,
+``gateway.submits`` / ``gateway.cancels`` / ``gateway.settled``,
+``gateway.worker_deaths`` / ``gateway.respawns`` /
+``gateway.replans``, and the ``gateway.round_trip_seconds`` histogram.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import multiprocessing
+import threading
+import time
+import zlib
+from dataclasses import dataclass, field
+from typing import AsyncIterator, Dict, List, Optional, Union
+
+from repro.errors import GatewayError, WorkerDiedError
+from repro.gateway import messages as m
+from repro.gateway.spec import WorkSpec
+from repro.gateway.worker import WorkerConfig, worker_main
+from repro.metrics.registry import MetricsRegistry
+
+#: how long Gateway.start waits for every worker's Ready
+_READY_TIMEOUT = 60.0
+#: grace period after drain for straggler Settled messages
+_DRAIN_GRACE = 5.0
+#: missed-heartbeat budget before a silent worker is declared dead
+_HEARTBEAT_MISSES = 20
+
+
+@dataclass(frozen=True)
+class Result:
+    """Terminal outcome of one gateway submission.
+
+    Every submission settles with exactly one Result — the gateway
+    never strands an awaitable.  ``outcome`` is one of
+    :data:`repro.gateway.messages.OUTCOMES`; ``ok`` is sugar for
+    ``outcome == "completed"``.
+    """
+
+    outcome: str
+    passes: int = 0
+    error: str = ""
+    reason: str = ""
+    wall_s: float = 0.0
+    wid: int = -1
+    replans: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return self.outcome == "completed"
+
+
+class Submission:
+    """Awaitable handle for one gateway submission.
+
+    ``await sub`` yields the :class:`Result`; ``async for ev in
+    sub.events()`` streams structured progress dicts (``submitted``,
+    ``accepted``, ``replanned``, ``settled``) and terminates once the
+    submission settles.
+    """
+
+    def __init__(self, rid: int, wid: int, tenant: str, request: m.Submit, loop) -> None:
+        self.rid = rid
+        self.wid = wid
+        self.tenant = tenant
+        self.request = request
+        self.replans = 0
+        self.cancel_requested = False
+        self.accepted = False
+        self.t0 = time.monotonic()
+        self.future: asyncio.Future = loop.create_future()
+        self._events: asyncio.Queue = asyncio.Queue()
+
+    def __await__(self):
+        return self.future.__await__()
+
+    def done(self) -> bool:
+        return self.future.done()
+
+    async def events(self) -> AsyncIterator[dict]:
+        """Async iterator over this submission's progress events."""
+        while True:
+            ev = await self._events.get()
+            if ev is None:
+                return
+            yield ev
+
+    def _push(self, kind: str, **fields) -> None:
+        ev = {"kind": kind, "rid": self.rid}
+        ev.update(fields)
+        self._events.put_nowait(ev)
+
+    def _close_events(self) -> None:
+        self._events.put_nowait(None)
+
+
+@dataclass
+class GraphHandle:
+    """A spec pinned to one worker slot: repeated submissions reuse the
+    worker-local graph instance (join counters and spans live there).
+    A worker death re-materializes the instance on the replacement and
+    marks the handle *tainted* — oracle verification across the death
+    would be meaningless."""
+
+    iid: int
+    spec: WorkSpec
+    wid: int
+    tainted: bool = False
+
+
+@dataclass(frozen=True)
+class FrozenHandle:
+    """A spec frozen on every worker under one gateway-wide ``fid``."""
+
+    fid: int
+    spec: WorkSpec
+
+
+class _WorkerHandle:
+    """Gateway-side state for one worker slot occupant."""
+
+    __slots__ = (
+        "wid",
+        "proc",
+        "conn",
+        "reader",
+        "ready",
+        "ready_event",
+        "dead",
+        "last_pong",
+        "inflight",
+    )
+
+    def __init__(self, wid: int, proc, conn, loop) -> None:
+        self.wid = wid
+        self.proc = proc
+        self.conn = conn
+        self.reader: Optional[threading.Thread] = None
+        self.ready = False
+        self.ready_event = asyncio.Event()
+        self.dead = False
+        self.last_pong = time.monotonic()
+        self.inflight: set = set()
+
+
+class Gateway:
+    """Asyncio front-end over a pool of executor worker processes."""
+
+    def __init__(
+        self,
+        num_workers: int = 2,
+        *,
+        worker: Optional[WorkerConfig] = None,
+        heartbeat_interval: float = 0.25,
+        max_replans: int = 1,
+        name: str = "gateway",
+    ) -> None:
+        if num_workers < 1:
+            raise GatewayError("gateway needs at least one worker")
+        self.name = name
+        self.num_workers = num_workers
+        self.worker_config = worker or WorkerConfig()
+        self.heartbeat_interval = heartbeat_interval
+        self.max_replans = max_replans
+        self._ctx = multiprocessing.get_context("spawn")
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._workers: List[Optional[_WorkerHandle]] = [None] * num_workers
+        self._subs: Dict[int, Submission] = {}
+        self._pending: Dict[int, asyncio.Future] = {}
+        self._frozen: Dict[int, WorkSpec] = {}
+        self._instances: Dict[int, GraphHandle] = {}
+        self._rids = itertools.count(1)
+        self._fids = itertools.count(1)
+        self._iids = itertools.count(1)
+        self._rr = itertools.count()
+        self._ping_seq = itertools.count(1)
+        self._draining = False
+        self._closing = False
+        self._started = False
+        self._monitor_task: Optional[asyncio.Task] = None
+
+        # gateway.* metrics (docs/observability.md, "Gateway counters")
+        self.metrics = MetricsRegistry()
+        self._m_submits = self.metrics.counter("gateway.submits")
+        self._m_cancels = self.metrics.counter("gateway.cancels")
+        self._m_settled = self.metrics.counter("gateway.settled")
+        self._m_deaths = self.metrics.counter("gateway.worker_deaths")
+        self._m_respawns = self.metrics.counter("gateway.respawns")
+        self._m_replans = self.metrics.counter("gateway.replans")
+        self._m_rt = self.metrics.histogram("gateway.round_trip_seconds")
+        self.metrics.register_callback(
+            "gateway.workers_alive", self._workers_alive
+        )
+        self.metrics.register_callback(
+            "gateway.inflight", lambda: len(self._subs)
+        )
+
+    # -- lifecycle -----------------------------------------------------
+    async def __aenter__(self) -> "Gateway":
+        await self.start()
+        return self
+
+    async def __aexit__(self, *exc) -> None:
+        await self.shutdown()
+
+    async def start(self) -> None:
+        """Spawn the worker pool and wait for every Ready."""
+        if self._started:
+            raise GatewayError("gateway already started")
+        self._started = True
+        self._loop = asyncio.get_running_loop()
+        for wid in range(self.num_workers):
+            self._workers[wid] = self._spawn(wid)
+        await self._wait_ready()
+        self._monitor_task = asyncio.create_task(
+            self._monitor(), name=f"{self.name}-monitor"
+        )
+
+    def _spawn(self, wid: int) -> _WorkerHandle:
+        parent_conn, child_conn = self._ctx.Pipe(duplex=True)
+        proc = self._ctx.Process(
+            target=worker_main,
+            args=(wid, child_conn, self.worker_config),
+            name=f"{self.name}-worker{wid}",
+            daemon=True,
+        )
+        proc.start()
+        child_conn.close()
+        handle = _WorkerHandle(wid, proc, parent_conn, self._loop)
+        handle.reader = threading.Thread(
+            target=self._read_loop,
+            args=(handle,),
+            name=f"{self.name}-reader{wid}",
+            daemon=True,
+        )
+        handle.reader.start()
+        return handle
+
+    async def _wait_ready(self) -> None:
+        waits = [
+            h.ready_event.wait() for h in self._workers if h is not None
+        ]
+        try:
+            await asyncio.wait_for(asyncio.gather(*waits), _READY_TIMEOUT)
+        except asyncio.TimeoutError:
+            raise GatewayError(
+                "gateway workers did not come up within "
+                f"{_READY_TIMEOUT:.0f}s"
+            ) from None
+
+    def _workers_alive(self) -> int:
+        return sum(
+            1
+            for h in self._workers
+            if h is not None and not h.dead and h.proc.is_alive()
+        )
+
+    # -- pipe plumbing -------------------------------------------------
+    def _read_loop(self, handle: _WorkerHandle) -> None:
+        """Reader thread: pump one worker's pipe into the event loop."""
+        while True:
+            try:
+                msg = handle.conn.recv()
+            except (EOFError, OSError):
+                break
+            try:
+                self._loop.call_soon_threadsafe(self._on_message, handle, msg)
+            except RuntimeError:  # loop closed during teardown
+                return
+        try:
+            self._loop.call_soon_threadsafe(self._on_pipe_closed, handle)
+        except RuntimeError:
+            pass
+
+    def _send(self, handle: _WorkerHandle, msg) -> None:
+        try:
+            handle.conn.send(msg)
+        except (OSError, ValueError, BrokenPipeError):
+            self._worker_died(handle, "pipe")
+
+    def _on_pipe_closed(self, handle: _WorkerHandle) -> None:
+        if not self._closing:
+            self._worker_died(handle, "pipe")
+
+    def _on_message(self, handle: _WorkerHandle, msg) -> None:
+        if isinstance(msg, m.Settled):
+            self._on_settled(handle, msg)
+        elif isinstance(msg, m.Accepted):
+            sub = self._subs.get(msg.rid)
+            if sub is not None:
+                sub.accepted = True
+                sub._push("accepted", wid=msg.wid)
+        elif isinstance(msg, m.Pong):
+            handle.last_pong = time.monotonic()
+        elif isinstance(msg, m.Ready):
+            if msg.protocol != m.PROTOCOL_VERSION:  # pragma: no cover
+                self._worker_died(handle, "protocol")
+                return
+            handle.ready = True
+            handle.ready_event.set()
+        elif isinstance(msg, (m.Frozen, m.Drained, m.MetricsReply, m.Verified)):
+            fut = self._pending.pop(msg.rid, None)
+            if fut is not None and not fut.done():
+                fut.set_result(msg)
+        elif isinstance(msg, m.EventMsg):
+            if msg.rid is not None:
+                sub = self._subs.get(msg.rid)
+                if sub is not None:
+                    sub._push(msg.kind, **msg.fields)
+
+    def _on_settled(self, handle: _WorkerHandle, msg: m.Settled) -> None:
+        sub = self._subs.pop(msg.rid, None)
+        handle.inflight.discard(msg.rid)
+        if sub is None or sub.future.done():
+            return
+        self._m_settled.inc()
+        self._m_rt.observe(time.monotonic() - sub.t0)
+        result = Result(
+            outcome=msg.outcome,
+            passes=msg.passes,
+            error=msg.error,
+            reason=msg.reason,
+            wall_s=msg.wall_s,
+            wid=handle.wid,
+            replans=sub.replans,
+        )
+        sub._push("settled", outcome=msg.outcome, wid=handle.wid)
+        sub._close_events()
+        sub.future.set_result(result)
+
+    def _force_settle(self, sub: Submission, outcome: str, error: str, reason: str = "") -> None:
+        """Settle a submission gateway-side (worker loss, shutdown)."""
+        self._subs.pop(sub.rid, None)
+        if sub.future.done():
+            return
+        self._m_settled.inc()
+        self._m_rt.observe(time.monotonic() - sub.t0)
+        sub._push("settled", outcome=outcome, wid=sub.wid)
+        sub._close_events()
+        sub.future.set_result(
+            Result(
+                outcome=outcome,
+                error=error,
+                reason=reason,
+                wall_s=time.monotonic() - sub.t0,
+                wid=sub.wid,
+                replans=sub.replans,
+            )
+        )
+
+    # -- worker failure handling (docs/gateway.md) ---------------------
+    def _worker_died(self, handle: _WorkerHandle, reason: str) -> None:
+        """Reap one dead/silent worker: respawn a replacement into the
+        slot, replay its in-flight submissions once, settle the rest
+        with structured ``worker_lost`` results."""
+        if handle.dead:
+            return
+        handle.dead = True
+        self._m_deaths.inc()
+        try:
+            handle.conn.close()
+        except OSError:  # pragma: no cover
+            pass
+        if handle.proc.is_alive():
+            handle.proc.terminate()
+        casualties = sorted(handle.inflight)
+        handle.inflight.clear()
+
+        replacement: Optional[_WorkerHandle] = None
+        if not self._closing:
+            replacement = self._spawn(handle.wid)
+            self._workers[handle.wid] = replacement
+            self._m_respawns.inc()
+            # frozen topologies ship to the replacement before any
+            # replayed submission (pipe FIFO preserves the order)
+            for fid, spec in self._frozen.items():
+                self._send(
+                    replacement, m.Freeze(rid=next(self._rids), fid=fid, spec=spec)
+                )
+            # worker-local graph instances died with the process: the
+            # replacement rebuilds them on first use, but their oracle
+            # state is gone — taint them for verification purposes
+            for gh in self._instances.values():
+                if gh.wid == handle.wid:
+                    gh.tainted = True
+
+        for rid in casualties:
+            sub = self._subs.get(rid)
+            if sub is None:
+                continue
+            exc = WorkerDiedError(handle.wid, reason)
+            if (
+                replacement is None
+                or sub.cancel_requested
+                or sub.replans >= self.max_replans
+            ):
+                self._force_settle(
+                    sub,
+                    outcome="cancelled" if sub.cancel_requested else "worker_lost",
+                    error=repr(exc),
+                    reason=reason,
+                )
+                continue
+            # the resilience replan path, one tier up: re-materialize
+            # the idempotent spec on the replacement and resubmit
+            sub.replans += 1
+            self._m_replans.inc()
+            sub._push("replanned", wid=handle.wid, reason=reason)
+            replacement.inflight.add(rid)
+            self._send(replacement, sub.request)
+
+    async def _monitor(self) -> None:
+        """Heartbeat every worker; reap the dead and the silent."""
+        misses = _HEARTBEAT_MISSES
+        while not self._closing:
+            await asyncio.sleep(self.heartbeat_interval)
+            now = time.monotonic()
+            for handle in list(self._workers):
+                if handle is None or handle.dead:
+                    continue
+                if not handle.proc.is_alive():
+                    self._worker_died(handle, "exited")
+                    continue
+                # a draining worker legitimately blocks in drain();
+                # only liveness (is_alive) applies then
+                if (
+                    not self._draining
+                    and now - handle.last_pong
+                    > misses * self.heartbeat_interval
+                ):
+                    self._worker_died(handle, "heartbeat")
+                    continue
+                self._send(handle, m.Ping(seq=next(self._ping_seq)))
+
+    # -- routing -------------------------------------------------------
+    def _slot(self, wid: int) -> _WorkerHandle:
+        handle = self._workers[wid]
+        if handle is None:  # pragma: no cover - slots filled at start
+            raise GatewayError(f"worker slot {wid} is empty")
+        return handle
+
+    def _route(self, tenant: str) -> _WorkerHandle:
+        if tenant:
+            wid = zlib.crc32(tenant.encode()) % self.num_workers
+        else:
+            wid = next(self._rr) % self.num_workers
+        return self._slot(wid)
+
+    # -- public API ----------------------------------------------------
+    def instance(self, spec: WorkSpec, *, tenant: str = "") -> GraphHandle:
+        """Pin *spec* to one worker: repeated submissions of the handle
+        share the worker-local graph (the stacking/verification shape
+        of the soak harness)."""
+        self._check_open()
+        handle = self._route(tenant)
+        gh = GraphHandle(iid=next(self._iids), spec=spec, wid=handle.wid)
+        self._instances[gh.iid] = gh
+        return gh
+
+    async def freeze(self, spec: WorkSpec) -> FrozenHandle:
+        """Freeze *spec* on every worker; returns the replay handle."""
+        self._check_open()
+        fid = next(self._fids)
+        acks = []
+        for handle in self._workers:
+            if handle is None or handle.dead:
+                continue
+            rid = next(self._rids)
+            fut = self._loop.create_future()
+            self._pending[rid] = fut
+            self._send(handle, m.Freeze(rid=rid, fid=fid, spec=spec))
+            acks.append(fut)
+        replies = await asyncio.gather(*acks)
+        bad = [r for r in replies if not r.ok]
+        if bad:
+            raise GatewayError(
+                f"freeze failed on {len(bad)} worker(s): {bad[0].error}"
+            )
+        self._frozen[fid] = spec
+        return FrozenHandle(fid=fid, spec=spec)
+
+    def submit(
+        self,
+        target: Union[WorkSpec, GraphHandle, FrozenHandle],
+        *,
+        tenant: str = "",
+        priority: int = 0,
+        deadline: Optional[float] = None,
+        repeats: int = 1,
+    ) -> Submission:
+        """Submit one workload; returns the awaitable handle.
+
+        *target* is a :class:`~repro.gateway.spec.WorkSpec` (one-shot,
+        routed by *tenant* hash or round-robin), a
+        :class:`GraphHandle` (pinned to its worker), or a
+        :class:`FrozenHandle` (replayed by ``fid`` on any worker).
+        *priority* and *deadline* pass through to the worker-side
+        executor unchanged (docs/runtime.md, "Submission lifecycle").
+        """
+        self._check_open()
+        rid = next(self._rids)
+        if isinstance(target, FrozenHandle):
+            handle = self._route(tenant)
+            request = m.Submit(
+                rid=rid,
+                fid=target.fid,
+                repeats=repeats,
+                priority=priority,
+                deadline=deadline,
+                tenant=tenant,
+            )
+        elif isinstance(target, GraphHandle):
+            handle = self._slot(target.wid)
+            request = m.Submit(
+                rid=rid,
+                spec=target.spec,
+                iid=target.iid,
+                repeats=repeats,
+                priority=priority,
+                deadline=deadline,
+                tenant=tenant,
+            )
+        elif isinstance(target, WorkSpec):
+            handle = self._route(tenant)
+            request = m.Submit(
+                rid=rid,
+                spec=target,
+                repeats=repeats,
+                priority=priority,
+                deadline=deadline,
+                tenant=tenant,
+            )
+        else:
+            raise GatewayError(
+                f"cannot submit {type(target).__name__}: expected a "
+                "WorkSpec, GraphHandle, or FrozenHandle"
+            )
+        sub = Submission(rid, handle.wid, tenant, request, self._loop)
+        self._subs[rid] = sub
+        handle.inflight.add(rid)
+        self._m_submits.inc()
+        sub._push("submitted", wid=handle.wid)
+        self._send(handle, request)
+        return sub
+
+    def cancel(self, sub: Submission) -> bool:
+        """Request cooperative cancellation of *sub*; False when it is
+        already settled (or unknown)."""
+        if sub.rid not in self._subs or sub.future.done():
+            return False
+        sub.cancel_requested = True
+        self._m_cancels.inc()
+        handle = self._workers[sub.wid]
+        if handle is not None and not handle.dead:
+            self._send(handle, m.Cancel(rid=sub.rid))
+        return True
+
+    async def verify(self, gh: GraphHandle, passes: int):
+        """Oracle-check a generated instance on its worker; returns the
+        violation tuple (empty = clean).  A tainted handle (its worker
+        died) verifies vacuously."""
+        if gh.tainted:
+            return ()
+        handle = self._workers[gh.wid]
+        if handle is None or handle.dead:
+            return ()
+        rid = next(self._rids)
+        fut = self._loop.create_future()
+        self._pending[rid] = fut
+        self._send(handle, m.Verify(rid=rid, iid=gh.iid, passes=passes))
+        reply = await fut
+        return tuple(reply.violations)
+
+    async def worker_metrics(self) -> Dict[int, dict]:
+        """Pull a full metrics snapshot from every live worker."""
+        acks = {}
+        for handle in self._workers:
+            if handle is None or handle.dead:
+                continue
+            rid = next(self._rids)
+            fut = self._loop.create_future()
+            self._pending[rid] = fut
+            self._send(handle, m.MetricsPull(rid=rid))
+            acks[handle.wid] = fut
+        out: Dict[int, dict] = {}
+        for wid, fut in acks.items():
+            try:
+                reply = await asyncio.wait_for(fut, 30.0)
+            except asyncio.TimeoutError:  # pragma: no cover - wedged
+                continue
+            out[wid] = dict(reply.snapshot)
+        return out
+
+    def snapshot(self) -> dict:
+        """The gateway's own ``gateway.*`` metric snapshot."""
+        return self.metrics.snapshot()
+
+    def _check_open(self) -> None:
+        if not self._started or self._loop is None:
+            raise GatewayError("gateway is not started")
+        if self._draining or self._closing:
+            raise GatewayError("gateway is draining; submission refused")
+
+    # -- drain / shutdown ---------------------------------------------
+    async def drain(self, timeout: Optional[float] = None) -> bool:
+        """Stop admission and settle every outstanding awaitable.
+
+        Each worker runs its own ``Executor.drain`` (the PR 5
+        guarantee: every worker-side future settles), and the results
+        stream back as ordinary Settled messages.  Anything still
+        unsettled after *timeout* + a short grace (a dead pipe, a
+        wedged worker) is force-settled with a structured ``failed``
+        result.  Returns True when everything settled in time.
+        """
+        self._draining = True
+        acks = []
+        for handle in self._workers:
+            if handle is None or handle.dead:
+                continue
+            rid = next(self._rids)
+            fut = self._loop.create_future()
+            self._pending[rid] = fut
+            self._send(handle, m.Drain(rid=rid, timeout=timeout))
+            acks.append(fut)
+        ok = True
+        budget = None if timeout is None else timeout + _DRAIN_GRACE
+        if acks:
+            done, pending = await asyncio.wait(acks, timeout=budget)
+            ok = not pending and all(f.result().ok for f in done)
+        # worker drains settle worker-side futures; wait for the
+        # corresponding Settled traffic to land
+        waiters = [s.future for s in self._subs.values()]
+        if waiters:
+            _, unsettled = await asyncio.wait(
+                waiters, timeout=_DRAIN_GRACE if timeout is not None else None
+            )
+            if unsettled:
+                ok = False
+        for sub in list(self._subs.values()):
+            self._force_settle(
+                sub,
+                outcome="failed",
+                error="GatewayError('gateway drain timed out')",
+                reason="drain_timeout",
+            )
+        return ok
+
+    async def shutdown(self, drain_timeout: Optional[float] = 30.0) -> None:
+        """Graceful teardown: drain, stop the monitor, stop workers.
+
+        Idempotent; never strands an awaitable — anything unresolved
+        after worker teardown settles with a ``worker_lost`` result.
+        """
+        if self._closing:
+            return
+        try:
+            await self.drain(drain_timeout)
+        finally:
+            self._closing = True
+            if self._monitor_task is not None:
+                self._monitor_task.cancel()
+            for handle in self._workers:
+                if handle is None or handle.dead:
+                    continue
+                self._send(handle, m.Shutdown())
+            procs = [
+                h.proc
+                for h in self._workers
+                if h is not None and h.proc.is_alive()
+            ]
+
+            def _join_all() -> None:
+                deadline = time.monotonic() + 10.0
+                for p in procs:
+                    p.join(max(0.1, deadline - time.monotonic()))
+                for p in procs:
+                    if p.is_alive():
+                        p.kill()
+                        p.join(5.0)
+
+            await asyncio.to_thread(_join_all)
+            for handle in self._workers:
+                if handle is None:
+                    continue
+                handle.dead = True
+                try:
+                    handle.conn.close()
+                except OSError:  # pragma: no cover
+                    pass
+            for sub in list(self._subs.values()):
+                self._force_settle(
+                    sub,
+                    outcome="worker_lost",
+                    error="GatewayError('gateway shut down')",
+                    reason="shutdown",
+                )
+            for fut in self._pending.values():
+                if not fut.done():
+                    fut.cancel()
+            self._pending.clear()
+
+
+__all__ = [
+    "Gateway",
+    "GraphHandle",
+    "FrozenHandle",
+    "Result",
+    "Submission",
+]

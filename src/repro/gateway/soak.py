@@ -1,0 +1,538 @@
+"""Gateway soak harness: multiprocess serving scenarios + chaos kills.
+
+The multiprocess analogue of :mod:`repro.service.soak`: where that
+harness races submitter *threads* against one in-process executor,
+this one races asynchronous *tenants* against a shared
+:class:`~repro.gateway.Gateway` — a pool of spawned worker processes,
+each with its own executor and bounded admission controller.  One
+gateway serves the whole sweep (spawning a pool per scenario would
+measure process start-up, not serving behaviour).
+
+Each scenario mixes, per tenant: pinned generated-graph instances
+(seeded, carrying the host-replay oracle), frozen burst replays (the
+PR 6 fast path across the process boundary), one-shot corpus flows,
+random priorities, deadlines armed to fire and deadlines that never
+will, and racy caller cancels.  Every ``kill_every``-th scenario also
+**SIGKILLs a live worker mid-flight** and measures how long the
+monitor takes to respawn the slot.
+
+Scenario checks:
+
+1. **Reconciliation** — every submission settles with exactly one
+   terminal outcome (``submitted == sum over outcome classes``); the
+   gateway's own ``gateway.submits`` / ``gateway.settled`` counters
+   must agree with the harness's count *exactly*; a submission still
+   pending after the settle sweep is a stranded awaitable and a
+   violation.
+2. **Failure accounting** — ``worker_lost`` and ``failed`` outcomes
+   are violations except in kill scenarios, where ``worker_lost`` is
+   the documented post-replan residue.
+3. **Oracle** — pinned generated instances whose every submission
+   completed on an unkilled worker must verify bit-identically against
+   the generator's host-side replay (:class:`repro.gateway.messages.Verify`
+   round trip).
+
+The sweep ends with a throughput comparison — frozen burst replays
+through the full pool vs. a single in-process executor of one
+worker's shape — reported with the host's CPU count, since the
+speedup is meaningless without it.  ``python -m repro soak --gateway
+--json`` writes the whole report with schema
+:data:`GATEWAY_SOAK_SCHEMA` (the CI artifact
+``BENCH_gateway_soak.json``).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import random
+import signal
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.gateway.gateway import Gateway, GraphHandle, Submission
+from repro.gateway.messages import OUTCOMES
+from repro.gateway.spec import BuiltinSpec, BurstSpec, GeneratedSpec
+from repro.gateway.worker import WorkerConfig
+from repro.service.soak import _percentiles
+from repro.utils.rng import derive_seed
+
+#: schema identifier of the serialized report; bump on layout changes
+GATEWAY_SOAK_SCHEMA = "repro.gateway-soak-report/1"
+
+#: per-scenario settle deadline — an unresolved awaitable past this is
+#: a stranded-submission violation
+_SETTLE_TIMEOUT = 120.0
+
+#: how long a killed worker slot may take to come back
+_RESPAWN_TIMEOUT = 30.0
+
+
+@dataclass
+class GatewayScenario:
+    """One executed gateway soak scenario."""
+
+    index: int
+    seed: int
+    tenants: int
+    killed_wid: int = -1
+    respawn_s: float = 0.0
+    counts: Dict[str, int] = field(default_factory=dict)
+    submitted: int = 0
+    cancels: int = 0
+    verified_instances: int = 0
+    tainted_instances: int = 0
+    wall_latency: Dict[str, float] = field(default_factory=dict)
+    violations: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def to_dict(self) -> dict:
+        return {
+            "index": self.index,
+            "seed": self.seed,
+            "tenants": self.tenants,
+            "killed_wid": self.killed_wid,
+            "respawn_s": self.respawn_s,
+            "submitted": self.submitted,
+            "cancels": self.cancels,
+            "counts": {k: self.counts.get(k, 0) for k in OUTCOMES},
+            "verified_instances": self.verified_instances,
+            "tainted_instances": self.tainted_instances,
+            "wall_latency_s": dict(self.wall_latency),
+            "violations": list(self.violations),
+        }
+
+
+@dataclass
+class GatewaySoakReport:
+    """Aggregated outcome of one gateway soak sweep."""
+
+    seed: int
+    workers: int
+    scenarios: List[GatewayScenario] = field(default_factory=list)
+    gateway_counters: Dict[str, float] = field(default_factory=dict)
+    throughput: Dict[str, float] = field(default_factory=dict)
+    wall_samples: List[float] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return all(s.ok for s in self.scenarios)
+
+    @property
+    def num_scenarios(self) -> int:
+        return len(self.scenarios)
+
+    @property
+    def totals(self) -> Dict[str, int]:
+        out = {k: 0 for k in OUTCOMES}
+        for s in self.scenarios:
+            for k in OUTCOMES:
+                out[k] += s.counts.get(k, 0)
+        out["submitted"] = sum(s.submitted for s in self.scenarios)
+        out["kills"] = sum(1 for s in self.scenarios if s.killed_wid >= 0)
+        return out
+
+    @property
+    def violations(self) -> List[str]:
+        out: List[str] = []
+        for s in self.scenarios:
+            out.extend(f"[#{s.index} seed={s.seed}] {v}" for v in s.violations)
+        return out
+
+    def to_dict(self) -> dict:
+        return {
+            "schema": GATEWAY_SOAK_SCHEMA,
+            "seed": self.seed,
+            "workers": self.workers,
+            "cpu_count": os.cpu_count(),
+            "num_scenarios": self.num_scenarios,
+            "ok": self.ok,
+            "totals": self.totals,
+            "gateway_counters": {
+                k: v
+                for k, v in sorted(self.gateway_counters.items())
+                if not isinstance(v, dict)
+            },
+            "round_trip_s": _percentiles(self.wall_samples),
+            "throughput": dict(self.throughput),
+            "scenarios": [s.to_dict() for s in self.scenarios],
+        }
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+
+async def _tenant(
+    gw: Gateway,
+    name: str,
+    tseed: int,
+    subs: List[Submission],
+    instances: List[tuple],
+    frozen_pool: list,
+    cancels: List[int],
+) -> None:
+    """One tenant's scenario traffic: pinned instances, frozen replays,
+    one-shot corpus flows, deadlines, and racy cancels."""
+    rng = random.Random(tseed)
+    for g in range(rng.randint(2, 3)):
+        roll = rng.random()
+        if roll < 0.45:
+            # pinned generated instance: the oracle-bearing shape
+            gseed = derive_seed(tseed, "graph", g) % (1 << 31)
+            gh = gw.instance(
+                GeneratedSpec(seed=gseed, num_gpus=1), tenant=name
+            )
+            entry = [gh, 0, True]  # handle, expected passes, all-completed
+            instances.append(entry)
+            for _ in range(rng.randint(1, 2)):
+                repeats = rng.randint(1, 2)
+                sub = gw.submit(
+                    gh,
+                    tenant=name,
+                    priority=rng.randint(0, 3),
+                    repeats=repeats,
+                )
+                subs.append(sub)
+                res = await sub
+                if res.outcome == "completed":
+                    entry[1] += res.passes
+                else:
+                    entry[2] = False
+        elif roll < 0.8 and frozen_pool:
+            # frozen burst replays, racing concurrently
+            fh = rng.choice(frozen_pool)
+            batch = [
+                gw.submit(fh, tenant=name, priority=rng.randint(0, 3))
+                for _ in range(rng.randint(2, 4))
+            ]
+            subs.extend(batch)
+            await asyncio.gather(*(s.future for s in batch))
+        else:
+            # one-shot workloads with deadline/cancel pressure
+            droll = rng.random()
+            deadline = 0.003 if droll < 0.2 else 30.0 if droll < 0.4 else None
+            sub = gw.submit(
+                BuiltinSpec(rng.choice(("saxpy", "timing"))),
+                tenant=name,
+                priority=rng.randint(0, 3),
+                deadline=deadline,
+            )
+            subs.append(sub)
+            if rng.random() < 0.3:
+                await asyncio.sleep(rng.random() * 0.004)
+                if gw.cancel(sub):
+                    cancels.append(sub.rid)
+            await asyncio.wait({sub.future})
+        if rng.random() < 0.3:
+            await asyncio.sleep(rng.random() * 0.01)
+
+
+async def _run_scenario(
+    gw: Gateway,
+    index: int,
+    seed: int,
+    frozen_pool: list,
+    kill: bool,
+) -> GatewayScenario:
+    sseed = derive_seed(seed, "gwsoak", index)
+    rng = random.Random(sseed)
+    scenario = GatewayScenario(
+        index=index,
+        seed=sseed % (1 << 31),
+        tenants=rng.randint(2, 4),
+    )
+    before = gw.snapshot()
+    subs: List[Submission] = []
+    instances: List[tuple] = []
+    cancels: List[int] = []
+    violations = scenario.violations
+
+    tasks = [
+        asyncio.create_task(
+            _tenant(
+                gw,
+                f"tenant-{index}-{tid}",
+                derive_seed(sseed, "tenant", tid),
+                subs,
+                instances,
+                frozen_pool,
+                cancels,
+            )
+        )
+        for tid in range(scenario.tenants)
+    ]
+
+    killer: Optional[asyncio.Task] = None
+    if kill:
+
+        async def _kill() -> None:
+            await asyncio.sleep(rng.random() * 0.05)
+            victim = gw._workers[rng.randrange(gw.num_workers)]
+            if victim is None or victim.dead or not victim.proc.is_alive():
+                return
+            scenario.killed_wid = victim.wid
+            t0 = time.monotonic()
+            os.kill(victim.proc.pid, signal.SIGKILL)
+            while time.monotonic() - t0 < _RESPAWN_TIMEOUT:
+                fresh = gw._workers[victim.wid]
+                if fresh is not victim and fresh is not None and fresh.ready:
+                    scenario.respawn_s = time.monotonic() - t0
+                    return
+                await asyncio.sleep(0.02)
+            violations.append(
+                f"worker {victim.wid} not respawned within "
+                f"{_RESPAWN_TIMEOUT:.0f}s of SIGKILL"
+            )
+
+        killer = asyncio.create_task(_kill())
+
+    try:
+        await asyncio.wait_for(asyncio.gather(*tasks), _SETTLE_TIMEOUT)
+    except asyncio.TimeoutError:
+        violations.append(
+            f"scenario did not settle within {_SETTLE_TIMEOUT:.0f}s"
+        )
+        for t in tasks:
+            t.cancel()
+    if killer is not None:
+        await killer
+
+    # -- reconciliation: every submission settles exactly once --------
+    pending = [s for s in subs if not s.done()]
+    if pending:
+        done, still = await asyncio.wait(
+            [s.future for s in pending], timeout=30.0
+        )
+        if still:
+            violations.append(
+                f"{len(still)} stranded submission(s) after settle sweep"
+            )
+    counts = {k: 0 for k in OUTCOMES}
+    for sub in subs:
+        if sub.done():
+            counts[sub.future.result().outcome] += 1
+    scenario.counts = counts
+    scenario.submitted = len(subs)
+    scenario.cancels = len(cancels)
+    settled = sum(counts.values())
+    if settled != len(subs):
+        violations.append(
+            f"outcome reconciliation broke: {settled} settled vs "
+            f"{len(subs)} submitted"
+        )
+    if counts["failed"]:
+        violations.append(f"{counts['failed']} submission(s) failed")
+    if counts["worker_lost"] and not kill:
+        violations.append(
+            f"{counts['worker_lost']} worker_lost outcome(s) without a kill"
+        )
+
+    # gateway counters must agree with the harness exactly
+    after = gw.snapshot()
+    d_submits = after["gateway.submits"] - before["gateway.submits"]
+    if d_submits != len(subs):
+        violations.append(
+            f"gateway.submits moved by {d_submits}, harness submitted "
+            f"{len(subs)}"
+        )
+    d_settled = after["gateway.settled"] - before["gateway.settled"]
+    if d_settled != settled:
+        violations.append(
+            f"gateway.settled moved by {d_settled}, harness settled {settled}"
+        )
+
+    # -- oracle over pinned instances ---------------------------------
+    for gh, expected, all_completed in instances:
+        if gh.tainted:
+            scenario.tainted_instances += 1
+            continue
+        if not all_completed or expected <= 0:
+            continue
+        for v in await gw.verify(gh, expected):
+            violations.append(f"instance {gh.iid}: {v}")
+        scenario.verified_instances += 1
+
+    wall = [
+        s.future.result().wall_s
+        for s in subs
+        if s.done() and s.future.result().wall_s > 0
+    ]
+    scenario.wall_latency = _percentiles(wall)
+    scenario._wall_samples = wall  # type: ignore[attr-defined]
+    return scenario
+
+
+async def _measure_throughput(
+    gw: Gateway,
+    config: WorkerConfig,
+    *,
+    repeats: int,
+    width: int,
+    spin_s: float = 0.002,
+) -> Dict[str, float]:
+    """Frozen burst replays: the full pool vs. one in-process executor
+    of a single worker's shape.
+
+    The burst tasks *spin* (CPU-bound Python): the GIL serializes them
+    inside one process no matter how many executor threads it has, but
+    worker processes run them truly in parallel — the core claim of
+    the gateway.  The ratio still only means something on a multi-core
+    host, so the CPU count rides along in the report.
+
+    Replays go out in waves sized to the pool's admission capacity
+    (round-robin routing lands exactly ``max_topologies`` per worker
+    per wave), so the measurement never trips the reject policy; the
+    single-process side runs the same wave shape for a fair baseline.
+    """
+    from repro.core.executor import Executor
+
+    cap = config.max_topologies or 4
+    wave = max(1, gw.num_workers * cap)
+    fh = await gw.freeze(BurstSpec(width=width, spin_s=spin_s))
+    bad = 0
+    t0 = time.monotonic()
+    done = 0
+    while done < repeats:
+        n = min(wave, repeats - done)
+        batch = [gw.submit(fh) for _ in range(n)]
+        await asyncio.gather(*(s.future for s in batch))
+        bad += sum(1 for s in batch if not s.future.result().ok)
+        done += n
+    gw_wall = time.monotonic() - t0
+
+    hf, _gen = BurstSpec(width=width, spin_s=spin_s).build()
+    frozen = hf.freeze()
+    ex = Executor(num_workers=config.threads, num_gpus=config.gpus)
+    try:
+
+        def run_waves() -> float:
+            start = time.monotonic()
+            left = repeats
+            while left:
+                n = min(wave, left)
+                futures = [ex.run(frozen) for _ in range(n)]
+                for f in futures:
+                    f.result(60.0)
+                left -= n
+            return time.monotonic() - start
+
+        single_wall = await asyncio.to_thread(run_waves)
+    finally:
+        ex.shutdown(wait=False)
+
+    out = {
+        "repeats": float(repeats),
+        "burst_width": float(width),
+        "spin_s": spin_s,
+        "gateway_wall_s": gw_wall,
+        "gateway_runs_per_s": repeats / gw_wall if gw_wall else 0.0,
+        "single_wall_s": single_wall,
+        "single_runs_per_s": repeats / single_wall if single_wall else 0.0,
+        "speedup": (single_wall / gw_wall) if gw_wall else 0.0,
+        "errors": float(bad),
+    }
+    return out
+
+
+async def _run_soak(
+    scenarios: int,
+    *,
+    workers: int,
+    seed: int,
+    kill_every: int,
+    throughput_repeats: int,
+    log: Optional[Callable[[str], None]],
+) -> GatewaySoakReport:
+    config = WorkerConfig(
+        threads=2,
+        gpus=1,
+        max_topologies=4,
+        policy="reject",
+        seed=seed,
+    )
+    report = GatewaySoakReport(seed=seed, workers=workers)
+    async with Gateway(
+        workers, worker=config, heartbeat_interval=0.25
+    ) as gw:
+        # a small shared pool of frozen shapes, shipped once
+        frozen_pool = [
+            await gw.freeze(BurstSpec(width=w)) for w in (8, 32)
+        ]
+        for i in range(scenarios):
+            kill = kill_every > 0 and i % kill_every == kill_every - 1
+            scenario = await _run_scenario(gw, i, seed, frozen_pool, kill)
+            report.scenarios.append(scenario)
+            report.wall_samples.extend(
+                getattr(scenario, "_wall_samples", ())
+            )
+            if log is not None:
+                c = scenario.counts
+                state = "ok" if scenario.ok else "VIOLATION"
+                chaos = (
+                    f" kill=w{scenario.killed_wid}"
+                    f"@{scenario.respawn_s * 1000:.0f}ms"
+                    if scenario.killed_wid >= 0
+                    else ""
+                )
+                log(
+                    f"  #{scenario.index:>3} seed={scenario.seed:<11} "
+                    f"{scenario.tenants}t  {scenario.submitted:>2} submitted "
+                    f"{c.get('completed', 0):>2} done "
+                    f"{c.get('rejected', 0)} rej {c.get('shed', 0)} shed "
+                    f"{c.get('deadline_exceeded', 0)} ddl "
+                    f"{c.get('cancelled', 0)} cancel "
+                    f"{c.get('worker_lost', 0)} lost{chaos}  {state}"
+                )
+        if throughput_repeats > 0:
+            if log is not None:
+                log("  measuring throughput (gateway vs single process)...")
+            report.throughput = await _measure_throughput(
+                gw, config, repeats=throughput_repeats, width=8
+            )
+        report.gateway_counters = {
+            k: v
+            for k, v in gw.snapshot().items()
+            if not isinstance(v, dict)
+        }
+    return report
+
+
+def run_gateway_soak(
+    scenarios: int = 50,
+    *,
+    workers: int = 4,
+    seed: int = 0,
+    kill_every: int = 5,
+    throughput_repeats: int = 200,
+    log: Optional[Callable[[str], None]] = None,
+) -> GatewaySoakReport:
+    """Sweep *scenarios* serving scenarios against one shared gateway.
+
+    Every ``kill_every``-th scenario SIGKILLs a worker mid-flight
+    (``kill_every=0`` disables chaos).  The sweep never raises on
+    violations — the caller decides (the CLI exits nonzero, tests
+    assert on :attr:`GatewaySoakReport.ok`).
+    """
+    return asyncio.run(
+        _run_soak(
+            scenarios,
+            workers=workers,
+            seed=seed,
+            kill_every=kill_every,
+            throughput_repeats=throughput_repeats,
+            log=log,
+        )
+    )
+
+
+__all__ = [
+    "GATEWAY_SOAK_SCHEMA",
+    "GatewayScenario",
+    "GatewaySoakReport",
+    "run_gateway_soak",
+]

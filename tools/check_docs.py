@@ -27,6 +27,20 @@ import sys
 
 ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 
+#: pages that must exist — deleting one fails CI instead of silently
+#: shrinking the doc set (docs/index.md is the architecture map)
+REQUIRED_PAGES = (
+    "index.md",
+    "programming_model.md",
+    "runtime.md",
+    "simulation.md",
+    "analysis.md",
+    "observability.md",
+    "resilience.md",
+    "testing.md",
+    "gateway.md",
+)
+
 #: [text](target) — target captured up to the closing paren
 _LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
 #: `repro.something.more` inside an inline code span; a trailing call
@@ -92,6 +106,9 @@ def _resolves(dotted: str) -> bool:
 def main() -> int:
     sys.path.insert(0, os.path.join(ROOT, "src"))
     problems = []
+    for required in REQUIRED_PAGES:
+        if not os.path.exists(os.path.join(ROOT, "docs", required)):
+            problems.append(f"docs/{required}: required page is missing")
     for page in iter_pages():
         with open(page) as fh:
             text = fh.read()
