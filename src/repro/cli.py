@@ -36,18 +36,22 @@ Commands:
   resilience layer and validate every recovery
   (see docs/resilience.md);
 - ``soak [--scenarios N] [--seed S] [--smoke] [--json OUT]
-  [--gateway [--workers N] [--kill-every K]]`` — sweep seeded
+  [--gateway [--workers N] [--kill-every K] [--gray]]`` — sweep seeded
   multi-tenant overload scenarios (bounded admission under
   block/reject/shed backpressure, priorities, deadlines, caller-side
   cancels, graceful drain) through the service layer, reconcile every
   submission outcome, and validate every trace (see docs/runtime.md,
   "Submission lifecycle"); with ``--gateway`` the same discipline runs
   against a pool of spawned worker processes, with SIGKILL chaos and a
-  gateway-vs-single-process throughput comparison (docs/gateway.md);
-- ``serve [--workers N] [--duration S] [--traffic]`` — bring up the
-  multiprocess gateway, optionally self-drive frozen-replay traffic,
-  print one status line per tick, then drain and exit (the operator
-  entry point; see docs/gateway.md).
+  gateway-vs-single-process throughput comparison, and with
+  ``--gateway --gray`` the gray-failure sweep: recv-loop stalls that
+  must breaker-eject and re-admit, hedged submissions, and a
+  retry-budget exhaustion drill (docs/gateway.md);
+- ``serve [--workers N] [--duration S] [--traffic] [--chaos]`` — bring
+  up the multiprocess gateway, optionally self-drive frozen-replay
+  traffic and inject seeded protocol chaos, print one status line per
+  tick, then drain and exit (the operator entry point; see
+  docs/gateway.md).
 """
 
 from __future__ import annotations
@@ -360,7 +364,59 @@ def _cmd_gateway_soak(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def _cmd_gateway_gray_soak(args: argparse.Namespace) -> int:
+    from repro.gateway import run_gateway_gray_soak
+
+    scenarios = 10 if args.smoke else args.scenarios
+    print(f"gateway gray soak sweep: {scenarios} gray-failure "
+          f"scenario(s) against {args.workers} worker process(es), "
+          f"seed={args.seed} ...")
+    report = run_gateway_gray_soak(
+        scenarios,
+        workers=args.workers,
+        seed=args.seed,
+        kill_every=args.kill_every,
+        log=print,
+    )
+    totals = report.totals
+    print(f"  total: {totals['submitted']} submitted = "
+          f"{totals['completed']} completed + {totals['rejected']} rejected + "
+          f"{totals['shed']} shed + {totals['deadline_exceeded']} deadline + "
+          f"{totals['cancelled']} cancelled + {totals['failed']} failed + "
+          f"{totals['worker_lost']} worker_lost; "
+          f"{totals['stalls']} stall(s), {totals['kills']} kill(s), "
+          f"{totals['hedged']} targeted hedge(s)")
+    for key in ("gateway.submits", "gateway.settled",
+                "gateway.worker_deaths", "gateway.respawns",
+                "gateway.replans", "gateway.health.stalls",
+                "gateway.breaker.opened", "gateway.breaker.closed",
+                "gateway.breaker.rerouted", "gateway.hedge.launched",
+                "gateway.hedge.wins", "gateway.hedge.losses",
+                "gateway.hedge.dropped", "gateway.retry_budget.spent",
+                "gateway.retry_budget.exhausted"):
+        print(f"    {key:<36} {report.gateway_counters.get(key, 0):.0f}")
+    d = report.budget_drill
+    print(f"    budget drill: {d.get('worker_lost_budget', 0):.0f} "
+          f"over-budget worker_lost, "
+          f"{d.get('denied', 0):.0f} denial(s) counted")
+    if not report.ok:
+        for v in report.violations[:20]:
+            print(f"    {v}")
+        more = len(report.violations) - 20
+        if more > 0:
+            print(f"    ... and {more} more")
+    if args.json:
+        with open(args.json, "w") as fh:
+            fh.write(report.to_json())
+            fh.write("\n")
+        print(f"wrote gateway gray soak report to {args.json}")
+    print(f"\ngateway gray soak: {'OK' if report.ok else 'FAILED'}")
+    return 0 if report.ok else 1
+
+
 def _cmd_soak(args: argparse.Namespace) -> int:
+    if args.gateway and args.gray:
+        return _cmd_gateway_gray_soak(args)
     if args.gateway:
         return _cmd_gateway_soak(args)
     from repro.service import run_soak
@@ -402,14 +458,18 @@ def _cmd_soak(args: argparse.Namespace) -> int:
 def _cmd_serve(args: argparse.Namespace) -> int:
     import asyncio
 
-    from repro.gateway import BurstSpec, Gateway, WorkerConfig
+    from repro.gateway import BurstSpec, ChaosProfile, Gateway, WorkerConfig
 
     async def session() -> int:
-        config = WorkerConfig(threads=args.threads, gpus=args.gpus)
+        chaos = ChaosProfile.mild(seed=0) if args.chaos else None
+        config = WorkerConfig(
+            threads=args.threads, gpus=args.gpus, chaos=chaos
+        )
         async with Gateway(args.workers, worker=config) as gw:
             print(f"gateway up: {args.workers} worker(s), each "
                   f"{args.threads} thread(s) / {args.gpus} simulated GPU(s)"
-                  f" — pids "
+                  + (" — protocol chaos ON" if chaos else "")
+                  + " — pids "
                   + ", ".join(str(h.proc.pid) for h in gw._workers))
             fh = await gw.freeze(BurstSpec(width=16))
             outstanding: list = []
@@ -426,6 +486,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                       f"inflight={snap['gateway.inflight']:.0f} "
                       f"submits={snap['gateway.submits']:.0f} "
                       f"settled={snap['gateway.settled']:.0f} "
+                      f"stalled={snap['gateway.health.stalled']:.0f} "
+                      f"breaker_open={snap['gateway.breaker.open']:.0f} "
+                      f"budget={snap['gateway.retry_budget.tokens']:.1f} "
                       f"deaths={snap['gateway.worker_deaths']:.0f} "
                       f"respawns={snap['gateway.respawns']:.0f}")
                 await asyncio.sleep(args.tick)
@@ -708,6 +771,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="SIGKILL a worker every K-th --gateway scenario "
              "(0 disables chaos; default 5)",
     )
+    soak.add_argument(
+        "--gray", action="store_true",
+        help="with --gateway: the gray-failure sweep — recv-loop "
+             "stalls that must breaker-eject and re-admit (never "
+             "kill), hedged submissions, and a retry-budget "
+             "exhaustion drill (schema repro.gateway-gray-soak-"
+             "report/1; docs/gateway.md)",
+    )
 
     serve = sub.add_parser(
         "serve",
@@ -737,6 +808,12 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--tick", type=float, default=0.5,
         help="status-line interval in seconds (default 0.5)",
+    )
+    serve.add_argument(
+        "--chaos", action="store_true",
+        help="inject seeded protocol chaos into every worker (message "
+             "delay/drop, recv-loop stalls, submit spins) to exercise "
+             "health scoring and breakers live (docs/gateway.md)",
     )
 
     lint = sub.add_parser(

@@ -1733,7 +1733,9 @@ class Executor:
             for obs in self._observers:
                 obs.on_task_retry(wid, node, n_attempt, err)
             gen = attempt.gen
-            delay = policy.delay_for(n_attempt, key=node.nid)
+            dinfo = policy.delay_info(n_attempt, key=node.nid)
+            delay = dinfo.seconds
+            topology.record_retry_delay(node.nid, dinfo)
             need_recovery = self._leave(topology)
             if need_recovery:
                 # a device failure arrived mid-flight; recovery will
@@ -1752,7 +1754,9 @@ class Executor:
         # terminal: wrap in TaskFailedError when resilience was in play,
         # keep the raw exception otherwise (backward compatible)
         if policy is not None or isinstance(err, TaskTimeoutError):
-            wrapped: BaseException = TaskFailedError(node.name, node.nid, history)
+            wrapped: BaseException = TaskFailedError(
+                node.name, node.nid, history, topology.attempt_details(node.nid)
+            )
             wrapped.__cause__ = err
             if policy is not None:
                 self._m_exhausted.inc()

@@ -107,6 +107,9 @@ class Topology:
         self.active = 0
         #: per-node attempt error history (this pass)
         self.attempts: Dict[int, List[BaseException]] = {}
+        #: per-node structured attempt records: error class plus, for
+        #: retried attempts, backoff delay / saturation (docs/resilience.md)
+        self.attempt_log: Dict[int, List[dict]] = {}
         #: nids whose task committed (finished) this pass
         self.done_nodes: Set[int] = set()
         #: nids whose committed execution was invalidated by a device
@@ -160,6 +163,7 @@ class Topology:
         with self._lock:
             self.pending = len(self.graph.nodes)
             self.attempts = {}
+            self.attempt_log = {}
             self.done_nodes = set()
             self.replayed = set()
 
@@ -216,7 +220,26 @@ class Topology:
         with self._lock:
             history = self.attempts.setdefault(nid, [])
             history.append(error)
+            log = self.attempt_log.setdefault(nid, [])
+            log.append({"error": type(error).__name__})
             return list(history)
+
+    def record_retry_delay(self, nid: int, info) -> None:
+        """Attach the computed backoff (:class:`repro.resilience.RetryDelay`)
+        to node *nid*'s most recent failed attempt, so the structured
+        history in :class:`repro.errors.TaskFailedError` shows the
+        delay slept and whether the exponential had saturated at the
+        policy's ``max_delay`` cap."""
+        with self._lock:
+            log = self.attempt_log.get(nid)
+            if log:
+                log[-1].update(info.as_dict())
+
+    def attempt_details(self, nid: int) -> List[dict]:
+        """Structured per-attempt history for node *nid* (oldest
+        first): error class plus retry-delay/saturation fields."""
+        with self._lock:
+            return [dict(e) for e in self.attempt_log.get(nid, ())]
 
     def mark_done(self, nid: int) -> None:
         with self._lock:

@@ -139,16 +139,29 @@ class TaskFailedError(ExecutorError):
     backward-compatible) from "the runtime gave up after trying".  The
     full per-attempt error history is :attr:`attempts` (oldest first);
     the final error is ``attempts[-1]``.
+
+    :attr:`attempt_log` is the structured per-attempt record (one dict
+    per attempt, oldest first): the error class, and — for attempts
+    the policy retried — the backoff delay actually slept
+    (``retry_delay_s``), whether the exponential had saturated at the
+    policy's cap (``backoff_saturated``), and the effective
+    ``max_delay_s``, so operators can see *when* backoff stopped
+    growing.  The terminal attempt has no delay fields.
     """
 
-    def __init__(self, task_name: str, nid: int, attempts) -> None:
+    def __init__(self, task_name: str, nid: int, attempts, attempt_log=()) -> None:
         self.task_name = task_name
         self.nid = nid
         self.attempts = tuple(attempts)
+        self.attempt_log = tuple(dict(entry) for entry in attempt_log)
         last = self.attempts[-1] if self.attempts else None
+        saturated = sum(
+            1 for entry in self.attempt_log if entry.get("backoff_saturated")
+        )
+        tail = f"; backoff saturated on {saturated} attempt(s)" if saturated else ""
         super().__init__(
             f"task {task_name!r} failed after {len(self.attempts)} "
-            f"attempt(s); last error: {last!r}"
+            f"attempt(s); last error: {last!r}{tail}"
         )
 
 

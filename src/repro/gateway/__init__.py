@@ -4,22 +4,30 @@ Public surface:
 
 - :class:`~repro.gateway.gateway.Gateway` — the asyncio front-end over
   a pool of spawned executor worker processes, with submission
-  handles, streaming events, worker monitoring, and drain/shutdown
-  guarantees;
+  handles, streaming events, worker monitoring, hedged submissions,
+  and drain/shutdown guarantees;
 - :class:`~repro.gateway.worker.WorkerConfig` — per-worker executor
-  shape (threads, simulated GPUs, admission policy);
+  shape (threads, simulated GPUs, admission policy, optional chaos);
 - the :class:`~repro.gateway.spec.WorkSpec` family
   (:class:`~repro.gateway.spec.GeneratedSpec`,
   :class:`~repro.gateway.spec.BuiltinSpec`,
   :class:`~repro.gateway.spec.BurstSpec`) — picklable workload recipes
   workers materialize locally;
-- :func:`~repro.gateway.soak.run_gateway_soak` — the multiprocess soak
-  harness behind ``python -m repro soak --gateway`` (imported lazily;
-  it pulls in the whole service stack).
+- :class:`~repro.gateway.health.WorkerHealth` /
+  :class:`~repro.gateway.health.HealthConfig` — per-worker gray-failure
+  scoring (heartbeat EWMA, settle-latency quantiles, the
+  healthy/stalled/dead state axis);
+- :class:`~repro.gateway.chaos.ChaosProfile` — seeded protocol-level
+  chaos (delay / drop / stall / spin), applied worker-side;
+- :func:`~repro.gateway.soak.run_gateway_soak` and
+  :func:`~repro.gateway.soak.run_gateway_gray_soak` — the multiprocess
+  soak harnesses behind ``python -m repro soak --gateway [--gray]``
+  (imported lazily; they pull in the whole service stack).
 """
 
 from __future__ import annotations
 
+from repro.gateway.chaos import ChaosProfile
 from repro.gateway.gateway import (
     FrozenHandle,
     Gateway,
@@ -27,6 +35,7 @@ from repro.gateway.gateway import (
     Result,
     Submission,
 )
+from repro.gateway.health import HEALTH_STATES, HealthConfig, WorkerHealth
 from repro.gateway.messages import OUTCOMES, PROTOCOL_VERSION
 from repro.gateway.spec import BuiltinSpec, BurstSpec, GeneratedSpec, WorkSpec
 from repro.gateway.worker import WorkerConfig
@@ -42,15 +51,20 @@ __all__ = [
     "GeneratedSpec",
     "BuiltinSpec",
     "BurstSpec",
+    "ChaosProfile",
+    "HealthConfig",
+    "WorkerHealth",
+    "HEALTH_STATES",
     "OUTCOMES",
     "PROTOCOL_VERSION",
     "run_gateway_soak",
+    "run_gateway_gray_soak",
 ]
 
 
 def __getattr__(name: str):
-    if name == "run_gateway_soak":
-        from repro.gateway.soak import run_gateway_soak
+    if name in ("run_gateway_soak", "run_gateway_gray_soak"):
+        from repro.gateway import soak
 
-        return run_gateway_soak
+        return getattr(soak, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,152 @@
+"""Protocol-level chaos for the gateway pipe (docs/gateway.md).
+
+The PR 8 soak kills workers with SIGKILL — a *black* failure.  Gray
+failures live in the protocol itself: messages that arrive late, pongs
+that vanish, a worker whose control loop freezes for a second, a
+submission that burns CPU before admission.  :class:`ChaosProfile` is
+a small picklable recipe for exactly those, applied **worker-side**
+(shipped inside :class:`~repro.gateway.worker.WorkerConfig`), so every
+gray-failure path in the gateway — stall detection, circuit breakers,
+hedged submissions, retry budgets — is testable in-process with no
+external proxy.
+
+Design constraints, deliberately conservative:
+
+- **Seeded and deterministic**: every decision comes from a
+  ``random.Random`` derived from ``(seed, wid)`` via
+  :func:`repro.utils.rng.derive_seed` — two runs with the same seed
+  inject the same chaos;
+- **Reorder-safe**: outbound delays are *sleeps inside the send lock*,
+  so they pause the whole frame stream rather than reordering it — the
+  per-worker FIFO the protocol guarantees survives chaos;
+- **Drops never break totality**: only messages whose loss the
+  protocol already tolerates may drop — ``Pong`` (a missed heartbeat)
+  and ``EventMsg`` (a progress stream, not a guarantee).  ``Settled``,
+  ``Ready``, ``Drained`` and the other acked replies always go out.
+
+The gateway can also inject one-shot chaos into a live worker with the
+:class:`~repro.gateway.messages.ChaosInject` message
+(``Gateway.inject_chaos``): the worker sleeps (or spins) *in its recv
+loop*, which is precisely a gray stall — heartbeats stop being
+answered while the process stays alive.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass
+
+from repro.utils.rng import derive_seed
+
+#: message type names whose loss the protocol tolerates (heartbeats
+#: and progress streams); everything else always ships
+DROPPABLE = ("Pong", "EventMsg")
+
+
+@dataclass(frozen=True)
+class ChaosProfile:
+    """Seeded protocol-chaos recipe, applied inside each worker.
+
+    All probabilities are per-message (inbound for ``stall``/``spin``,
+    outbound for ``delay``/``drop``); durations are maxima — the
+    actual value is drawn uniformly from (0, max].  The defaults are a
+    no-op profile; :meth:`mild` is the ``repro serve --chaos`` preset.
+    """
+
+    seed: int = 0
+    #: outbound: sleep before sending (inside the send lock — pauses
+    #: the stream, never reorders it)
+    delay_prob: float = 0.0
+    delay_max_s: float = 0.0
+    #: outbound: drop the message entirely (DROPPABLE kinds only)
+    drop_prob: float = 0.0
+    #: inbound: freeze the recv loop (a gray stall — heartbeats stop)
+    stall_prob: float = 0.0
+    stall_max_s: float = 0.0
+    #: inbound, Submit only: burn CPU before handling (a slow worker)
+    spin_prob: float = 0.0
+    spin_max_s: float = 0.0
+
+    @classmethod
+    def mild(cls, seed: int = 0) -> "ChaosProfile":
+        """The ``serve --chaos`` preset: enough protocol misbehavior to
+        exercise stall detection and breaker probes without making a
+        short session degenerate."""
+        return cls(
+            seed=seed,
+            delay_prob=0.05,
+            delay_max_s=0.05,
+            drop_prob=0.10,
+            stall_prob=0.01,
+            stall_max_s=0.8,
+            spin_prob=0.05,
+            spin_max_s=0.02,
+        )
+
+    @property
+    def active(self) -> bool:
+        return any(
+            p > 0
+            for p in (
+                self.delay_prob,
+                self.drop_prob,
+                self.stall_prob,
+                self.spin_prob,
+            )
+        )
+
+    def state(self, wid: int) -> "ChaosState":
+        return ChaosState(self, wid)
+
+
+class ChaosState:
+    """Worker-side runtime for one :class:`ChaosProfile` (one RNG per
+    worker slot, derived from the profile seed and the wid)."""
+
+    __slots__ = ("profile", "wid", "_rng", "injected")
+
+    def __init__(self, profile: ChaosProfile, wid: int) -> None:
+        self.profile = profile
+        self.wid = wid
+        self._rng = random.Random(derive_seed(profile.seed, "chaos", wid))
+        #: counters for the worker's metrics snapshot
+        self.injected = {"delay": 0, "drop": 0, "stall": 0, "spin": 0}
+
+    # -- inbound (recv loop thread; blocking here IS the chaos) --------
+    def before_handle(self, msg) -> None:
+        """Maybe stall the recv loop / spin before a Submit."""
+        p = self.profile
+        if p.stall_prob > 0 and self._rng.random() < p.stall_prob:
+            self.injected["stall"] += 1
+            time.sleep(self._rng.uniform(0.0, p.stall_max_s))
+        if (
+            p.spin_prob > 0
+            and type(msg).__name__ == "Submit"
+            and self._rng.random() < p.spin_prob
+        ):
+            self.injected["spin"] += 1
+            t0 = time.perf_counter()
+            budget = self._rng.uniform(0.0, p.spin_max_s)
+            while time.perf_counter() - t0 < budget:
+                pass
+
+    # -- outbound (under the worker's send lock) -----------------------
+    def allow_send(self, msg) -> bool:
+        """False = drop the message; may sleep first (reorder-safe)."""
+        p = self.profile
+        kind = type(msg).__name__
+        if (
+            p.drop_prob > 0
+            and kind in DROPPABLE
+            and self._rng.random() < p.drop_prob
+        ):
+            self.injected["drop"] += 1
+            return False
+        if p.delay_prob > 0 and self._rng.random() < p.delay_prob:
+            self.injected["delay"] += 1
+            time.sleep(self._rng.uniform(0.0, p.delay_max_s))
+        return True
+
+
+__all__ = ["DROPPABLE", "ChaosProfile", "ChaosState"]

@@ -21,6 +21,32 @@ asyncio submission API over a pickle-framed pipe per worker:
 - :meth:`Gateway.drain` / :meth:`Gateway.shutdown` compose the PR 5
   per-executor guarantees across the pool, so every awaitable settles.
 
+Gray failures get their own machinery (docs/gateway.md, "Gray
+failures"), because a worker that is *alive but sick* must not be
+killed — its in-flight work may still settle:
+
+- every slot carries a :class:`~repro.gateway.health.WorkerHealth`
+  estimator (heartbeat round-trip EWMA + settle-latency quantiles) and
+  a per-worker :class:`~repro.resilience.CircuitBreaker`.  A worker
+  that stops answering heartbeats past the **stall window**
+  (``stall_misses`` intervals — well under the death budget) is marked
+  *stalled*; consecutive stalled ticks trip its breaker open, which
+  removes it from routing and reroutes its reroutable in-flight legs
+  to healthy workers.  Heartbeats keep flowing — they double as
+  half-open probes, and enough pongs close the breaker and re-admit
+  the worker;
+- a gateway-wide :class:`~repro.resilience.RetryBudget` token bucket
+  caps all retry-shaped amplification (death replays + breaker
+  reroutes); over-budget work settles immediately with a structured
+  ``worker_lost`` / ``reason="retry_budget"`` result instead of
+  feeding a retry storm.  Completed settlements refill the bucket;
+- :meth:`Gateway.submit` accepts ``hedge_after=`` for **frozen**
+  targets: if the primary has not settled by the delay (a float, or
+  ``"p95"`` to quote the primary worker's settle-latency quantile),
+  a duplicate leg launches on the healthiest other worker.  The first
+  Settled wins, every other leg is cancelled, and the caller observes
+  exactly one Result.
+
 The architecture follows vLLM's ``MultiprocessingGPUExecutor`` /
 ``DistributedGPUExecutor`` split and StarPU's driver-per-device worker
 model: an asyncio front-end that fans control-plane messages out to
@@ -28,10 +54,9 @@ per-device worker processes, with a result handler and worker monitor
 feeding completions back into the event loop.
 
 Everything is observable through the ``gateway.*`` metrics cataloged
-in docs/observability.md: ``gateway.workers_alive``,
-``gateway.submits`` / ``gateway.cancels`` / ``gateway.settled``,
-``gateway.worker_deaths`` / ``gateway.respawns`` /
-``gateway.replans``, and the ``gateway.round_trip_seconds`` histogram.
+in docs/observability.md: the PR 8 counters plus
+``gateway.health.*``, ``gateway.breaker.*``, ``gateway.hedge.*``, and
+``gateway.retry_budget.*``.
 """
 
 from __future__ import annotations
@@ -42,21 +67,27 @@ import multiprocessing
 import threading
 import time
 import zlib
-from dataclasses import dataclass, field
-from typing import AsyncIterator, Dict, List, Optional, Union
+from dataclasses import dataclass, field, replace
+from typing import AsyncIterator, Dict, Iterable, List, Optional, Union
 
 from repro.errors import GatewayError, WorkerDiedError
 from repro.gateway import messages as m
+from repro.gateway.health import HealthConfig, WorkerHealth
 from repro.gateway.spec import WorkSpec
 from repro.gateway.worker import WorkerConfig, worker_main
 from repro.metrics.registry import MetricsRegistry
+from repro.resilience import CircuitBreaker, RetryBudget
 
 #: how long Gateway.start waits for every worker's Ready
 _READY_TIMEOUT = 60.0
-#: grace period after drain for straggler Settled messages
+#: default grace period after drain for straggler Settled messages
 _DRAIN_GRACE = 5.0
-#: missed-heartbeat budget before a silent worker is declared dead
+#: default missed-heartbeat budget before a silent worker is declared
+#: dead (the *death* budget; the stall window is much smaller)
 _HEARTBEAT_MISSES = 20
+#: default missed-heartbeat budget before a worker is considered
+#: *stalled* (alive but wedged) — must be < the death budget
+_STALL_MISSES = 4
 
 
 @dataclass(frozen=True)
@@ -87,8 +118,13 @@ class Submission:
 
     ``await sub`` yields the :class:`Result`; ``async for ev in
     sub.events()`` streams structured progress dicts (``submitted``,
-    ``accepted``, ``replanned``, ``settled``) and terminates once the
-    submission settles.
+    ``accepted``, ``replanned``, ``rerouted``, ``hedged``,
+    ``settled``) and terminates once the submission settles.
+
+    One submission may fan out into several worker-side **legs**
+    (reroutes off a breaker-opened worker, hedges): each leg has its
+    own rid, all map back here, and exactly one leg's Settled becomes
+    the Result — the rest are cancelled and their settles dropped.
     """
 
     def __init__(self, rid: int, wid: int, tenant: str, request: m.Submit, loop) -> None:
@@ -102,6 +138,14 @@ class Submission:
         self.t0 = time.monotonic()
         self.future: asyncio.Future = loop.create_future()
         self._events: asyncio.Queue = asyncio.Queue()
+        #: active leg rids (primary + reroutes + hedges)
+        self.rids: set = {rid}
+        #: leg rid -> wid it was sent to
+        self.legs: Dict[int, int] = {rid: wid}
+        #: legs rerouted *away* — their "cancelled" settle is dropped
+        self.suppressed: set = set()
+        #: legs launched as hedges (for win/loss accounting)
+        self.hedge_rids: set = set()
 
     def __await__(self):
         return self.future.__await__()
@@ -161,6 +205,7 @@ class _WorkerHandle:
         "dead",
         "last_pong",
         "inflight",
+        "pings",
     )
 
     def __init__(self, wid: int, proc, conn, loop) -> None:
@@ -173,6 +218,8 @@ class _WorkerHandle:
         self.dead = False
         self.last_pong = time.monotonic()
         self.inflight: set = set()
+        #: ping seq -> send timestamp (round-trip measurement)
+        self.pings: Dict[int, float] = {}
 
 
 class Gateway:
@@ -185,18 +232,58 @@ class Gateway:
         worker: Optional[WorkerConfig] = None,
         heartbeat_interval: float = 0.25,
         max_replans: int = 1,
+        heartbeat_misses: int = _HEARTBEAT_MISSES,
+        stall_misses: int = _STALL_MISSES,
+        drain_grace: float = _DRAIN_GRACE,
+        health: Optional[HealthConfig] = None,
+        retry_budget: Optional[RetryBudget] = None,
+        breaker_threshold: int = 3,
+        breaker_cooldown: float = 1.0,
+        breaker_probe_successes: int = 2,
+        seed: int = 0,
         name: str = "gateway",
     ) -> None:
         if num_workers < 1:
             raise GatewayError("gateway needs at least one worker")
+        if heartbeat_misses < 1:
+            raise GatewayError("gateway needs heartbeat_misses >= 1")
+        if not 0 < stall_misses < heartbeat_misses:
+            raise GatewayError(
+                "gateway needs 0 < stall_misses < heartbeat_misses "
+                "(a stall must be detectable before death)"
+            )
+        if drain_grace < 0:
+            raise GatewayError("gateway needs drain_grace >= 0")
         self.name = name
         self.num_workers = num_workers
         self.worker_config = worker or WorkerConfig()
         self.heartbeat_interval = heartbeat_interval
         self.max_replans = max_replans
+        self.heartbeat_misses = heartbeat_misses
+        self.stall_misses = stall_misses
+        self.drain_grace = drain_grace
+        self.seed = seed
+        self._health_config = health or HealthConfig()
+        self._stall_after_s = stall_misses * heartbeat_interval
+        self._retry_budget = retry_budget or RetryBudget()
         self._ctx = multiprocessing.get_context("spawn")
         self._loop: Optional[asyncio.AbstractEventLoop] = None
         self._workers: List[Optional[_WorkerHandle]] = [None] * num_workers
+        self._health: List[WorkerHealth] = [
+            self._new_health(wid) for wid in range(num_workers)
+        ]
+        # breakers persist across respawns (reset(), not replaced):
+        # the *slot* carries the trip history, not the process
+        self._breakers: List[CircuitBreaker] = [
+            CircuitBreaker(
+                failure_threshold=breaker_threshold,
+                cooldown=breaker_cooldown,
+                probe_successes=breaker_probe_successes,
+                seed=seed,
+                name=f"{name}-w{wid}",
+            )
+            for wid in range(num_workers)
+        ]
         self._subs: Dict[int, Submission] = {}
         self._pending: Dict[int, asyncio.Future] = {}
         self._frozen: Dict[int, WorkSpec] = {}
@@ -220,11 +307,44 @@ class Gateway:
         self._m_respawns = self.metrics.counter("gateway.respawns")
         self._m_replans = self.metrics.counter("gateway.replans")
         self._m_rt = self.metrics.histogram("gateway.round_trip_seconds")
+        self._m_stalls = self.metrics.counter("gateway.health.stalls")
+        self._m_health_score = self.metrics.histogram("gateway.health.score")
+        self._m_breaker_opened = self.metrics.counter("gateway.breaker.opened")
+        self._m_breaker_closed = self.metrics.counter("gateway.breaker.closed")
+        self._m_rerouted = self.metrics.counter("gateway.breaker.rerouted")
+        self._m_hedge_launched = self.metrics.counter("gateway.hedge.launched")
+        self._m_hedge_wins = self.metrics.counter("gateway.hedge.wins")
+        self._m_hedge_losses = self.metrics.counter("gateway.hedge.losses")
+        self._m_hedge_dropped = self.metrics.counter("gateway.hedge.dropped")
+        self._m_hedge_no_target = self.metrics.counter("gateway.hedge.no_target")
+        self._m_budget_spent = self.metrics.counter("gateway.retry_budget.spent")
+        self._m_budget_exhausted = self.metrics.counter(
+            "gateway.retry_budget.exhausted"
+        )
         self.metrics.register_callback(
             "gateway.workers_alive", self._workers_alive
         )
         self.metrics.register_callback(
-            "gateway.inflight", lambda: len(self._subs)
+            "gateway.inflight",
+            lambda: len({id(s) for s in self._subs.values()}),
+        )
+        self.metrics.register_callback(
+            "gateway.health.stalled",
+            lambda: sum(1 for h in self._health if h.state == "stalled"),
+        )
+        self.metrics.register_callback(
+            "gateway.breaker.open",
+            lambda: sum(1 for b in self._breakers if not b.routable),
+        )
+        self.metrics.register_callback(
+            "gateway.retry_budget.tokens", lambda: self._retry_budget.tokens
+        )
+
+    def _new_health(self, wid: int) -> WorkerHealth:
+        return WorkerHealth(
+            wid,
+            config=self._health_config,
+            stall_after_s=self.stall_misses * self.heartbeat_interval,
         )
 
     # -- lifecycle -----------------------------------------------------
@@ -323,7 +443,7 @@ class Gateway:
                 sub.accepted = True
                 sub._push("accepted", wid=msg.wid)
         elif isinstance(msg, m.Pong):
-            handle.last_pong = time.monotonic()
+            self._on_pong(handle, msg)
         elif isinstance(msg, m.Ready):
             if msg.protocol != m.PROTOCOL_VERSION:  # pragma: no cover
                 self._worker_died(handle, "protocol")
@@ -340,13 +460,138 @@ class Gateway:
                 if sub is not None:
                     sub._push(msg.kind, **msg.fields)
 
-    def _on_settled(self, handle: _WorkerHandle, msg: m.Settled) -> None:
-        sub = self._subs.pop(msg.rid, None)
-        handle.inflight.discard(msg.rid)
-        if sub is None or sub.future.done():
+    def _on_pong(self, handle: _WorkerHandle, msg: m.Pong) -> None:
+        now = time.monotonic()
+        handle.last_pong = now
+        sent = handle.pings.pop(msg.seq, None)
+        # earlier pings were either answered already or dropped by
+        # chaos; the pipe is FIFO, so nothing older can still arrive
+        for seq in [s for s in handle.pings if s < msg.seq]:
+            handle.pings.pop(seq, None)
+        health = self._health[handle.wid]
+        if sent is not None:
+            health.on_pong(now - sent, now)
+        else:  # dropped-ping echo raced a respawn; freshness only
+            health.last_pong = now
+        # a pong clears the stall flag; the breaker gates re-admission
+        health.mark_stalled(False)
+        self._breaker_success(handle, now)
+
+    # -- breaker transitions -------------------------------------------
+    def _breaker_success(self, handle: _WorkerHandle, now: float) -> None:
+        b = self._breakers[handle.wid]
+        closed_before = b.closed_total
+        b.record_success(now)
+        if b.closed_total != closed_before:
+            # half-open probes passed: the slot is routable again
+            self._m_breaker_closed.inc()
+
+    def _breaker_failure(self, handle: _WorkerHandle, now: float) -> None:
+        b = self._breakers[handle.wid]
+        opened_before = b.opened_total
+        b.record_failure(now)
+        if b.opened_total != opened_before:
+            self._on_breaker_open(handle)
+
+    def _on_breaker_open(self, handle: _WorkerHandle) -> None:
+        """The slot's breaker tripped: it leaves the routing set (the
+        worker stays alive — its in-flight work may still settle) and
+        its reroutable legs move to healthy workers, budget allowing."""
+        self._m_breaker_opened.inc()
+        if self._closing or self._draining:
             return
+        for rid in sorted(handle.inflight):
+            sub = self._subs.get(rid)
+            if (
+                sub is None
+                or sub.future.done()
+                or sub.cancel_requested
+                or len(sub.rids) > 1  # already redundant (hedge/reroute)
+                or sub.request.iid is not None  # pinned to this worker
+            ):
+                continue
+            self._reroute_leg(sub, rid, handle)
+
+    def _reroute_leg(
+        self, sub: Submission, old_rid: int, old_handle: _WorkerHandle
+    ) -> bool:
+        """Duplicate one leg onto the healthiest other worker and
+        suppress the old leg's eventual cancel-settle.  The old leg is
+        *not* force-settled: if the sick worker finishes first anyway,
+        first-settle-wins still yields exactly one Result."""
+        target = self._healthiest(exclude={old_handle.wid})
+        if target is None:
+            return False
+        if not self._retry_budget.try_spend():
+            self._m_budget_exhausted.inc()
+            return False
+        self._m_budget_spent.inc()
+        new_rid = next(self._rids)
+        request = replace(sub.request, rid=new_rid)
+        sub.rids.add(new_rid)
+        sub.legs[new_rid] = target.wid
+        sub.suppressed.add(old_rid)
+        self._subs[new_rid] = sub
+        target.inflight.add(new_rid)
+        self._m_rerouted.inc()
+        sub._push("rerouted", from_wid=old_handle.wid, to_wid=target.wid)
+        self._send(target, request)
+        self._send(old_handle, m.Cancel(rid=old_rid))
+        return True
+
+    # -- settlement ----------------------------------------------------
+    def _drop_legs(self, sub: Submission, winner_rid: Optional[int]) -> None:
+        """Remove every leg of *sub* from the routing tables; cancel
+        the losers on their (live) workers and account hedge losses."""
+        for rid in list(sub.rids):
+            self._subs.pop(rid, None)
+            wid = sub.legs.pop(rid, sub.wid)
+            h = self._workers[wid] if 0 <= wid < self.num_workers else None
+            if h is not None:
+                h.inflight.discard(rid)
+            if rid == winner_rid:
+                continue
+            if h is not None and not h.dead and not self._closing:
+                self._send(h, m.Cancel(rid=rid))
+            if rid in sub.hedge_rids:
+                self._m_hedge_losses.inc()
+        sub.rids.clear()
+        sub.suppressed.clear()
+
+    def _on_settled(self, handle: _WorkerHandle, msg: m.Settled) -> None:
+        handle.inflight.discard(msg.rid)
+        sub = self._subs.get(msg.rid)
+        if sub is None:
+            return
+        if sub.future.done():  # stale leg of an already-settled sub
+            self._subs.pop(msg.rid, None)
+            sub.rids.discard(msg.rid)
+            sub.legs.pop(msg.rid, None)
+            return
+        self._health[handle.wid].on_settle(msg.wall_s)
+        if (
+            msg.rid in sub.suppressed
+            and msg.outcome == "cancelled"
+            and not sub.cancel_requested
+            and len(sub.rids) > 1
+        ):
+            # a rerouted-away leg acknowledging its gateway-issued
+            # Cancel: drop it silently — the live leg will settle
+            self._subs.pop(msg.rid, None)
+            sub.rids.discard(msg.rid)
+            sub.legs.pop(msg.rid, None)
+            sub.suppressed.discard(msg.rid)
+            return
+        # first Settled wins; every other leg is cancelled and its
+        # settle dropped — the caller observes exactly one Result
+        hedge_won = msg.rid in sub.hedge_rids
+        self._drop_legs(sub, winner_rid=msg.rid)
+        if hedge_won:
+            self._m_hedge_wins.inc()
         self._m_settled.inc()
         self._m_rt.observe(time.monotonic() - sub.t0)
+        if msg.outcome == "completed":
+            self._retry_budget.record_success()
         result = Result(
             outcome=msg.outcome,
             passes=msg.passes,
@@ -362,7 +607,7 @@ class Gateway:
 
     def _force_settle(self, sub: Submission, outcome: str, error: str, reason: str = "") -> None:
         """Settle a submission gateway-side (worker loss, shutdown)."""
-        self._subs.pop(sub.rid, None)
+        self._drop_legs(sub, winner_rid=None)
         if sub.future.done():
             return
         self._m_settled.inc()
@@ -383,12 +628,13 @@ class Gateway:
     # -- worker failure handling (docs/gateway.md) ---------------------
     def _worker_died(self, handle: _WorkerHandle, reason: str) -> None:
         """Reap one dead/silent worker: respawn a replacement into the
-        slot, replay its in-flight submissions once, settle the rest
-        with structured ``worker_lost`` results."""
+        slot, replay its in-flight submissions once (budget allowing),
+        settle the rest with structured ``worker_lost`` results."""
         if handle.dead:
             return
         handle.dead = True
         self._m_deaths.inc()
+        self._health[handle.wid].mark_dead()
         try:
             handle.conn.close()
         except OSError:  # pragma: no cover
@@ -403,6 +649,10 @@ class Gateway:
             replacement = self._spawn(handle.wid)
             self._workers[handle.wid] = replacement
             self._m_respawns.inc()
+            # a fresh process gets a clean health history and a
+            # force-closed breaker — the slot's sickness died with it
+            self._health[handle.wid] = self._new_health(handle.wid)
+            self._breakers[handle.wid].reset()
             # frozen topologies ship to the replacement before any
             # replayed submission (pipe FIFO preserves the order)
             for fid, spec in self._frozen.items():
@@ -420,6 +670,28 @@ class Gateway:
             sub = self._subs.get(rid)
             if sub is None:
                 continue
+            if sub.future.done():
+                self._subs.pop(rid, None)
+                sub.rids.discard(rid)
+                sub.legs.pop(rid, None)
+                continue
+            # a redundant leg (hedge or reroute twin) died with the
+            # worker while a sibling is still live: drop just the leg
+            others_live = any(
+                r != rid
+                and sub.legs.get(r) != handle.wid
+                and self._leg_alive(sub.legs.get(r))
+                for r in sub.rids
+            )
+            if others_live:
+                self._subs.pop(rid, None)
+                sub.rids.discard(rid)
+                sub.legs.pop(rid, None)
+                sub.suppressed.discard(rid)
+                if rid in sub.hedge_rids:
+                    sub.hedge_rids.discard(rid)
+                    self._m_hedge_dropped.inc()
+                continue
             exc = WorkerDiedError(handle.wid, reason)
             if (
                 replacement is None
@@ -433,17 +705,36 @@ class Gateway:
                     reason=reason,
                 )
                 continue
+            if not self._retry_budget.try_spend():
+                # over budget: fail fast with a structured reason
+                # instead of amplifying a correlated failure
+                self._m_budget_exhausted.inc()
+                self._force_settle(
+                    sub,
+                    outcome="worker_lost",
+                    error=repr(exc),
+                    reason="retry_budget",
+                )
+                continue
+            self._m_budget_spent.inc()
             # the resilience replan path, one tier up: re-materialize
             # the idempotent spec on the replacement and resubmit
             sub.replans += 1
             self._m_replans.inc()
             sub._push("replanned", wid=handle.wid, reason=reason)
             replacement.inflight.add(rid)
-            self._send(replacement, sub.request)
+            sub.legs[rid] = replacement.wid
+            self._send(replacement, replace(sub.request, rid=rid))
+
+    def _leg_alive(self, wid: Optional[int]) -> bool:
+        if wid is None or not 0 <= wid < self.num_workers:
+            return False
+        h = self._workers[wid]
+        return h is not None and not h.dead
 
     async def _monitor(self) -> None:
-        """Heartbeat every worker; reap the dead and the silent."""
-        misses = _HEARTBEAT_MISSES
+        """Heartbeat every worker; reap the dead and the silent, mark
+        the stalled, and feed the per-slot breakers."""
         while not self._closing:
             await asyncio.sleep(self.heartbeat_interval)
             now = time.monotonic()
@@ -455,14 +746,28 @@ class Gateway:
                     continue
                 # a draining worker legitimately blocks in drain();
                 # only liveness (is_alive) applies then
-                if (
-                    not self._draining
-                    and now - handle.last_pong
-                    > misses * self.heartbeat_interval
-                ):
-                    self._worker_died(handle, "heartbeat")
-                    continue
-                self._send(handle, m.Ping(seq=next(self._ping_seq)))
+                if not self._draining:
+                    silence = now - handle.last_pong
+                    if silence > self.heartbeat_misses * self.heartbeat_interval:
+                        self._worker_died(handle, "heartbeat")
+                        continue
+                    health = self._health[handle.wid]
+                    stalled = silence > self._stall_after_s
+                    if health.mark_stalled(stalled) and stalled:
+                        self._m_stalls.inc()
+                    if stalled:
+                        # each stalled tick is one breaker failure;
+                        # threshold consecutive ticks trip it open
+                        self._breaker_failure(handle, now)
+                    self._m_health_score.observe(health.score(now))
+                # pings flow unconditionally — against an open breaker
+                # they are exactly the half-open probes that re-admit
+                seq = next(self._ping_seq)
+                handle.pings[seq] = now
+                if len(handle.pings) > 4 * self.heartbeat_misses:
+                    for s in sorted(handle.pings)[: -2 * self.heartbeat_misses]:
+                        handle.pings.pop(s, None)
+                self._send(handle, m.Ping(seq=seq))
 
     # -- routing -------------------------------------------------------
     def _slot(self, wid: int) -> _WorkerHandle:
@@ -471,12 +776,39 @@ class Gateway:
             raise GatewayError(f"worker slot {wid} is empty")
         return handle
 
+    def _routable(self, wid: int) -> bool:
+        h = self._workers[wid]
+        return h is not None and not h.dead and self._breakers[wid].routable
+
     def _route(self, tenant: str) -> _WorkerHandle:
         if tenant:
-            wid = zlib.crc32(tenant.encode()) % self.num_workers
+            base = zlib.crc32(tenant.encode()) % self.num_workers
         else:
-            wid = next(self._rr) % self.num_workers
-        return self._slot(wid)
+            base = next(self._rr) % self.num_workers
+        # walk forward from the affinity slot past breaker-opened /
+        # dead workers; if every slot is sick, keep the deterministic
+        # affinity choice (routing must never fail outright)
+        for k in range(self.num_workers):
+            wid = (base + k) % self.num_workers
+            if self._routable(wid):
+                return self._slot(wid)
+        return self._slot(base)
+
+    def _healthiest(
+        self, exclude: Iterable[int] = ()
+    ) -> Optional[_WorkerHandle]:
+        """The routable worker with the best health score, or None."""
+        skip = set(exclude)
+        now = time.monotonic()
+        best: Optional[_WorkerHandle] = None
+        best_score = -1.0
+        for wid in range(self.num_workers):
+            if wid in skip or not self._routable(wid):
+                continue
+            s = self._health[wid].score(now)
+            if s > best_score:
+                best, best_score = self._workers[wid], s
+        return best
 
     # -- public API ----------------------------------------------------
     def instance(self, spec: WorkSpec, *, tenant: str = "") -> GraphHandle:
@@ -519,6 +851,7 @@ class Gateway:
         priority: int = 0,
         deadline: Optional[float] = None,
         repeats: int = 1,
+        hedge_after: Optional[Union[float, str]] = None,
     ) -> Submission:
         """Submit one workload; returns the awaitable handle.
 
@@ -528,9 +861,21 @@ class Gateway:
         :class:`FrozenHandle` (replayed by ``fid`` on any worker).
         *priority* and *deadline* pass through to the worker-side
         executor unchanged (docs/runtime.md, "Submission lifecycle").
+
+        *hedge_after* (frozen targets only — they are the only shape
+        every worker can replay) arms a tail-latency hedge: if the
+        primary has not settled after that many seconds (or the
+        primary worker's settle-latency quantile, for ``"p95"``), a
+        duplicate leg launches on the healthiest other worker; the
+        first Settled wins and the loser is cancelled.
         """
         self._check_open()
         rid = next(self._rids)
+        if hedge_after is not None and not isinstance(target, FrozenHandle):
+            raise GatewayError(
+                "hedge_after requires a FrozenHandle: only frozen "
+                "topologies are replayable on every worker"
+            )
         if isinstance(target, FrozenHandle):
             handle = self._route(tenant)
             request = m.Submit(
@@ -573,18 +918,58 @@ class Gateway:
         self._m_submits.inc()
         sub._push("submitted", wid=handle.wid)
         self._send(handle, request)
+        if hedge_after is not None:
+            if isinstance(hedge_after, str):
+                if hedge_after not in ("p95", "auto"):
+                    raise GatewayError(
+                        f"hedge_after={hedge_after!r}: expected a float "
+                        "delay or 'p95'"
+                    )
+                delay = self._health[handle.wid].settle_quantile(0.95)
+            else:
+                delay = float(hedge_after)
+            self._loop.call_later(max(0.0, delay), self._maybe_hedge, sub)
         return sub
 
+    def _maybe_hedge(self, sub: Submission) -> None:
+        """The hedge timer fired: if the primary is still out, launch
+        a duplicate leg on the healthiest *other* routable worker."""
+        if (
+            sub.future.done()
+            or sub.cancel_requested
+            or self._draining
+            or self._closing
+            or len(sub.rids) > 1  # already hedged or rerouted
+        ):
+            return
+        primary_wid = sub.legs.get(sub.rid, sub.wid)
+        target = self._healthiest(exclude={primary_wid})
+        if target is None:
+            self._m_hedge_no_target.inc()
+            return
+        rid2 = next(self._rids)
+        request = replace(sub.request, rid=rid2)
+        sub.rids.add(rid2)
+        sub.legs[rid2] = target.wid
+        sub.hedge_rids.add(rid2)
+        self._subs[rid2] = sub
+        target.inflight.add(rid2)
+        self._m_hedge_launched.inc()
+        sub._push("hedged", wid=target.wid)
+        self._send(target, request)
+
     def cancel(self, sub: Submission) -> bool:
-        """Request cooperative cancellation of *sub*; False when it is
-        already settled (or unknown)."""
-        if sub.rid not in self._subs or sub.future.done():
+        """Request cooperative cancellation of *sub* (every leg);
+        False when it is already settled (or unknown)."""
+        if sub.future.done() or not any(r in self._subs for r in sub.rids):
             return False
         sub.cancel_requested = True
         self._m_cancels.inc()
-        handle = self._workers[sub.wid]
-        if handle is not None and not handle.dead:
-            self._send(handle, m.Cancel(rid=sub.rid))
+        for rid in list(sub.rids):
+            wid = sub.legs.get(rid, sub.wid)
+            handle = self._workers[wid] if 0 <= wid < self.num_workers else None
+            if handle is not None and not handle.dead:
+                self._send(handle, m.Cancel(rid=rid))
         return True
 
     async def verify(self, gh: GraphHandle, passes: int):
@@ -627,6 +1012,33 @@ class Gateway:
         """The gateway's own ``gateway.*`` metric snapshot."""
         return self.metrics.snapshot()
 
+    def health_snapshot(self) -> Dict[int, dict]:
+        """Per-slot health + breaker view (operator surface, soak)."""
+        now = time.monotonic()
+        out: Dict[int, dict] = {}
+        for wid in range(self.num_workers):
+            b = self._breakers[wid]
+            snap = self._health[wid].snapshot(now)
+            snap["breaker"] = b.state
+            snap["breaker_cooldown_s"] = round(b.remaining_cooldown(now), 4)
+            snap["breaker_opened_total"] = b.opened_total
+            snap["breaker_closed_total"] = b.closed_total
+            out[wid] = snap
+        return out
+
+    def inject_chaos(self, wid: int, *, stall_s: float = 0.0, spin_s: float = 0.0) -> None:
+        """Wedge worker *wid*'s recv loop (deterministic gray-failure
+        injection — the soak's stall trigger; docs/gateway.md)."""
+        handle = self._slot(wid)
+        if handle.dead:
+            raise GatewayError(f"worker {wid} is dead; nothing to wedge")
+        self._send(handle, m.ChaosInject(stall_s=stall_s, spin_s=spin_s))
+
+    @property
+    def retry_budget(self) -> RetryBudget:
+        """The gateway-wide retry token bucket (read-mostly surface)."""
+        return self._retry_budget
+
     def _check_open(self) -> None:
         if not self._started or self._loop is None:
             raise GatewayError("gateway is not started")
@@ -639,12 +1051,25 @@ class Gateway:
 
         Each worker runs its own ``Executor.drain`` (the PR 5
         guarantee: every worker-side future settles), and the results
-        stream back as ordinary Settled messages.  Anything still
-        unsettled after *timeout* + a short grace (a dead pipe, a
-        wedged worker) is force-settled with a structured ``failed``
-        result.  Returns True when everything settled in time.
+        stream back as ordinary Settled messages.  The whole call —
+        worker acks *plus* straggler Settled traffic — shares one
+        deadline of *timeout* + ``drain_grace``; anything unsettled at
+        the deadline (a dead pipe, a wedged worker) is force-settled
+        with a structured ``failed`` result.  Returns True when
+        everything settled in time.
         """
         self._draining = True
+        deadline = (
+            None
+            if timeout is None
+            else time.monotonic() + timeout + self.drain_grace
+        )
+
+        def remaining() -> Optional[float]:
+            if deadline is None:
+                return None
+            return max(0.0, deadline - time.monotonic())
+
         acks = []
         for handle in self._workers:
             if handle is None or handle.dead:
@@ -655,20 +1080,18 @@ class Gateway:
             self._send(handle, m.Drain(rid=rid, timeout=timeout))
             acks.append(fut)
         ok = True
-        budget = None if timeout is None else timeout + _DRAIN_GRACE
         if acks:
-            done, pending = await asyncio.wait(acks, timeout=budget)
+            done, pending = await asyncio.wait(acks, timeout=remaining())
             ok = not pending and all(f.result().ok for f in done)
         # worker drains settle worker-side futures; wait for the
-        # corresponding Settled traffic to land
-        waiters = [s.future for s in self._subs.values()]
+        # corresponding Settled traffic to land — on the *same*
+        # deadline, not a fresh grace on top of the ack wait
+        waiters = {s.future for s in self._subs.values()}
         if waiters:
-            _, unsettled = await asyncio.wait(
-                waiters, timeout=_DRAIN_GRACE if timeout is not None else None
-            )
+            _, unsettled = await asyncio.wait(waiters, timeout=remaining())
             if unsettled:
                 ok = False
-        for sub in list(self._subs.values()):
+        for sub in list({id(s): s for s in self._subs.values()}.values()):
             self._force_settle(
                 sub,
                 outcome="failed",
@@ -719,7 +1142,7 @@ class Gateway:
                     handle.conn.close()
                 except OSError:  # pragma: no cover
                     pass
-            for sub in list(self._subs.values()):
+            for sub in list({id(s): s for s in self._subs.values()}.values()):
                 self._force_settle(
                     sub,
                     outcome="worker_lost",

@@ -1,0 +1,184 @@
+"""Per-worker health scoring for the gateway (docs/gateway.md).
+
+The PR 8 monitor knows two worker states: alive and dead.  Gray
+failures — a worker that is alive but stalled, slow, or flaky — need a
+third axis, and this module provides it: a :class:`WorkerHealth`
+record per worker slot that folds two existing signal streams into one
+score and a discrete state:
+
+- **heartbeat round-trip latency** — the monitor stamps every Ping it
+  sends; the matching Pong's round trip feeds an EWMA plus a bounded
+  sample window (for quantiles);
+- **per-submission settle latency** — every Settled's submit-to-settle
+  wall time lands in a second quantile window, which is what hedged
+  submissions quote when ``hedge_after="p95"``.
+
+The discrete state is one of :data:`HEALTH_STATES`:
+
+- ``healthy`` — pongs flowing, latency near baseline;
+- ``stalled`` — the process is *alive* but heartbeat-silent past the
+  stall window (``stall_after_s``), i.e. its control loop is wedged or
+  starved.  Distinct from dead: the gateway must stop routing to it
+  (circuit breaker) but must NOT kill it — its in-flight work may
+  still settle when it recovers;
+- ``dead`` — the monitor's existing verdict (process exit, heartbeat
+  silence past the much larger death budget, broken pipe).
+
+The continuous ``score()`` in [0, 1] ranks *routable* workers (hedge
+target choice, degraded routing): silence decays it linearly across
+the stall window, and an EWMA round trip above ``baseline_rtt_s``
+scales it down proportionally.  A dead worker scores 0.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Deque, Optional
+
+#: discrete worker health states (docs/gateway.md, "Failure semantics")
+HEALTH_STATES = ("healthy", "stalled", "dead")
+
+
+@dataclass(frozen=True)
+class HealthConfig:
+    """Shape of the per-worker health estimator.
+
+    ``ewma_alpha`` weights the newest round-trip sample; ``window``
+    bounds both sample deques; ``baseline_rtt_s`` is the round trip
+    considered "healthy" (scores degrade proportionally above it);
+    ``default_hedge_s`` is what ``hedge_after="p95"`` quotes before any
+    settle samples exist.
+    """
+
+    ewma_alpha: float = 0.3
+    window: int = 64
+    baseline_rtt_s: float = 0.05
+    default_hedge_s: float = 0.25
+
+
+class WorkerHealth:
+    """Health estimate for one worker slot occupant.
+
+    Fed by the gateway monitor (`on_pong`, `on_settle`, `mark_*`);
+    read by routing, hedging, and the ``gateway.health.*`` metrics.
+    A respawn replaces the slot's instance wholesale — a fresh process
+    starts with a clean history.
+    """
+
+    __slots__ = (
+        "wid",
+        "config",
+        "stall_after_s",
+        "_clock",
+        "ewma_rtt",
+        "last_pong",
+        "born",
+        "dead",
+        "_stalled",
+        "rtt_window",
+        "settle_window",
+        "pongs",
+        "settles",
+    )
+
+    def __init__(
+        self,
+        wid: int,
+        *,
+        config: Optional[HealthConfig] = None,
+        stall_after_s: float = 1.0,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.wid = wid
+        self.config = config or HealthConfig()
+        self.stall_after_s = stall_after_s
+        self._clock = clock
+        self.ewma_rtt = 0.0
+        now = clock()
+        self.last_pong = now
+        self.born = now
+        self.dead = False
+        self._stalled = False
+        self.rtt_window: Deque[float] = deque(maxlen=self.config.window)
+        self.settle_window: Deque[float] = deque(maxlen=self.config.window)
+        self.pongs = 0
+        self.settles = 0
+
+    # -- signal ingestion ---------------------------------------------
+    def on_pong(self, rtt_s: float, now: Optional[float] = None) -> None:
+        """One heartbeat round trip completed in *rtt_s* seconds."""
+        self.last_pong = self._clock() if now is None else now
+        a = self.config.ewma_alpha
+        self.ewma_rtt = rtt_s if self.pongs == 0 else a * rtt_s + (1 - a) * self.ewma_rtt
+        self.rtt_window.append(rtt_s)
+        self.pongs += 1
+
+    def on_settle(self, wall_s: float) -> None:
+        """One submission settled after *wall_s* seconds."""
+        if wall_s > 0:
+            self.settle_window.append(wall_s)
+            self.settles += 1
+
+    def mark_dead(self) -> None:
+        self.dead = True
+
+    def mark_stalled(self, stalled: bool) -> bool:
+        """Set the stalled flag; True when this call *changed* it."""
+        changed = stalled != self._stalled
+        self._stalled = stalled
+        return changed
+
+    # -- derived views -------------------------------------------------
+    def silence(self, now: Optional[float] = None) -> float:
+        """Seconds since the last pong (or since birth)."""
+        t = self._clock() if now is None else now
+        return max(0.0, t - self.last_pong)
+
+    @property
+    def state(self) -> str:
+        """One of :data:`HEALTH_STATES`."""
+        if self.dead:
+            return "dead"
+        if self._stalled:
+            return "stalled"
+        return "healthy"
+
+    def score(self, now: Optional[float] = None) -> float:
+        """Continuous health in [0, 1]; 1 = fresh and fast, 0 = dead."""
+        if self.dead:
+            return 0.0
+        s = 1.0
+        if self.stall_after_s > 0:
+            s *= max(0.0, 1.0 - self.silence(now) / self.stall_after_s)
+        base = self.config.baseline_rtt_s
+        if self.ewma_rtt > base > 0:
+            s *= base / self.ewma_rtt
+        return s
+
+    def settle_quantile(self, q: float = 0.95) -> float:
+        """The *q*-quantile of recent settle latencies (what
+        ``hedge_after="p95"`` arms with); the configured default before
+        any samples exist."""
+        if not self.settle_window:
+            return self.config.default_hedge_s
+        samples = sorted(self.settle_window)
+        idx = min(len(samples) - 1, int(q * len(samples)))
+        return samples[idx]
+
+    def snapshot(self, now: Optional[float] = None) -> dict:
+        """JSON-ready view for operator surfaces and the soak report."""
+        return {
+            "wid": self.wid,
+            "state": self.state,
+            "score": round(self.score(now), 4),
+            "ewma_rtt_s": self.ewma_rtt,
+            "silence_s": self.silence(now),
+            "settle_p95_s": self.settle_quantile(0.95),
+            "pongs": self.pongs,
+            "settles": self.settles,
+        }
+
+
+__all__ = ["HEALTH_STATES", "HealthConfig", "WorkerHealth"]

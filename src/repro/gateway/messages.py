@@ -16,6 +16,7 @@ Gateway → worker (requests):
 :class:`Ping`       heartbeat probe, echoed as :class:`Pong`
 :class:`MetricsPull` request a full executor metrics snapshot
 :class:`Verify`     run a generated instance's oracle check
+:class:`ChaosInject` wedge the recv loop (gray-failure injection)
 :class:`Shutdown`   tear the executor down and exit the process
 ==================  ==================================================
 
@@ -47,7 +48,8 @@ from typing import Dict, List, Optional, Tuple
 from repro.gateway.spec import WorkSpec
 
 #: protocol schema tag, checked at Ready-time; bump on layout changes
-PROTOCOL_VERSION = 1
+#: (2: added :class:`ChaosInject` for deterministic gray-failure soaks)
+PROTOCOL_VERSION = 2
 
 #: terminal outcomes a Settled message may carry — the same classes the
 #: in-process soak reconciles, plus the gateway-level ``worker_lost``
@@ -121,6 +123,17 @@ class Verify:
     rid: int
     iid: int
     passes: int
+
+
+@dataclass(frozen=True)
+class ChaosInject:
+    """Deterministically wedge the worker's recv loop: sleep *stall_s*
+    (a gray stall — heartbeats stop being answered while the process
+    stays alive) and/or busy-spin *spin_s* (a starved control loop).
+    Used by the gray soak and ``Gateway.inject_chaos``; no reply."""
+
+    stall_s: float = 0.0
+    spin_s: float = 0.0
 
 
 @dataclass(frozen=True)
@@ -215,6 +228,7 @@ __all__ = [
     "Ping",
     "MetricsPull",
     "Verify",
+    "ChaosInject",
     "Shutdown",
     "Ready",
     "Accepted",

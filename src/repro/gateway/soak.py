@@ -39,6 +39,12 @@ speedup is meaningless without it.  ``python -m repro soak --gateway
 --json`` writes the whole report with schema
 :data:`GATEWAY_SOAK_SCHEMA` (the CI artifact
 ``BENCH_gateway_soak.json``).
+
+:func:`run_gateway_gray_soak` (``--gray``) is the gray-failure
+variant: deterministic recv-loop stalls that must breaker-eject and
+re-admit (never kill), hedged submissions racing wedged primaries,
+and a retry-budget exhaustion drill — schema
+:data:`GATEWAY_GRAY_SOAK_SCHEMA` (``BENCH_gateway_gray_soak.json``).
 """
 
 from __future__ import annotations
@@ -56,11 +62,15 @@ from repro.gateway.gateway import Gateway, GraphHandle, Submission
 from repro.gateway.messages import OUTCOMES
 from repro.gateway.spec import BuiltinSpec, BurstSpec, GeneratedSpec
 from repro.gateway.worker import WorkerConfig
+from repro.resilience import RetryBudget
 from repro.service.soak import _percentiles
 from repro.utils.rng import derive_seed
 
 #: schema identifier of the serialized report; bump on layout changes
 GATEWAY_SOAK_SCHEMA = "repro.gateway-soak-report/1"
+
+#: schema of the gray-failure soak report (``soak --gateway --gray``)
+GATEWAY_GRAY_SOAK_SCHEMA = "repro.gateway-gray-soak-report/1"
 
 #: per-scenario settle deadline — an unresolved awaitable past this is
 #: a stranded-submission violation
@@ -302,6 +312,23 @@ async def _run_scenario(
     if killer is not None:
         await killer
 
+    await _reconcile(gw, scenario, subs, instances, cancels, before, kill)
+    return scenario
+
+
+async def _reconcile(
+    gw: Gateway,
+    scenario: GatewayScenario,
+    subs: List[Submission],
+    instances: List[tuple],
+    cancels: List[int],
+    before: dict,
+    kill: bool,
+) -> None:
+    """Shared scenario epilogue: exactly-once settle reconciliation,
+    gateway-counter agreement, and the pinned-instance oracle."""
+    violations = scenario.violations
+
     # -- reconciliation: every submission settles exactly once --------
     pending = [s for s in subs if not s.done()]
     if pending:
@@ -364,7 +391,6 @@ async def _run_scenario(
     ]
     scenario.wall_latency = _percentiles(wall)
     scenario._wall_samples = wall  # type: ignore[attr-defined]
-    return scenario
 
 
 async def _measure_throughput(
@@ -530,9 +556,493 @@ def run_gateway_soak(
     )
 
 
+# ---------------------------------------------------------------------------
+# gray-failure soak (``python -m repro soak --gateway --gray``)
+# ---------------------------------------------------------------------------
+#
+# The kill soak above exercises *black* failures (SIGKILL).  The gray
+# soak exercises the PR 9 machinery: deterministic recv-loop stalls
+# (ChaosInject) that must be detected as *stalled* — breaker-ejected
+# from routing, never killed, and re-admitted once heartbeats resume —
+# plus hedged frozen submissions racing wedged primaries, and a
+# scripted retry-budget-exhaustion drill.  Same exactly-once
+# reconciliation algebra as the kill soak, same counter-agreement
+# checks, plus the hedge accounting invariant
+# ``launched == wins + losses + dropped``.
+
+#: injected recv-loop stall length — comfortably past the gray
+#: gateway's stall window, comfortably under its death budget
+_GRAY_STALL_S = 1.2
+
+#: how long a stalled worker may take to trip its breaker open
+_BREAKER_OPEN_TIMEOUT = 5.0
+
+#: how long a recovered worker may take to be re-admitted (cooldown
+#: escalation + half-open probes included)
+_READMIT_TIMEOUT = 15.0
+
+
+@dataclass
+class GrayScenario(GatewayScenario):
+    """One gray-soak scenario: the base scenario checks plus the
+    stall → eject → re-admit lifecycle and hedge launches."""
+
+    stalled_wid: int = -1
+    breaker_opened: bool = False
+    readmitted: bool = False
+    stall_detect_s: float = 0.0
+    readmit_s: float = 0.0
+    hedged: int = 0
+
+    def to_dict(self) -> dict:
+        d = super().to_dict()
+        d.update(
+            stalled_wid=self.stalled_wid,
+            breaker_opened=self.breaker_opened,
+            readmitted=self.readmitted,
+            stall_detect_s=round(self.stall_detect_s, 4),
+            readmit_s=round(self.readmit_s, 4),
+            hedged=self.hedged,
+        )
+        return d
+
+
+@dataclass
+class GraySoakReport(GatewaySoakReport):
+    """Gray-soak sweep outcome: the base report plus the budget drill
+    and sweep-level (cross-scenario) violations."""
+
+    budget_drill: Dict[str, float] = field(default_factory=dict)
+    extra_violations: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    @property
+    def violations(self) -> List[str]:
+        out = GatewaySoakReport.violations.fget(self)  # type: ignore[attr-defined]
+        out.extend(f"[sweep] {v}" for v in self.extra_violations)
+        return out
+
+    @property
+    def totals(self) -> Dict[str, int]:
+        out = GatewaySoakReport.totals.fget(self)  # type: ignore[attr-defined]
+        out["stalls"] = sum(
+            1 for s in self.scenarios if getattr(s, "stalled_wid", -1) >= 0
+        )
+        out["hedged"] = sum(getattr(s, "hedged", 0) for s in self.scenarios)
+        return out
+
+    def to_dict(self) -> dict:
+        d = super().to_dict()
+        d["schema"] = GATEWAY_GRAY_SOAK_SCHEMA
+        d["budget_drill"] = dict(self.budget_drill)
+        d["sweep_violations"] = list(self.extra_violations)
+        d["violations"] = list(self.violations)
+        return d
+
+
+def _tenant_hashed_to(num_workers: int, wid: int) -> str:
+    """A tenant string whose crc32 affinity is worker *wid* (the gray
+    soak uses it to aim a submission at the worker it just wedged)."""
+    import zlib
+
+    k = 0
+    while True:
+        name = f"pin-{k}"
+        if zlib.crc32(name.encode()) % num_workers == wid:
+            return name
+        k += 1
+
+
+async def _gray_tenant(
+    gw: Gateway,
+    name: str,
+    tseed: int,
+    subs: List[Submission],
+    instances: List[tuple],
+    frozen_pool: list,
+    hedge_fh,
+    cancels: List[int],
+    hedged: List[int],
+) -> None:
+    """Gray-soak tenant traffic: the kill-soak mix plus hedged frozen
+    replays (``hedge_after`` as a float and as the ``"p95"`` quote)."""
+    rng = random.Random(tseed)
+    for g in range(rng.randint(2, 3)):
+        roll = rng.random()
+        if roll < 0.3:
+            gseed = derive_seed(tseed, "graph", g) % (1 << 31)
+            gh = gw.instance(
+                GeneratedSpec(seed=gseed, num_gpus=1), tenant=name
+            )
+            entry = [gh, 0, True]
+            instances.append(entry)
+            sub = gw.submit(gh, tenant=name, priority=rng.randint(0, 3))
+            subs.append(sub)
+            res = await sub
+            if res.outcome == "completed":
+                entry[1] += res.passes
+            else:
+                entry[2] = False
+        elif roll < 0.7:
+            batch = []
+            for _ in range(rng.randint(2, 4)):
+                if rng.random() < 0.4:
+                    s = gw.submit(
+                        hedge_fh,
+                        tenant=name,
+                        hedge_after=rng.choice((0.2, "p95")),
+                    )
+                    hedged.append(s.rid)
+                else:
+                    s = gw.submit(
+                        rng.choice(frozen_pool),
+                        tenant=name,
+                        priority=rng.randint(0, 3),
+                    )
+                batch.append(s)
+            subs.extend(batch)
+            await asyncio.gather(*(s.future for s in batch))
+        else:
+            droll = rng.random()
+            deadline = 0.003 if droll < 0.2 else 30.0 if droll < 0.4 else None
+            sub = gw.submit(
+                BuiltinSpec(rng.choice(("saxpy", "timing"))),
+                tenant=name,
+                priority=rng.randint(0, 3),
+                deadline=deadline,
+            )
+            subs.append(sub)
+            if rng.random() < 0.3:
+                await asyncio.sleep(rng.random() * 0.004)
+                if gw.cancel(sub):
+                    cancels.append(sub.rid)
+            await asyncio.wait({sub.future})
+        if rng.random() < 0.3:
+            await asyncio.sleep(rng.random() * 0.01)
+
+
+async def _run_gray_scenario(
+    gw: Gateway,
+    index: int,
+    seed: int,
+    frozen_pool: list,
+    hedge_fh,
+    *,
+    kill: bool,
+    stall: bool,
+) -> GrayScenario:
+    sseed = derive_seed(seed, "graysoak", index)
+    rng = random.Random(sseed)
+    scenario = GrayScenario(
+        index=index,
+        seed=sseed % (1 << 31),
+        tenants=rng.randint(2, 4),
+    )
+    before = gw.snapshot()
+    subs: List[Submission] = []
+    instances: List[tuple] = []
+    cancels: List[int] = []
+    hedged: List[int] = []
+    violations = scenario.violations
+
+    tasks = [
+        asyncio.create_task(
+            _gray_tenant(
+                gw,
+                f"gray-{index}-{tid}",
+                derive_seed(sseed, "tenant", tid),
+                subs,
+                instances,
+                frozen_pool,
+                hedge_fh,
+                cancels,
+                hedged,
+            )
+        )
+        for tid in range(scenario.tenants)
+    ]
+
+    chaos_task: Optional[asyncio.Task] = None
+    if stall:
+
+        async def _stall() -> None:
+            await asyncio.sleep(0.02 + rng.random() * 0.03)
+            victim = gw._workers[rng.randrange(gw.num_workers)]
+            if victim is None or victim.dead or not victim.proc.is_alive():
+                return
+            wid = victim.wid
+            scenario.stalled_wid = wid
+            breaker = gw._breakers[wid]
+            opened0 = breaker.opened_total
+            t0 = time.monotonic()
+            gw.inject_chaos(wid, stall_s=_GRAY_STALL_S)
+            # aim one hedged submission at the wedged worker: its
+            # Submit sits unread behind the stall, so the hedge leg
+            # on a healthy worker should win the race
+            hs = gw.submit(
+                hedge_fh,
+                tenant=_tenant_hashed_to(gw.num_workers, wid),
+                hedge_after=0.15,
+            )
+            subs.append(hs)
+            if hs.wid == wid:
+                scenario.hedged += 1
+            # the breaker must eject the stalled worker from routing
+            while time.monotonic() - t0 < _BREAKER_OPEN_TIMEOUT:
+                if breaker.opened_total > opened0:
+                    scenario.breaker_opened = True
+                    scenario.stall_detect_s = time.monotonic() - t0
+                    break
+                await asyncio.sleep(0.02)
+            if not scenario.breaker_opened:
+                violations.append(
+                    f"worker {wid} stalled {_GRAY_STALL_S:.1f}s but its "
+                    f"breaker never opened within "
+                    f"{_BREAKER_OPEN_TIMEOUT:.0f}s"
+                )
+                return
+            # ... and re-admit it once heartbeats resume — without
+            # ever having killed it (a stall is not a death)
+            while time.monotonic() - t0 < _READMIT_TIMEOUT:
+                if gw._workers[wid] is not victim:
+                    violations.append(
+                        f"stalled worker {wid} was respawned — a gray "
+                        f"stall escalated to a death"
+                    )
+                    return
+                if breaker.routable:
+                    scenario.readmitted = True
+                    scenario.readmit_s = time.monotonic() - t0
+                    return
+                await asyncio.sleep(0.05)
+            violations.append(
+                f"worker {wid} recovered but was not re-admitted within "
+                f"{_READMIT_TIMEOUT:.0f}s"
+            )
+
+        chaos_task = asyncio.create_task(_stall())
+    elif kill:
+
+        async def _kill() -> None:
+            await asyncio.sleep(rng.random() * 0.05)
+            victim = gw._workers[rng.randrange(gw.num_workers)]
+            if victim is None or victim.dead or not victim.proc.is_alive():
+                return
+            scenario.killed_wid = victim.wid
+            t0 = time.monotonic()
+            os.kill(victim.proc.pid, signal.SIGKILL)
+            while time.monotonic() - t0 < _RESPAWN_TIMEOUT:
+                fresh = gw._workers[victim.wid]
+                if fresh is not victim and fresh is not None and fresh.ready:
+                    scenario.respawn_s = time.monotonic() - t0
+                    return
+                await asyncio.sleep(0.02)
+            violations.append(
+                f"worker {victim.wid} not respawned within "
+                f"{_RESPAWN_TIMEOUT:.0f}s of SIGKILL"
+            )
+
+        chaos_task = asyncio.create_task(_kill())
+
+    try:
+        await asyncio.wait_for(asyncio.gather(*tasks), _SETTLE_TIMEOUT)
+    except asyncio.TimeoutError:
+        violations.append(
+            f"scenario did not settle within {_SETTLE_TIMEOUT:.0f}s"
+        )
+        for t in tasks:
+            t.cancel()
+    if chaos_task is not None:
+        await chaos_task
+
+    await _reconcile(gw, scenario, subs, instances, cancels, before, kill)
+    return scenario
+
+
+async def _budget_drill(seed: int) -> Dict[str, float]:
+    """Scripted retry-budget exhaustion: a gateway whose bucket starts
+    empty loses a worker with work in flight — every replay must be
+    denied and settle immediately as ``worker_lost`` with
+    ``reason="retry_budget"``, observable in the counters."""
+    config = WorkerConfig(threads=2, gpus=1, seed=seed)
+    out: Dict[str, float] = {}
+    async with Gateway(
+        2,
+        worker=config,
+        heartbeat_interval=0.1,
+        retry_budget=RetryBudget(1.0, initial=0.0, refill_per_success=0.0),
+        seed=seed,
+        name="gray-budget",
+    ) as gw:
+        fh = await gw.freeze(BurstSpec(width=4, sleep_s=0.6))
+        batch = [gw.submit(fh) for _ in range(4)]  # round-robin: 2/worker
+        await asyncio.sleep(0.15)
+        victim = gw._workers[0]
+        os.kill(victim.proc.pid, signal.SIGKILL)
+        results = await asyncio.gather(*(s.future for s in batch))
+        snap = gw.snapshot()
+        out["submitted"] = float(len(batch))
+        out["worker_lost_budget"] = float(
+            sum(
+                1
+                for r in results
+                if r.outcome == "worker_lost" and r.reason == "retry_budget"
+            )
+        )
+        out["completed"] = float(
+            sum(1 for r in results if r.outcome == "completed")
+        )
+        out["denied"] = float(snap.get("gateway.retry_budget.exhausted", 0))
+        out["tokens_left"] = float(gw.retry_budget.tokens)
+    return out
+
+
+async def _run_gray_soak(
+    scenarios: int,
+    *,
+    workers: int,
+    seed: int,
+    stall_every: int,
+    kill_every: int,
+    log: Optional[Callable[[str], None]],
+) -> GraySoakReport:
+    config = WorkerConfig(
+        threads=2,
+        gpus=1,
+        max_topologies=4,
+        policy="reject",
+        seed=seed,
+    )
+    report = GraySoakReport(seed=seed, workers=workers)
+    async with Gateway(
+        workers,
+        worker=config,
+        heartbeat_interval=0.1,
+        stall_misses=3,       # stall window: 0.3s
+        heartbeat_misses=40,  # death budget: 4s — stalls never escalate
+        breaker_threshold=2,
+        breaker_cooldown=0.4,
+        breaker_probe_successes=2,
+        retry_budget=RetryBudget(32.0, refill_per_success=0.5),
+        seed=seed,
+        name="gray",
+    ) as gw:
+        frozen_pool = [await gw.freeze(BurstSpec(width=8))]
+        # the hedge shape runs ~50ms, so healthy-path hedges rarely
+        # fire while wedged-primary hedges reliably win
+        hedge_fh = await gw.freeze(BurstSpec(width=4, sleep_s=0.05))
+        for i in range(scenarios):
+            stall = stall_every > 0 and i % stall_every == stall_every // 2
+            kill = (
+                not stall
+                and kill_every > 0
+                and i % kill_every == kill_every - 1
+            )
+            scenario = await _run_gray_scenario(
+                gw, i, seed, frozen_pool, hedge_fh, kill=kill, stall=stall
+            )
+            report.scenarios.append(scenario)
+            report.wall_samples.extend(
+                getattr(scenario, "_wall_samples", ())
+            )
+            if log is not None:
+                c = scenario.counts
+                state = "ok" if scenario.ok else "VIOLATION"
+                chaos = ""
+                if scenario.stalled_wid >= 0:
+                    chaos = (
+                        f" stall=w{scenario.stalled_wid}"
+                        f" open@{scenario.stall_detect_s * 1000:.0f}ms"
+                        f" readmit@{scenario.readmit_s * 1000:.0f}ms"
+                    )
+                elif scenario.killed_wid >= 0:
+                    chaos = (
+                        f" kill=w{scenario.killed_wid}"
+                        f"@{scenario.respawn_s * 1000:.0f}ms"
+                    )
+                log(
+                    f"  #{scenario.index:>3} seed={scenario.seed:<11} "
+                    f"{scenario.tenants}t  {scenario.submitted:>2} submitted "
+                    f"{c.get('completed', 0):>2} done "
+                    f"{c.get('cancelled', 0)} cancel "
+                    f"{c.get('worker_lost', 0)} lost{chaos}  {state}"
+                )
+        report.gateway_counters = {
+            k: v
+            for k, v in gw.snapshot().items()
+            if not isinstance(v, dict)
+        }
+
+    # hedge accounting must balance: every launched leg either won,
+    # lost (cancelled at settle), or was dropped with a dead worker
+    gc = report.gateway_counters
+    launched = gc.get("gateway.hedge.launched", 0)
+    settled_ways = (
+        gc.get("gateway.hedge.wins", 0)
+        + gc.get("gateway.hedge.losses", 0)
+        + gc.get("gateway.hedge.dropped", 0)
+    )
+    if launched != settled_ways:
+        report.extra_violations.append(
+            f"hedge accounting broke: {launched} launched vs "
+            f"{settled_ways} wins+losses+dropped"
+        )
+
+    if log is not None:
+        log("  running retry-budget exhaustion drill...")
+    report.budget_drill = await _budget_drill(seed)
+    if report.budget_drill.get("worker_lost_budget", 0) < 1:
+        report.extra_violations.append(
+            "budget drill: no worker_lost settlement carried "
+            "reason='retry_budget'"
+        )
+    if report.budget_drill.get("denied", 0) < 1:
+        report.extra_violations.append(
+            "budget drill: gateway.retry_budget.exhausted never moved"
+        )
+    return report
+
+
+def run_gateway_gray_soak(
+    scenarios: int = 50,
+    *,
+    workers: int = 4,
+    seed: int = 0,
+    stall_every: int = 5,
+    kill_every: int = 5,
+    log: Optional[Callable[[str], None]] = None,
+) -> GraySoakReport:
+    """Sweep *scenarios* gray-failure scenarios against one gateway.
+
+    Every ``stall_every``-th scenario wedges a live worker's recv loop
+    (a *gray* stall: the process stays alive, heartbeats stop) and
+    asserts the breaker ejects and then re-admits it; every
+    ``kill_every``-th scenario SIGKILLs a worker (offset so the two
+    never collide).  Ends with the retry-budget exhaustion drill.
+    Never raises on violations — the caller decides.
+    """
+    return asyncio.run(
+        _run_gray_soak(
+            scenarios,
+            workers=workers,
+            seed=seed,
+            stall_every=stall_every,
+            kill_every=kill_every,
+            log=log,
+        )
+    )
+
+
 __all__ = [
     "GATEWAY_SOAK_SCHEMA",
+    "GATEWAY_GRAY_SOAK_SCHEMA",
     "GatewayScenario",
     "GatewaySoakReport",
+    "GrayScenario",
+    "GraySoakReport",
     "run_gateway_soak",
+    "run_gateway_gray_soak",
 ]

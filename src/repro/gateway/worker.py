@@ -35,6 +35,7 @@ from typing import Dict, Optional
 
 from repro.errors import AdmissionRejectedError
 from repro.gateway import messages as m
+from repro.gateway.chaos import ChaosProfile
 from repro.gateway.spec import WorkSpec
 
 
@@ -49,6 +50,8 @@ class WorkerConfig:
     policy: str = "block"
     block_timeout: Optional[float] = 30.0
     seed: int = 0
+    #: optional protocol-chaos recipe (docs/gateway.md, "Chaos")
+    chaos: Optional[ChaosProfile] = None
 
 
 class _Inflight:
@@ -90,6 +93,11 @@ class _WorkerState:
             admission=admission,
         )
         self._send_lock = threading.Lock()
+        self.chaos = (
+            config.chaos.state(wid)
+            if config.chaos is not None and config.chaos.active
+            else None
+        )
         #: iid -> (spec, graph, GeneratedGraph|None, completed passes)
         self.instances: Dict[int, list] = {}
         #: fid -> FrozenTopology
@@ -111,6 +119,11 @@ class _WorkerState:
     def send(self, msg) -> None:
         """Pickle-frame one message onto the pipe (any thread)."""
         with self._send_lock:
+            # chaos runs under the lock on purpose: a delay pauses the
+            # whole frame stream (reorder-safe), and drops only touch
+            # loss-tolerant kinds (Pong/EventMsg — see chaos.DROPPABLE)
+            if self.chaos is not None and not self.chaos.allow_send(msg):
+                return
             try:
                 self.conn.send(msg)
             except (OSError, ValueError, BrokenPipeError):
@@ -265,7 +278,23 @@ class _WorkerState:
         snap = dict(self.executor.metrics.snapshot())
         snap["worker.instances"] = len(self.instances)
         snap["worker.frozen"] = len(self.frozen)
+        if self.chaos is not None:
+            for kind, n in self.chaos.injected.items():
+                snap[f"worker.chaos.{kind}"] = n
         self.send(m.MetricsReply(rid=req.rid, wid=self.wid, snapshot=snap))
+
+    def handle_chaos(self, req: m.ChaosInject) -> None:
+        """One-shot injected gray failure: wedge the recv loop itself.
+
+        Runs on the recv-loop thread by design — while we sleep or spin
+        here, Pings pile up unanswered, which is exactly the signature
+        of a stalled-but-alive worker the gateway must detect."""
+        if req.stall_s > 0:
+            time.sleep(req.stall_s)
+        if req.spin_s > 0:
+            t0 = time.perf_counter()
+            while time.perf_counter() - t0 < req.spin_s:
+                pass
 
     def handle_verify(self, req: m.Verify) -> None:
         entry = self.instances.get(req.iid)
@@ -295,6 +324,7 @@ def worker_main(wid: int, conn, config: WorkerConfig) -> None:
         m.Ping: state.handle_ping,
         m.MetricsPull: state.handle_metrics,
         m.Verify: state.handle_verify,
+        m.ChaosInject: state.handle_chaos,
     }
     try:
         while True:
@@ -306,6 +336,8 @@ def worker_main(wid: int, conn, config: WorkerConfig) -> None:
                 break
             if isinstance(msg, m.Shutdown):
                 break
+            if state.chaos is not None:
+                state.chaos.before_handle(msg)
             handler = handlers.get(type(msg))
             if handler is not None:
                 handler(msg)

@@ -1,0 +1,253 @@
+"""Shared gray-failure primitives: circuit breaker + retry budget.
+
+Dead components are easy — a process that exits or a device that
+raises is detected and replaced (docs/resilience.md, docs/gateway.md).
+*Gray* failures are the production-hard case: a component that is
+alive but stalled, slow, or flaky keeps absorbing work, and naive
+unconditional retries turn one sick component into a cluster-wide
+retry storm.  This module holds the two primitives every tier reuses:
+
+- :class:`CircuitBreaker` — the classic closed → open → half-open
+  state machine.  Consecutive failures trip it open; after a
+  *deterministic, seeded* cooldown (jittered via
+  :func:`repro.utils.rng.derive_seed`, so two runs with the same seed
+  probe at the same offsets) it admits probes in half-open; enough
+  probe successes close it, one probe failure re-opens it with an
+  escalated (capped) cooldown.  The breaker never kills anything — it
+  only answers "should new work route here?";
+- :class:`RetryBudget` — a token bucket capping how much replayed /
+  rerouted work a tier may generate.  Every retry *spends* a token;
+  every successful settlement *refills* a fraction.  Under correlated
+  failure the bucket empties and over-budget work fails fast with a
+  structured reason instead of amplifying load.
+
+Both are clock-injectable (``clock=``) so state-machine tests are
+deterministic, and thread-safe (one small lock each — these sit on
+control paths, not hot paths).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, Optional
+
+from repro.errors import ExecutorError
+from repro.utils.rng import derive_seed
+
+#: jitter resolution for the deterministic cooldown spread
+_JITTER_STEPS = 1_000_000
+
+#: the three breaker states
+BREAKER_STATES = ("closed", "open", "half_open")
+
+
+class CircuitBreaker:
+    """Closed → open → half-open breaker with seeded probe timing.
+
+    ``record_failure()`` and ``record_success()`` feed the state
+    machine; :meth:`allow` answers whether new work may route through
+    (and performs the open → half-open transition once the cooldown
+    deadline passes).  Cooldowns escalate ``cooldown * backoff**(n-1)``
+    per consecutive trip, capped at ``max_cooldown``, and are spread by
+    a deterministic ±``jitter`` fraction derived from ``seed`` and the
+    trip ordinal — no wall-clock or global RNG, so transition timing is
+    reproducible under a fake clock.
+    """
+
+    def __init__(
+        self,
+        *,
+        failure_threshold: int = 3,
+        cooldown: float = 1.0,
+        backoff: float = 2.0,
+        max_cooldown: float = 30.0,
+        probe_successes: int = 2,
+        jitter: float = 0.1,
+        seed: int = 0,
+        name: str = "",
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if failure_threshold < 1:
+            raise ExecutorError("breaker needs failure_threshold >= 1")
+        if cooldown < 0 or max_cooldown < 0:
+            raise ExecutorError("breaker cooldowns must be non-negative")
+        if backoff < 1.0:
+            raise ExecutorError("breaker backoff must be >= 1")
+        if probe_successes < 1:
+            raise ExecutorError("breaker needs probe_successes >= 1")
+        if not 0.0 <= jitter < 1.0:
+            raise ExecutorError("breaker jitter must be in [0, 1)")
+        self.failure_threshold = failure_threshold
+        self.cooldown = cooldown
+        self.backoff = backoff
+        self.max_cooldown = max_cooldown
+        self.probe_successes = probe_successes
+        self.jitter = jitter
+        self.seed = seed
+        self.name = name
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._state = "closed"
+        self._failures = 0          # consecutive failures while closed
+        self._probes_ok = 0         # successes while half-open
+        self._trips = 0             # consecutive trips (cooldown escalation)
+        self._reopen_at = 0.0       # deadline of the current cooldown
+        self.opened_total = 0       # lifetime trips (metrics)
+        self.closed_total = 0       # lifetime recoveries (metrics)
+        self.last_cooldown = 0.0    # seconds of the most recent cooldown
+
+    # -- state ---------------------------------------------------------
+    @property
+    def state(self) -> str:
+        """Current state, advancing open → half-open if the cooldown
+        deadline has passed (read-only peek; same rule as allow())."""
+        with self._lock:
+            self._advance(self._clock())
+            return self._state
+
+    @property
+    def routable(self) -> bool:
+        """True when ordinary (non-probe) work may route through."""
+        return self.state == "closed"
+
+    def remaining_cooldown(self, now: Optional[float] = None) -> float:
+        """Seconds until the open breaker admits probes (0 otherwise)."""
+        with self._lock:
+            if self._state != "open":
+                return 0.0
+            t = self._clock() if now is None else now
+            return max(0.0, self._reopen_at - t)
+
+    def _advance(self, now: float) -> None:
+        if self._state == "open" and now >= self._reopen_at:
+            self._state = "half_open"
+            self._probes_ok = 0
+
+    # -- transitions ---------------------------------------------------
+    def allow(self, now: Optional[float] = None) -> bool:
+        """May a unit of work (or a probe) pass right now?
+
+        Closed: always.  Open: only once the cooldown deadline passes,
+        which transitions to half-open.  Half-open: yes — callers in
+        half-open should send *probes* and feed the verdict back via
+        record_success / record_failure.
+        """
+        with self._lock:
+            t = self._clock() if now is None else now
+            self._advance(t)
+            return self._state != "open"
+
+    def record_success(self, now: Optional[float] = None) -> None:
+        """One unit of work (or probe) succeeded."""
+        with self._lock:
+            t = self._clock() if now is None else now
+            self._advance(t)
+            if self._state == "closed":
+                self._failures = 0
+            elif self._state == "half_open":
+                self._probes_ok += 1
+                if self._probes_ok >= self.probe_successes:
+                    self._state = "closed"
+                    self._failures = 0
+                    self._trips = 0
+                    self.closed_total += 1
+            # open: a stale success from before the trip — ignore
+
+    def record_failure(self, now: Optional[float] = None) -> None:
+        """One unit of work (or probe) failed / looked sick."""
+        with self._lock:
+            t = self._clock() if now is None else now
+            self._advance(t)
+            if self._state == "closed":
+                self._failures += 1
+                if self._failures >= self.failure_threshold:
+                    self._trip(t)
+            elif self._state == "half_open":
+                self._trip(t)
+            # open: already tripped; the cooldown clock keeps running
+
+    def _trip(self, now: float) -> None:
+        self._trips += 1
+        self.opened_total += 1
+        self._state = "open"
+        self._failures = 0
+        base = min(
+            self.cooldown * self.backoff ** (self._trips - 1),
+            self.max_cooldown,
+        )
+        if self.jitter > 0:
+            u = (
+                derive_seed(self.seed, "probe", self.name, self._trips)
+                % _JITTER_STEPS
+            ) / _JITTER_STEPS
+            base *= 1.0 + self.jitter * (2.0 * u - 1.0)
+        self.last_cooldown = base
+        self._reopen_at = now + base
+
+    def reset(self) -> None:
+        """Force-close (a replacement component took the slot)."""
+        with self._lock:
+            self._state = "closed"
+            self._failures = 0
+            self._probes_ok = 0
+            self._trips = 0
+            self._reopen_at = 0.0
+
+
+class RetryBudget:
+    """Token bucket bounding replayed / rerouted work.
+
+    Starts with ``initial`` tokens (default: full ``capacity``).  Each
+    retry-shaped action calls :meth:`try_spend`; each successful
+    settlement calls :meth:`record_success`, refilling
+    ``refill_per_success`` tokens up to ``capacity``.  When the bucket
+    is empty, ``try_spend`` returns False and the caller must settle
+    the work with a structured over-budget reason instead of retrying —
+    correlated failure then degrades to fast failures, never to a
+    retry storm.
+    """
+
+    def __init__(
+        self,
+        capacity: float = 16.0,
+        *,
+        initial: Optional[float] = None,
+        refill_per_success: float = 0.5,
+    ) -> None:
+        if capacity <= 0:
+            raise ExecutorError("retry budget needs capacity > 0")
+        if refill_per_success < 0:
+            raise ExecutorError("retry budget refill must be >= 0")
+        self.capacity = float(capacity)
+        self.refill_per_success = float(refill_per_success)
+        self._tokens = self.capacity if initial is None else float(initial)
+        self._tokens = min(self._tokens, self.capacity)
+        self._lock = threading.Lock()
+        self.spent_total = 0.0      # lifetime tokens spent (metrics)
+        self.denied_total = 0       # lifetime over-budget denials
+
+    @property
+    def tokens(self) -> float:
+        with self._lock:
+            return self._tokens
+
+    def try_spend(self, n: float = 1.0) -> bool:
+        """Take *n* tokens; False (and no change) when short."""
+        with self._lock:
+            if self._tokens + 1e-9 < n:
+                self.denied_total += 1
+                return False
+            self._tokens -= n
+            self.spent_total += n
+            return True
+
+    def record_success(self) -> None:
+        """A settlement succeeded: refill a fraction of a token."""
+        with self._lock:
+            self._tokens = min(
+                self.capacity, self._tokens + self.refill_per_success
+            )
+
+
+__all__ = ["BREAKER_STATES", "CircuitBreaker", "RetryBudget"]

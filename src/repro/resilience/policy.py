@@ -28,6 +28,30 @@ _JITTER_STEPS = 1_000_000
 
 
 @dataclass(frozen=True)
+class RetryDelay:
+    """One computed backoff delay, with its saturation provenance.
+
+    ``seconds`` is the jittered delay actually slept; ``saturated`` is
+    True when the uncapped exponential ``base_delay * backoff**(n-1)``
+    exceeded the policy's ``max_delay`` cap (operators reading a
+    :class:`repro.errors.TaskFailedError` attempt history use this to
+    see that backoff had stopped growing); ``max_delay`` echoes the
+    effective cap.
+    """
+
+    seconds: float
+    saturated: bool
+    max_delay: float
+
+    def as_dict(self) -> dict:
+        return {
+            "retry_delay_s": self.seconds,
+            "backoff_saturated": self.saturated,
+            "max_delay_s": self.max_delay,
+        }
+
+
+@dataclass(frozen=True)
 class RetryPolicy:
     """How (and whether) to re-run a failed task.
 
@@ -68,13 +92,21 @@ class RetryPolicy:
         """Seconds to wait before re-running after failed *attempt*
         (1-based).  *key* individualizes the jitter stream per task so
         co-failing tasks don't retry in lockstep."""
+        return self.delay_info(attempt, key).seconds
+
+    def delay_info(self, attempt: int, key: Union[str, int] = 0) -> RetryDelay:
+        """Like :meth:`delay_for`, but also reports whether the
+        exponential hit the ``max_delay`` cap — the structured form the
+        executor records in the per-attempt history of
+        :class:`repro.errors.TaskFailedError`."""
         if self.base_delay <= 0:
-            return 0.0
-        delay = min(self.base_delay * self.backoff ** (attempt - 1), self.max_delay)
+            return RetryDelay(0.0, False, self.max_delay)
+        raw = self.base_delay * self.backoff ** (attempt - 1)
+        delay = min(raw, self.max_delay)
         if self.jitter > 0:
             u = (derive_seed(self.seed, "retry", key, attempt) % _JITTER_STEPS) / _JITTER_STEPS
             delay *= 1.0 + self.jitter * (2.0 * u - 1.0)
-        return delay
+        return RetryDelay(delay, raw > self.max_delay, self.max_delay)
 
 
 @dataclass(frozen=True)

@@ -30,6 +30,14 @@ def test_docs_have_no_broken_links_or_stale_api_refs():
     assert problems == []
 
 
+def test_required_api_symbols_resolve():
+    """The load-bearing operator symbols (gray-failure surface) must
+    stay importable under their documented dotted names."""
+    checker = _load_checker()
+    missing = [d for d in checker.REQUIRED_API if not checker._resolves(d)]
+    assert missing == []
+
+
 def test_every_docs_page_is_indexed_in_readme():
     """The README Documentation table must list each docs/*.md page."""
     with open(os.path.join(ROOT, "README.md")) as fh:

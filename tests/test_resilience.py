@@ -74,6 +74,23 @@ class TestRetryPolicy:
     def test_zero_base_delay_short_circuits(self):
         assert RetryPolicy(base_delay=0.0, jitter=0.9).delay_for(5) == 0.0
 
+    def test_delay_info_reports_saturation(self):
+        p = RetryPolicy(base_delay=0.1, backoff=2.0, max_delay=0.3, jitter=0.0)
+        below = p.delay_info(1)
+        assert below.seconds == pytest.approx(0.1)
+        assert not below.saturated
+        at_cap = p.delay_info(3)  # raw 0.4 > cap 0.3
+        assert at_cap.seconds == pytest.approx(0.3)
+        assert at_cap.saturated
+        assert at_cap.max_delay == pytest.approx(0.3)
+        assert at_cap.as_dict() == {
+            "retry_delay_s": pytest.approx(0.3),
+            "backoff_saturated": True,
+            "max_delay_s": pytest.approx(0.3),
+        }
+        # zero base delay never saturates (no backoff in play)
+        assert not RetryPolicy(base_delay=0.0).delay_info(9).saturated
+
     def test_normalize(self):
         assert normalize_policy(None) == ResiliencePolicy()
         rp = RetryPolicy(max_attempts=2)
@@ -236,6 +253,33 @@ class TestRetries:
         assert all(isinstance(a, RuntimeError) for a in err.attempts)
         assert isinstance(err.__cause__, RuntimeError)
         assert snap["resilience.exhausted"] == 1
+
+    def test_attempt_log_records_backoff_saturation(self):
+        """The structured attempt history on TaskFailedError shows the
+        delay slept per retried attempt and flags the ones where the
+        exponential had hit the policy's max_delay cap."""
+        hf = Heteroflow()
+        fn, _calls = self._flaky(99)
+        hf.host(fn, name="capped").retry(
+            max_attempts=3, base_delay=0.01, backoff=4.0,
+            max_delay=0.02, jitter=0.0,
+        )
+        with Executor(1, 0) as ex:
+            with pytest.raises(TaskFailedError) as ei:
+                ex.run(hf).result(timeout=_T)
+        err = ei.value
+        assert len(err.attempt_log) == 3
+        first, second, last = err.attempt_log
+        assert first["error"] == "RuntimeError"
+        assert first["retry_delay_s"] == pytest.approx(0.01)
+        assert not first["backoff_saturated"]
+        # attempt 2's raw backoff (0.04) exceeded the 0.02 cap
+        assert second["retry_delay_s"] == pytest.approx(0.02)
+        assert second["backoff_saturated"]
+        assert second["max_delay_s"] == pytest.approx(0.02)
+        # the terminal attempt was not retried: no delay fields
+        assert "retry_delay_s" not in last
+        assert "backoff saturated on 1 attempt(s)" in str(err)
 
     def test_no_policy_keeps_raw_exception(self):
         """Backward compat: without a policy the original error type

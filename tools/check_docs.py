@@ -41,6 +41,22 @@ REQUIRED_PAGES = (
     "gateway.md",
 )
 
+#: API symbols the docs *must* be able to name — the gray-failure
+#: surface (docs/gateway.md, docs/observability.md) is load-bearing
+#: for operators, so a rename breaks CI here even if every page that
+#: mentioned the old name was edited in the same commit
+REQUIRED_API = (
+    "repro.gateway.health.WorkerHealth",
+    "repro.gateway.health.HealthConfig",
+    "repro.gateway.health.HEALTH_STATES",
+    "repro.gateway.chaos.ChaosProfile",
+    "repro.gateway.Gateway.health_snapshot",
+    "repro.gateway.Gateway.inject_chaos",
+    "repro.resilience.CircuitBreaker",
+    "repro.resilience.RetryBudget",
+    "repro.resilience.RetryDelay",
+)
+
 #: [text](target) — target captured up to the closing paren
 _LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
 #: `repro.something.more` inside an inline code span; a trailing call
@@ -109,6 +125,9 @@ def main() -> int:
     for required in REQUIRED_PAGES:
         if not os.path.exists(os.path.join(ROOT, "docs", required)):
             problems.append(f"docs/{required}: required page is missing")
+    for dotted in REQUIRED_API:
+        if not _resolves(dotted):
+            problems.append(f"required API symbol missing: `{dotted}`")
     for page in iter_pages():
         with open(page) as fh:
             text = fh.read()
