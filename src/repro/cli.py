@@ -43,15 +43,25 @@ Commands:
   submission outcome, and validate every trace (see docs/runtime.md,
   "Submission lifecycle"); with ``--gateway`` the same discipline runs
   against a pool of spawned worker processes, with SIGKILL chaos and a
-  gateway-vs-single-process throughput comparison, and with
+  gateway-vs-single-process throughput comparison, with
   ``--gateway --gray`` the gray-failure sweep: recv-loop stalls that
   must breaker-eject and re-admit, hedged submissions, and a
-  retry-budget exhaustion drill (docs/gateway.md);
-- ``serve [--workers N] [--duration S] [--traffic] [--chaos]`` — bring
-  up the multiprocess gateway, optionally self-drive frozen-replay
+  retry-budget exhaustion drill (docs/gateway.md), and with
+  ``--gateway --crash`` the durability sweep: SIGKILL the *gateway*
+  process mid-stream, recover a fresh one from the journal, and
+  reconcile exactly-once settlement (docs/durability.md);
+- ``fsck JOURNAL [--json] [--strict]`` — validate a durable submission
+  journal read-only: checksums, sequence numbers, duplicate/orphan
+  settles, torn tails; ``--strict`` also fails on unsettled entries
+  (docs/durability.md);
+- ``serve [--workers N] [--duration S] [--traffic] [--chaos]
+  [--journal DIR]`` — bring up the multiprocess gateway, optionally
+  write through a durable journal (recovering whatever a previous
+  incarnation left unsettled), optionally self-drive frozen-replay
   traffic and inject seeded protocol chaos, print one status line per
-  tick, then drain and exit (the operator entry point; see
-  docs/gateway.md).
+  tick, then drain and exit; SIGTERM/SIGINT trigger the same graceful
+  drain + journal flush instead of killing the process (the operator
+  entry point; see docs/gateway.md and docs/durability.md).
 """
 
 from __future__ import annotations
@@ -414,7 +424,69 @@ def _cmd_gateway_gray_soak(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def _cmd_gateway_crash_soak(args: argparse.Namespace) -> int:
+    from repro.durability import run_gateway_crash_soak
+
+    scenarios = 10 if args.smoke else args.scenarios
+    print(f"gateway crash soak sweep: {scenarios} scenario(s), "
+          f"{args.workers} shared worker process(es), seed={args.seed} "
+          f"...")
+    report = run_gateway_crash_soak(
+        scenarios,
+        workers=args.workers,
+        seed=args.seed,
+        journal_dir=args.journal_dir or None,
+        log=print,
+    )
+    totals = report.totals
+    print(f"  total: {totals['scenarios']} scenario(s) = "
+          f"{totals['crash_cycles']} crash cycle(s) "
+          f"({totals['kills']} gateway SIGKILL(s)) + "
+          f"{totals['fault_injections']} journal fault(s) + "
+          f"clean keyed traffic; {totals['submitted']} key(s) "
+          f"submitted, {totals['dedup_hits']} dedup hit(s), "
+          f"{totals['resubmitted']} recovered resubmission(s), "
+          f"{totals['not_replayable']} settled not_replayable")
+    for key in ("journal.appends", "journal.fsyncs", "journal.errors",
+                "journal.dedup_hits", "journal.torn_truncations",
+                "gateway.submits", "gateway.settled"):
+        print(f"    {key:<36} "
+              f"{report.gateway_counters.get(key, 0):.0f}")
+    if not report.ok:
+        for v in report.all_violations[:20]:
+            print(f"    {v}")
+        more = len(report.all_violations) - 20
+        if more > 0:
+            print(f"    ... and {more} more")
+    if args.json:
+        with open(args.json, "w") as fh:
+            fh.write(report.to_json())
+            fh.write("\n")
+        print(f"wrote gateway crash soak report to {args.json}")
+    print(f"\ngateway crash soak: {'OK' if report.ok else 'FAILED'}")
+    return 0 if report.ok else 1
+
+
+def _cmd_fsck(args: argparse.Namespace) -> int:
+    from repro.durability import fsck
+
+    report = fsck(args.journal)
+    if args.json:
+        import json
+
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(report.render_text())
+    if not report.clean:
+        return 1
+    if args.strict and report.unsettled:
+        return 1
+    return 0
+
+
 def _cmd_soak(args: argparse.Namespace) -> int:
+    if args.gateway and args.crash:
+        return _cmd_gateway_crash_soak(args)
     if args.gateway and args.gray:
         return _cmd_gateway_gray_soak(args)
     if args.gateway:
@@ -457,6 +529,7 @@ def _cmd_soak(args: argparse.Namespace) -> int:
 
 def _cmd_serve(args: argparse.Namespace) -> int:
     import asyncio
+    import signal as _signal
 
     from repro.gateway import BurstSpec, ChaosProfile, Gateway, WorkerConfig
 
@@ -465,41 +538,89 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         config = WorkerConfig(
             threads=args.threads, gpus=args.gpus, chaos=chaos
         )
-        async with Gateway(args.workers, worker=config) as gw:
-            print(f"gateway up: {args.workers} worker(s), each "
-                  f"{args.threads} thread(s) / {args.gpus} simulated GPU(s)"
-                  + (" — protocol chaos ON" if chaos else "")
-                  + " — pids "
-                  + ", ".join(str(h.proc.pid) for h in gw._workers))
-            fh = await gw.freeze(BurstSpec(width=16))
-            outstanding: list = []
-            deadline = asyncio.get_running_loop().time() + args.duration
-            while asyncio.get_running_loop().time() < deadline:
-                if args.traffic:
-                    outstanding.extend(
-                        gw.submit(fh) for _ in range(args.rate)
-                    )
-                    outstanding = [s for s in outstanding if not s.done()]
+        loop = asyncio.get_running_loop()
+        stop = asyncio.Event()
+
+        def _request_stop(signame: str) -> None:
+            # idempotent: a second signal while draining is ignored
+            # rather than killing the process with journal buffers hot
+            if not stop.is_set():
+                print(f"  {signame}: graceful drain requested ...")
+            stop.set()
+
+        installed = []
+        for sig in (_signal.SIGTERM, _signal.SIGINT):
+            try:
+                loop.add_signal_handler(
+                    sig, _request_stop, _signal.Signals(sig).name
+                )
+                installed.append(sig)
+            except (NotImplementedError, RuntimeError):
+                pass  # non-Unix loop: fall back to KeyboardInterrupt
+        try:
+            async with Gateway(
+                args.workers,
+                worker=config,
+                journal=args.journal or None,
+            ) as gw:
+                print(f"gateway up: {args.workers} worker(s), each "
+                      f"{args.threads} thread(s) / {args.gpus} simulated GPU(s)"
+                      + (" — protocol chaos ON" if chaos else "")
+                      + " — pids "
+                      + ", ".join(str(h.proc.pid) for h in gw._workers))
+                if gw.journal is not None:
+                    rec = await gw.recover()
+                    counts = gw.journal.counts()
+                    print(f"  journal {args.journal}: "
+                          f"{counts['entries']} entr(ies) "
+                          f"({counts['unsettled']} unsettled), "
+                          f"{rec.frozen_reshipped} frozen re-shipped, "
+                          f"{rec.resubmitted} resubmitted, "
+                          f"{rec.not_replayable} settled not_replayable")
+                fh = await gw.freeze(BurstSpec(width=16))
+                outstanding: list = []
+                deadline = loop.time() + args.duration
+                while loop.time() < deadline and not stop.is_set():
+                    if args.traffic:
+                        outstanding.extend(
+                            gw.submit(fh) for _ in range(args.rate)
+                        )
+                        outstanding = [s for s in outstanding if not s.done()]
+                    snap = gw.snapshot()
+                    print(f"  alive={snap['gateway.workers_alive']:.0f}"
+                          f"/{args.workers} "
+                          f"inflight={snap['gateway.inflight']:.0f} "
+                          f"submits={snap['gateway.submits']:.0f} "
+                          f"settled={snap['gateway.settled']:.0f} "
+                          f"stalled={snap['gateway.health.stalled']:.0f} "
+                          f"breaker_open={snap['gateway.breaker.open']:.0f} "
+                          f"budget={snap['gateway.retry_budget.tokens']:.1f} "
+                          f"deaths={snap['gateway.worker_deaths']:.0f} "
+                          f"respawns={snap['gateway.respawns']:.0f}")
+                    try:
+                        await asyncio.wait_for(
+                            stop.wait(), timeout=args.tick
+                        )
+                    except asyncio.TimeoutError:
+                        pass
+                print("draining ...")
+                ok = await gw.drain(timeout=30.0)
+                if gw.journal is not None:
+                    gw.journal.flush()
+                    counts = gw.journal.counts()
+                    print(f"  journal flushed: {counts['entries']} "
+                          f"entr(ies), {counts['unsettled']} unsettled "
+                          f"(verify with: python -m repro fsck "
+                          f"{args.journal})")
                 snap = gw.snapshot()
-                print(f"  alive={snap['gateway.workers_alive']:.0f}"
-                      f"/{args.workers} "
-                      f"inflight={snap['gateway.inflight']:.0f} "
-                      f"submits={snap['gateway.submits']:.0f} "
-                      f"settled={snap['gateway.settled']:.0f} "
-                      f"stalled={snap['gateway.health.stalled']:.0f} "
-                      f"breaker_open={snap['gateway.breaker.open']:.0f} "
-                      f"budget={snap['gateway.retry_budget.tokens']:.1f} "
-                      f"deaths={snap['gateway.worker_deaths']:.0f} "
-                      f"respawns={snap['gateway.respawns']:.0f}")
-                await asyncio.sleep(args.tick)
-            print("draining ...")
-            ok = await gw.drain(timeout=30.0)
-            snap = gw.snapshot()
-            print(f"served {snap['gateway.submits']:.0f} submission(s), "
-                  f"{snap['gateway.settled']:.0f} settled, "
-                  f"{snap['gateway.worker_deaths']:.0f} worker death(s)")
-            print(f"\nserve: {'OK' if ok else 'DRAIN TIMED OUT'}")
-            return 0 if ok else 1
+                print(f"served {snap['gateway.submits']:.0f} submission(s), "
+                      f"{snap['gateway.settled']:.0f} settled, "
+                      f"{snap['gateway.worker_deaths']:.0f} worker death(s)")
+                print(f"\nserve: {'OK' if ok else 'DRAIN TIMED OUT'}")
+                return 0 if ok else 1
+        finally:
+            for sig in installed:
+                loop.remove_signal_handler(sig)
 
     return asyncio.run(session())
 
@@ -779,6 +900,37 @@ def build_parser() -> argparse.ArgumentParser:
              "exhaustion drill (schema repro.gateway-gray-soak-"
              "report/1; docs/gateway.md)",
     )
+    soak.add_argument(
+        "--crash", action="store_true",
+        help="with --gateway: the durability sweep — SIGKILL the "
+             "gateway process mid-stream, recover a fresh one from "
+             "the journal, reconcile exactly-once settlement, and "
+             "inject seeded journal faults (schema "
+             "repro.gateway-crash-soak-report/1; docs/durability.md)",
+    )
+    soak.add_argument(
+        "--journal-dir", default="", metavar="DIR",
+        help="with --gateway --crash: keep the per-scenario journals "
+             "and recovery results in DIR for post-mortem (default: a "
+             "temp directory)",
+    )
+
+    fsck_p = sub.add_parser(
+        "fsck",
+        help="validate a durable submission journal read-only",
+    )
+    fsck_p.add_argument(
+        "journal", help="journal directory (as passed to --journal)"
+    )
+    fsck_p.add_argument(
+        "--json", action="store_true",
+        help="emit the structured report instead of text",
+    )
+    fsck_p.add_argument(
+        "--strict", action="store_true",
+        help="also fail (exit 1) when entries are unsettled, not only "
+             "on corruption",
+    )
 
     serve = sub.add_parser(
         "serve",
@@ -814,6 +966,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="inject seeded protocol chaos into every worker (message "
              "delay/drop, recv-loop stalls, submit spins) to exercise "
              "health scoring and breakers live (docs/gateway.md)",
+    )
+    serve.add_argument(
+        "--journal", default="", metavar="DIR",
+        help="write every submission through a durable journal in DIR "
+             "and recover whatever a previous incarnation left "
+             "unsettled; SIGTERM/SIGINT drain gracefully and flush it "
+             "(docs/durability.md)",
     )
 
     lint = sub.add_parser(
@@ -905,6 +1064,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "check": _cmd_check,
         "chaos": _cmd_chaos,
         "soak": _cmd_soak,
+        "fsck": _cmd_fsck,
         "serve": _cmd_serve,
         "lint": _cmd_lint,
         "sanitize": _cmd_sanitize,

@@ -233,6 +233,72 @@ class WorkerDiedError(GatewayError):
         )
 
 
+class JournalError(HeteroflowError):
+    """Durable submission journal misuse or failure (:mod:`repro.durability`):
+    appending to a closed journal, settling an unknown or already-settled
+    entry, or recovering against a journal the gateway cannot use."""
+
+
+class JournalWriteError(JournalError):
+    """A journal append could not be made durable.
+
+    Raised from :meth:`repro.durability.Journal.append_accepted` /
+    ``append_settled`` / ``append_frozen`` when the underlying write or
+    fsync fails — a full disk, a failing device, a short write.  The
+    journal rolls the segment back to its pre-append offset (best
+    effort) so the torn bytes never masquerade as a committed record,
+    and the caller gets a *structured* error instead of silent loss.
+
+    Structured fields: :attr:`reason` (``"write"``, ``"short_write"``,
+    ``"fsync"``, ``"enospc"``, or ``"rotate"``), the :attr:`segment`
+    file the append targeted, and the original :attr:`errno_code`
+    (0 when the failure carried no errno).
+    """
+
+    def __init__(
+        self,
+        reason: str,
+        *,
+        segment: str = "",
+        errno_code: int = 0,
+        message: str = "",
+    ) -> None:
+        self.reason = reason
+        self.segment = segment
+        self.errno_code = errno_code
+        super().__init__(
+            message
+            or f"journal append failed ({reason}) on segment {segment!r}"
+            + (f" [errno {errno_code}]" if errno_code else "")
+        )
+
+
+class JournalCorruptError(JournalError):
+    """The journal failed validation where truncation cannot help.
+
+    A torn *tail* (an interrupted final append) is expected after a
+    crash and is silently truncated on open; corruption anywhere else —
+    a checksum mismatch mid-segment, a bad frame in a non-final
+    segment, a sequence regression — means the log can no longer prove
+    exactly-once settlement, so open refuses with this error instead
+    of guessing (``repro fsck`` reports the same findings read-only).
+
+    Structured fields: :attr:`segment`, byte :attr:`offset`, and the
+    finding :attr:`kind` (``"checksum"``, ``"frame"``, ``"marker"``,
+    or ``"sequence"``).
+    """
+
+    def __init__(self, kind: str, segment: str, offset: int, message: str = "") -> None:
+        self.kind = kind
+        self.segment = segment
+        self.offset = offset
+        super().__init__(
+            message
+            or f"journal corrupt ({kind}) in segment {segment!r} at "
+            f"byte {offset}"
+        )
+
+
 class ValidationError(HeteroflowError):
     """A whole-execution invariant was violated: a task ran the wrong
     number of times, began before a predecessor ended, broke in-order

@@ -19,6 +19,10 @@ Public surface:
   healthy/stalled/dead state axis);
 - :class:`~repro.gateway.chaos.ChaosProfile` — seeded protocol-level
   chaos (delay / drop / stall / spin), applied worker-side;
+- :class:`~repro.gateway.gateway.RecoveryReport` — what
+  :meth:`Gateway.recover` replayed out of a durable journal
+  (docs/durability.md; the journal itself lives in
+  :mod:`repro.durability`);
 - :func:`~repro.gateway.soak.run_gateway_soak` and
   :func:`~repro.gateway.soak.run_gateway_gray_soak` — the multiprocess
   soak harnesses behind ``python -m repro soak --gateway [--gray]``
@@ -32,6 +36,7 @@ from repro.gateway.gateway import (
     FrozenHandle,
     Gateway,
     GraphHandle,
+    RecoveryReport,
     Result,
     Submission,
 )
@@ -44,6 +49,7 @@ __all__ = [
     "Gateway",
     "GraphHandle",
     "FrozenHandle",
+    "RecoveryReport",
     "Result",
     "Submission",
     "WorkerConfig",

@@ -47,6 +47,19 @@ killed — its in-flight work may still settle:
   Settled wins, every other leg is cancelled, and the caller observes
   exactly one Result.
 
+The gateway process itself stops being a single point of failure once
+a **durable journal** is attached (``journal=`` / ``repro serve
+--journal``; docs/durability.md): every acceptance is journaled before
+the client sees the Submission, every settlement before the Result
+resolves, and a client-supplied ``idempotency_key=`` dedupes
+resubmission after a crash — a replayed key returns the journaled
+settlement instead of re-running.  :meth:`Gateway.recover` replays the
+log on restart: frozen fids are re-shipped, unsettled spec/frozen work
+is resubmitted to the fresh pool, and pinned-instance entries settle
+``worker_lost`` / ``reason="not_replayable"`` (the PR 8 taint
+semantics, applied across a process boundary), so every journaled
+submission reaches **exactly one** settlement.
+
 The architecture follows vLLM's ``MultiprocessingGPUExecutor`` /
 ``DistributedGPUExecutor`` split and StarPU's driver-per-device worker
 model: an asyncio front-end that fans control-plane messages out to
@@ -70,7 +83,8 @@ import zlib
 from dataclasses import dataclass, field, replace
 from typing import AsyncIterator, Dict, Iterable, List, Optional, Union
 
-from repro.errors import GatewayError, WorkerDiedError
+from repro.durability.journal import Journal, JournalEntry
+from repro.errors import GatewayError, JournalError, WorkerDiedError
 from repro.gateway import messages as m
 from repro.gateway.health import HealthConfig, WorkerHealth
 from repro.gateway.spec import WorkSpec
@@ -127,7 +141,9 @@ class Submission:
     the Result — the rest are cancelled and their settles dropped.
     """
 
-    def __init__(self, rid: int, wid: int, tenant: str, request: m.Submit, loop) -> None:
+    def __init__(
+        self, rid: int, wid: int, tenant: str, request: Optional[m.Submit], loop
+    ) -> None:
         self.rid = rid
         self.wid = wid
         self.tenant = tenant
@@ -135,6 +151,11 @@ class Submission:
         self.replans = 0
         self.cancel_requested = False
         self.accepted = False
+        #: durable journal id (0 = unjournaled) and the client's key
+        self.jid = 0
+        self.idempotency_key = ""
+        #: set once the settlement has been journaled (exactly once)
+        self.journal_settled = False
         self.t0 = time.monotonic()
         self.future: asyncio.Future = loop.create_future()
         self._events: asyncio.Queue = asyncio.Queue()
@@ -192,6 +213,31 @@ class FrozenHandle:
     spec: WorkSpec
 
 
+@dataclass
+class RecoveryReport:
+    """What :meth:`Gateway.recover` replayed out of the journal.
+
+    ``submissions`` holds the live handles for the resubmitted entries
+    (awaitable like any other Submission); ``not_replayable`` counts
+    pinned-instance entries settled ``worker_lost`` /
+    ``reason="not_replayable"`` — their worker-local graph state died
+    with the old process, so re-running them would be a lie."""
+
+    frozen_reshipped: int = 0
+    resubmitted: int = 0
+    not_replayable: int = 0
+    jids: List[int] = field(default_factory=list)
+    submissions: List[Submission] = field(default_factory=list)
+
+    def to_dict(self) -> dict:
+        return {
+            "frozen_reshipped": self.frozen_reshipped,
+            "resubmitted": self.resubmitted,
+            "not_replayable": self.not_replayable,
+            "jids": list(self.jids),
+        }
+
+
 class _WorkerHandle:
     """Gateway-side state for one worker slot occupant."""
 
@@ -240,6 +286,7 @@ class Gateway:
         breaker_threshold: int = 3,
         breaker_cooldown: float = 1.0,
         breaker_probe_successes: int = 2,
+        journal: Optional[Union[str, Journal]] = None,
         seed: int = 0,
         name: str = "gateway",
     ) -> None:
@@ -288,6 +335,10 @@ class Gateway:
         self._pending: Dict[int, asyncio.Future] = {}
         self._frozen: Dict[int, WorkSpec] = {}
         self._instances: Dict[int, GraphHandle] = {}
+        #: durable journal (opened in start()); jid -> live Submission
+        self._journal_src = journal
+        self.journal: Optional[Journal] = None
+        self._jid_subs: Dict[int, Submission] = {}
         self._rids = itertools.count(1)
         self._fids = itertools.count(1)
         self._iids = itertools.count(1)
@@ -320,6 +371,16 @@ class Gateway:
         self._m_budget_spent = self.metrics.counter("gateway.retry_budget.spent")
         self._m_budget_exhausted = self.metrics.counter(
             "gateway.retry_budget.exhausted"
+        )
+        self._m_dedup = self.metrics.counter("journal.dedup_hits")
+        self._m_recover_frozen = self.metrics.counter(
+            "gateway.recover.frozen_reshipped"
+        )
+        self._m_recover_resubmitted = self.metrics.counter(
+            "gateway.recover.resubmitted"
+        )
+        self._m_recover_not_replayable = self.metrics.counter(
+            "gateway.recover.not_replayable"
         )
         self.metrics.register_callback(
             "gateway.workers_alive", self._workers_alive
@@ -361,6 +422,19 @@ class Gateway:
             raise GatewayError("gateway already started")
         self._started = True
         self._loop = asyncio.get_running_loop()
+        # open the journal before any worker spawns: a corrupt or
+        # unwritable log must fail the start, not strand a half-pool
+        if self._journal_src is not None and self.journal is None:
+            if isinstance(self._journal_src, Journal):
+                self.journal = self._journal_src
+            else:
+                self.journal = Journal(
+                    str(self._journal_src), metrics=self.metrics
+                )
+            self.journal.open()
+            # journaled fids survive the restart; new freezes must not
+            # collide with them
+            self._fids = itertools.count(self.journal.next_fid)
         for wid in range(self.num_workers):
             self._workers[wid] = self._spawn(wid)
         await self._wait_ready()
@@ -601,9 +675,39 @@ class Gateway:
             wid=handle.wid,
             replans=sub.replans,
         )
+        # settlement is journaled *before* the client's Result resolves:
+        # an outcome the client observed is never re-run after a crash
+        self._journal_settle(sub, result)
         sub._push("settled", outcome=msg.outcome, wid=handle.wid)
         sub._close_events()
         sub.future.set_result(result)
+
+    def _journal_settle(self, sub: Submission, result: Result) -> None:
+        """Journal *sub*'s terminal outcome exactly once.
+
+        A journal write failure here is counted (``journal.errors``)
+        and swallowed: the settlement already happened worker-side, so
+        blocking the client would strand a completed awaitable.  The
+        degradation is honest — a crash before the next successful
+        append replays the entry at-least-once (docs/durability.md,
+        "Exactly-once matrix")."""
+        if self.journal is None or not sub.jid or sub.journal_settled:
+            return
+        sub.journal_settled = True
+        self._jid_subs.pop(sub.jid, None)
+        try:
+            self.journal.append_settled(
+                sub.jid,
+                outcome=result.outcome,
+                passes=result.passes,
+                error=result.error,
+                reason=result.reason,
+                wall_s=result.wall_s,
+                replans=result.replans,
+                wid=result.wid,
+            )
+        except JournalError:
+            pass
 
     def _force_settle(self, sub: Submission, outcome: str, error: str, reason: str = "") -> None:
         """Settle a submission gateway-side (worker loss, shutdown)."""
@@ -612,18 +716,18 @@ class Gateway:
             return
         self._m_settled.inc()
         self._m_rt.observe(time.monotonic() - sub.t0)
+        result = Result(
+            outcome=outcome,
+            error=error,
+            reason=reason,
+            wall_s=time.monotonic() - sub.t0,
+            wid=sub.wid,
+            replans=sub.replans,
+        )
+        self._journal_settle(sub, result)
         sub._push("settled", outcome=outcome, wid=sub.wid)
         sub._close_events()
-        sub.future.set_result(
-            Result(
-                outcome=outcome,
-                error=error,
-                reason=reason,
-                wall_s=time.monotonic() - sub.t0,
-                wid=sub.wid,
-                replans=sub.replans,
-            )
-        )
+        sub.future.set_result(result)
 
     # -- worker failure handling (docs/gateway.md) ---------------------
     def _worker_died(self, handle: _WorkerHandle, reason: str) -> None:
@@ -841,7 +945,19 @@ class Gateway:
                 f"freeze failed on {len(bad)} worker(s): {bad[0].error}"
             )
         self._frozen[fid] = spec
+        # journal the fid so a recovering gateway can re-ship it and
+        # replay journaled fid-submissions against the same handle
+        if self.journal is not None and fid not in self.journal.frozen_specs:
+            self.journal.append_frozen(fid, spec)
         return FrozenHandle(fid=fid, spec=spec)
+
+    def frozen_handles(self) -> Dict[int, FrozenHandle]:
+        """Live :class:`FrozenHandle` for every shipped fid — after
+        :meth:`recover` this is how clients re-acquire their handles."""
+        return {
+            fid: FrozenHandle(fid=fid, spec=spec)
+            for fid, spec in self._frozen.items()
+        }
 
     def submit(
         self,
@@ -852,6 +968,7 @@ class Gateway:
         deadline: Optional[float] = None,
         repeats: int = 1,
         hedge_after: Optional[Union[float, str]] = None,
+        idempotency_key: str = "",
     ) -> Submission:
         """Submit one workload; returns the awaitable handle.
 
@@ -868,16 +985,46 @@ class Gateway:
         primary worker's settle-latency quantile, for ``"p95"``), a
         duplicate leg launches on the healthiest other worker; the
         first Settled wins and the loser is cancelled.
+
+        *idempotency_key* (requires an attached journal) makes the
+        submission safe to replay across a gateway crash: a key the
+        journal already settled returns the journaled Result without
+        re-running; a key still in flight returns the live handle; a
+        fresh key is journaled **before** this method returns, so the
+        acceptance survives any later crash (docs/durability.md).
         """
         self._check_open()
-        rid = next(self._rids)
         if hedge_after is not None and not isinstance(target, FrozenHandle):
             raise GatewayError(
                 "hedge_after requires a FrozenHandle: only frozen "
                 "topologies are replayable on every worker"
             )
+        if idempotency_key and self.journal is None:
+            raise GatewayError(
+                "idempotency_key requires a journal "
+                "(Gateway(journal=...) / repro serve --journal)"
+            )
+        jid: Optional[int] = None
+        if idempotency_key:
+            jid = self.journal.lookup(idempotency_key)
+            if jid is not None:
+                entry = self.journal.get(jid)
+                if entry is not None and entry.is_settled:
+                    # the journal already holds this key's outcome:
+                    # return it without re-running anything
+                    self._m_dedup.inc()
+                    return self._replayed_submission(jid, entry)
+                live = self._jid_subs.get(jid)
+                if live is not None and not live.future.done():
+                    self._m_dedup.inc()
+                    return live
+                # journaled but unsettled with no live handle (restart
+                # without recover()): fall through and resubmit under
+                # the *same* jid — still exactly one settlement
+        rid = next(self._rids)
         if isinstance(target, FrozenHandle):
             handle = self._route(tenant)
+            jkind, jspec, jfid, jiid = "frozen", None, target.fid, None
             request = m.Submit(
                 rid=rid,
                 fid=target.fid,
@@ -888,6 +1035,7 @@ class Gateway:
             )
         elif isinstance(target, GraphHandle):
             handle = self._slot(target.wid)
+            jkind, jspec, jfid, jiid = "instance", target.spec, None, target.iid
             request = m.Submit(
                 rid=rid,
                 spec=target.spec,
@@ -899,6 +1047,7 @@ class Gateway:
             )
         elif isinstance(target, WorkSpec):
             handle = self._route(tenant)
+            jkind, jspec, jfid, jiid = "spec", target, None, None
             request = m.Submit(
                 rid=rid,
                 spec=target,
@@ -912,7 +1061,28 @@ class Gateway:
                 f"cannot submit {type(target).__name__}: expected a "
                 "WorkSpec, GraphHandle, or FrozenHandle"
             )
+        if self.journal is not None and jid is None:
+            # journaled *before* any state mutates or bytes hit the
+            # pipe: a JournalWriteError propagates to the caller with
+            # nothing accepted — structured refusal, never silent loss
+            jid = self.journal.append_accepted(
+                key=idempotency_key,
+                target=jkind,
+                spec=jspec,
+                fid=jfid,
+                iid=jiid,
+                priority=priority,
+                deadline=deadline,
+                repeats=repeats,
+                tenant=tenant,
+            )
+        if jid is not None:
+            request = replace(request, jid=jid)
         sub = Submission(rid, handle.wid, tenant, request, self._loop)
+        if jid is not None:
+            sub.jid = jid
+            sub.idempotency_key = idempotency_key
+            self._jid_subs[jid] = sub
         self._subs[rid] = sub
         handle.inflight.add(rid)
         self._m_submits.inc()
@@ -957,6 +1127,125 @@ class Gateway:
         self._m_hedge_launched.inc()
         sub._push("hedged", wid=target.wid)
         self._send(target, request)
+
+    def _replayed_submission(self, jid: int, entry: JournalEntry) -> Submission:
+        """An already-resolved Submission carrying *entry*'s journaled
+        settlement — what a deduped idempotency key returns."""
+        s = entry.settled or {}
+        sub = Submission(
+            next(self._rids), s.get("wid", -1), entry.tenant, None, self._loop
+        )
+        sub.jid = jid
+        sub.idempotency_key = entry.key
+        sub.journal_settled = True
+        sub.accepted = True
+        result = Result(
+            outcome=s.get("outcome", "failed"),
+            passes=s.get("passes", 0),
+            error=s.get("error", ""),
+            reason=s.get("reason", ""),
+            wall_s=s.get("wall_s", 0.0),
+            wid=s.get("wid", -1),
+            replans=s.get("replans", 0),
+        )
+        sub._push("settled", outcome=result.outcome, wid=result.wid, replayed=True)
+        sub._close_events()
+        sub.future.set_result(result)
+        return sub
+
+    async def recover(self) -> RecoveryReport:
+        """Replay the journal after a crash: re-ship frozen fids,
+        resubmit unsettled spec/frozen entries to the fresh pool, and
+        settle pinned-instance entries ``worker_lost`` /
+        ``reason="not_replayable"`` (their worker-local graph state
+        died with the old process — the cross-process form of the PR 8
+        taint rule).  After this returns, every journaled submission is
+        either settled or live in flight: exactly one settlement each.
+
+        Call it once, right after :meth:`start`, on a gateway whose
+        ``journal=`` points at the crashed instance's log
+        (``repro serve --journal PATH`` does both).
+        """
+        if self.journal is None:
+            raise GatewayError(
+                "recover() requires a journal (Gateway(journal=...))"
+            )
+        self._check_open()
+        report = RecoveryReport()
+        # 1. frozen topologies first: journaled fid-submissions replay
+        #    against them, and pipe FIFO guarantees the Freeze lands
+        #    before any resubmitted Submit
+        for fid in sorted(self.journal.frozen_specs):
+            if fid in self._frozen:
+                continue
+            spec = self.journal.frozen_specs[fid]
+            acks = []
+            for handle in self._workers:
+                if handle is None or handle.dead:
+                    continue
+                rid = next(self._rids)
+                fut = self._loop.create_future()
+                self._pending[rid] = fut
+                self._send(handle, m.Freeze(rid=rid, fid=fid, spec=spec))
+                acks.append(fut)
+            replies = await asyncio.gather(*acks)
+            bad = [r for r in replies if not r.ok]
+            if bad:
+                raise GatewayError(
+                    f"recover: re-freeze of fid {fid} failed on "
+                    f"{len(bad)} worker(s): {bad[0].error}"
+                )
+            self._frozen[fid] = spec
+            report.frozen_reshipped += 1
+            self._m_recover_frozen.inc()
+        # 2. unsettled entries: resubmit what is replayable, settle
+        #    what is not — never leave a journaled acceptance dangling
+        for entry in self.journal.unsettled():
+            if entry.jid in self._jid_subs:
+                continue  # already live (client raced us via its key)
+            if entry.target == "instance":
+                exc = WorkerDiedError(-1, "not_replayable")
+                self.journal.append_settled(
+                    entry.jid,
+                    outcome="worker_lost",
+                    error=repr(exc),
+                    reason="not_replayable",
+                )
+                report.not_replayable += 1
+                self._m_recover_not_replayable.inc()
+                continue
+            sub = self._resubmit_entry(entry)
+            report.resubmitted += 1
+            report.jids.append(entry.jid)
+            report.submissions.append(sub)
+            self._m_recover_resubmitted.inc()
+        return report
+
+    def _resubmit_entry(self, entry: JournalEntry) -> Submission:
+        """Resubmit one journaled-but-unsettled entry under its
+        original jid (a fresh rid, a fresh worker)."""
+        rid = next(self._rids)
+        handle = self._route(entry.tenant)
+        request = m.Submit(
+            rid=rid,
+            spec=entry.spec if entry.target == "spec" else None,
+            fid=entry.fid if entry.target == "frozen" else None,
+            repeats=entry.repeats,
+            priority=entry.priority,
+            deadline=entry.deadline,
+            tenant=entry.tenant,
+            jid=entry.jid,
+        )
+        sub = Submission(rid, handle.wid, entry.tenant, request, self._loop)
+        sub.jid = entry.jid
+        sub.idempotency_key = entry.key
+        self._subs[rid] = sub
+        self._jid_subs[entry.jid] = sub
+        handle.inflight.add(rid)
+        self._m_submits.inc()
+        sub._push("resubmitted", wid=handle.wid, jid=entry.jid)
+        self._send(handle, request)
+        return sub
 
     def cancel(self, sub: Submission) -> bool:
         """Request cooperative cancellation of *sub* (every leg);
@@ -1153,12 +1442,15 @@ class Gateway:
                 if not fut.done():
                     fut.cancel()
             self._pending.clear()
+            if self.journal is not None:
+                self.journal.close()
 
 
 __all__ = [
     "Gateway",
     "GraphHandle",
     "FrozenHandle",
+    "RecoveryReport",
     "Result",
     "Submission",
 ]

@@ -48,8 +48,10 @@ from typing import Dict, List, Optional, Tuple
 from repro.gateway.spec import WorkSpec
 
 #: protocol schema tag, checked at Ready-time; bump on layout changes
-#: (2: added :class:`ChaosInject` for deterministic gray-failure soaks)
-PROTOCOL_VERSION = 2
+#: (2: added :class:`ChaosInject` for deterministic gray-failure soaks;
+#: 3: :class:`Submit` carries the durable journal id ``jid`` so worker
+#: logs/events can be correlated with journal entries)
+PROTOCOL_VERSION = 3
 
 #: terminal outcomes a Settled message may carry — the same classes the
 #: in-process soak reconciles, plus the gateway-level ``worker_lost``
@@ -81,6 +83,9 @@ class Submit:
     priority: int = 0
     deadline: Optional[float] = None
     tenant: str = ""
+    #: durable journal id (0 = unjournaled); pass-through for worker
+    #: logs and events — the worker never interprets it
+    jid: int = 0
 
 
 @dataclass(frozen=True)

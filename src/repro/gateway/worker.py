@@ -27,6 +27,7 @@ from __future__ import annotations
 
 import os
 import queue
+import signal
 import threading
 import time
 from concurrent.futures import CancelledError, Future
@@ -314,6 +315,17 @@ class _WorkerState:
 
 def worker_main(wid: int, conn, config: WorkerConfig) -> None:
     """Process entry point: serve the control pipe until Shutdown/EOF."""
+    # The gateway owns this process's lifecycle through the protocol
+    # (Shutdown / pipe EOF).  Operator signals — a SIGTERM to the
+    # process group from systemd, a terminal Ctrl-C — must reach the
+    # *gateway*, which drains gracefully and flushes its journal; a
+    # worker that died to the same signal would turn every graceful
+    # drain into a worker_lost storm.
+    try:
+        signal.signal(signal.SIGTERM, signal.SIG_IGN)
+        signal.signal(signal.SIGINT, signal.SIG_IGN)
+    except (ValueError, OSError):  # pragma: no cover - exotic hosts
+        pass
     state = _WorkerState(wid, conn, config)
     state.send(m.Ready(wid=wid, pid=os.getpid()))
     handlers = {

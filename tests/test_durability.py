@@ -1,0 +1,314 @@
+"""Tests for the durable submission journal (:mod:`repro.durability`).
+
+Pure file-level tests — no gateway, no spawned processes (those live in
+tests/test_gateway_durability.py).  The property-style classes sweep
+seeded random record batches through the codec and the journal under
+truncation, bit flips, and scheduled system-call faults: every torn
+tail must truncate cleanly, every flipped bit must be rejected by the
+checksum, and every injected fault must surface as a structured
+:class:`~repro.errors.JournalWriteError` with the record rolled back.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+
+import pytest
+
+from repro.durability import (
+    FaultyOs,
+    FsckReport,
+    Journal,
+    encode_record,
+    fsck,
+    scan_bytes,
+    segment_index,
+    segment_name,
+)
+from repro.durability.journal import FRAME_OVERHEAD
+from repro.errors import JournalCorruptError, JournalError, JournalWriteError
+
+
+def _record(rng: random.Random, seq: int) -> dict:
+    return {
+        "kind": "accepted",
+        "seq": seq,
+        "jid": seq,
+        "key": f"k{seq}" if rng.random() < 0.5 else "",
+        "target": rng.choice(("spec", "frozen", "instance")),
+        "payload": rng.randbytes(rng.randint(0, 200)),
+    }
+
+
+def _fill(journal: Journal, n: int, *, settle: int = 0) -> None:
+    for i in range(n):
+        journal.append_accepted(key=f"k{i}", target="spec", tenant="t")
+    for jid in range(1, settle + 1):
+        journal.append_settled(jid, outcome="completed")
+
+
+class TestCodec:
+    def test_roundtrip_random_batches(self):
+        for seed in range(8):
+            rng = random.Random(seed)
+            records = [_record(rng, s) for s in range(1, rng.randint(2, 30))]
+            blob = b"".join(encode_record(r) for r in records)
+            scanned, good_end, problem = scan_bytes(blob)
+            assert problem is None
+            assert good_end == len(blob)
+            assert [r for _off, r in scanned] == records
+
+    def test_truncation_at_every_boundary(self):
+        """A torn tail at ANY byte offset yields exactly the records
+        whose frames are complete — never an exception, never a
+        half-parsed record."""
+        rng = random.Random(42)
+        records = [_record(rng, s) for s in range(1, 6)]
+        frames = [encode_record(r) for r in records]
+        blob = b"".join(frames)
+        ends = [0]
+        for f in frames:
+            ends.append(ends[-1] + len(f))
+        for cut in range(len(blob) + 1):
+            scanned, good_end, problem = scan_bytes(blob[:cut])
+            complete = sum(1 for e in ends[1:] if e <= cut)
+            assert len(scanned) == complete
+            assert good_end == ends[complete]
+            assert (problem is None) == (cut == ends[complete])
+
+    def test_bit_flips_rejected(self):
+        rng = random.Random(7)
+        records = [_record(rng, s) for s in range(1, 10)]
+        blob = bytearray(b"".join(encode_record(r) for r in records))
+        for _ in range(32):
+            pos = rng.randrange(len(blob))
+            flipped = bytearray(blob)
+            flipped[pos] ^= 1 << rng.randrange(8)
+            scanned, _good_end, problem = scan_bytes(bytes(flipped))
+            # the flip must cost records from its frame onward, and the
+            # scan must flag the damage — silent acceptance is the bug
+            assert problem is not None
+            assert len(scanned) < len(records)
+
+    def test_segment_names(self):
+        assert segment_name(3) == "seg-00000003.wal"
+        assert segment_index("seg-00000003.wal") == 3
+        assert segment_index("other.txt") is None
+
+
+class TestJournal:
+    def test_append_reopen_rebuilds_state(self, tmp_path):
+        path = str(tmp_path / "j")
+        j = Journal(path, fsync_policy="never")
+        j.open()
+        j.append_frozen(1, {"spec": "burst"})
+        _fill(j, 6, settle=4)
+        j.close()
+
+        j2 = Journal(path)
+        j2.open()
+        assert j2.counts() == {
+            "entries": 6, "settled": 4, "unsettled": 2, "frozen": 1
+        }
+        assert [e.jid for e in j2.unsettled()] == [5, 6]
+        assert j2.lookup("k2") == 3
+        assert j2.get(1).settled["outcome"] == "completed"
+        assert j2.next_fid == 2
+        # appends continue after the replayed sequence
+        jid = j2.append_accepted(key="fresh", target="spec")
+        assert jid == 7
+        j2.close()
+
+    def test_exactly_once_refusals(self, tmp_path):
+        j = Journal(str(tmp_path / "j"), fsync_policy="never")
+        j.open()
+        jid = j.append_accepted(key="once", target="spec")
+        j.append_settled(jid, outcome="completed")
+        with pytest.raises(JournalError, match="exactly-once"):
+            j.append_settled(jid, outcome="failed")
+        with pytest.raises(JournalError, match="already journaled"):
+            j.append_accepted(key="once", target="spec")
+        with pytest.raises(JournalError, match="unknown jid"):
+            j.append_settled(99, outcome="completed")
+        j.close()
+
+    def test_rotation_and_compaction(self, tmp_path):
+        path = str(tmp_path / "j")
+        j = Journal(
+            path, fsync_policy="never", segment_max_bytes=512,
+            auto_compact=False,
+        )
+        j.open()
+        j.append_frozen(1, {"w": 8})
+        _fill(j, 20, settle=17)
+        assert j._num_segments() > 1
+        dropped = j.compact()
+        assert dropped == 17
+        j.close()
+
+        j2 = Journal(path)
+        j2.open()
+        # settled history is gone, live state survives
+        assert j2.counts()["entries"] == 3
+        assert j2.counts()["unsettled"] == 3
+        assert j2.frozen_specs == {1: {"w": 8}}
+        assert {e.key for e in j2.unsettled()} == {"k17", "k18", "k19"}
+        j2.close()
+
+    def test_torn_tail_truncated_on_open(self, tmp_path):
+        path = str(tmp_path / "j")
+        j = Journal(path, fsync_policy="never")
+        j.open()
+        _fill(j, 5)
+        j.close()
+        seg = tmp_path / "j" / segment_name(1)
+        with open(seg, "ab") as fh:
+            fh.write(b"\xa6\x5c\xff\xff")  # marker + torn header
+        size_torn = seg.stat().st_size
+
+        j2 = Journal(path)
+        j2.open()
+        assert j2.open_report.torn_truncations == 1
+        assert j2.counts()["entries"] == 5
+        assert seg.stat().st_size == size_torn - 4
+        j2.close()
+
+    def test_corruption_mid_log_refuses_open(self, tmp_path):
+        path = str(tmp_path / "j")
+        j = Journal(path, fsync_policy="never", segment_max_bytes=512)
+        j.open()
+        _fill(j, 20)
+        assert j._num_segments() > 1
+        j.close()
+        first = tmp_path / "j" / segment_name(1)
+        data = bytearray(first.read_bytes())
+        data[len(data) // 2] ^= 0x40
+        first.write_bytes(bytes(data))
+        with pytest.raises(JournalCorruptError):
+            Journal(path).open()
+        report = fsck(path)
+        assert not report.clean
+        assert report.corruptions[0].segment == segment_name(1)
+
+    def test_fsync_policy_validation(self, tmp_path):
+        with pytest.raises(JournalError, match="fsync_policy"):
+            Journal(str(tmp_path / "j"), fsync_policy="sometimes")
+
+
+class TestFaultInjection:
+    @pytest.mark.parametrize("fault,reason", [
+        ("fail_fsync_at", "fsync"),
+        ("short_write_at", "short_write"),
+        ("fail_write_at", "write"),
+        ("enospc_at", "enospc"),
+    ])
+    def test_scheduled_fault_is_structured_and_rolled_back(
+        self, tmp_path, fault, reason
+    ):
+        for seed in range(4):
+            rng = random.Random(seed)
+            n = rng.randint(4, 12)
+            at = rng.randint(3, n + 1)  # ordinal 1 is the segment header
+            path = str(tmp_path / f"{fault}-{seed}")
+            shim = FaultyOs(**{fault: at})
+            j = Journal(path, os_impl=shim, fsync_policy="always")
+            j.open()
+            failures = 0
+            for i in range(n):
+                try:
+                    j.append_accepted(key=f"k{i}", target="spec")
+                except JournalWriteError as exc:
+                    assert exc.reason == reason
+                    failures += 1
+                    # transient device (once=True): the retry commits
+                    j.append_accepted(key=f"k{i}", target="spec")
+            j.close()
+            assert failures == 1 and shim.injected == [reason]
+
+            j2 = Journal(path)
+            j2.open()
+            # the failed append never half-committed; the retry did
+            assert j2.counts()["entries"] == n
+            assert [j2.lookup(f"k{i}") for i in range(n)] == list(
+                range(1, n + 1)
+            )
+            j2.close()
+            assert fsck(path).clean
+
+    def test_persistent_enospc_keeps_refusing(self, tmp_path):
+        shim = FaultyOs(enospc_at=3, once=False)
+        j = Journal(str(tmp_path / "j"), os_impl=shim, fsync_policy="always")
+        j.open()
+        j.append_accepted(key="a", target="spec")
+        for _ in range(3):
+            with pytest.raises(JournalWriteError) as ei:
+                j.append_accepted(key="b", target="spec")
+            assert ei.value.reason == "enospc"
+        j.close()
+        j2 = Journal(str(tmp_path / "j"))
+        j2.open()
+        assert j2.counts()["entries"] == 1
+        j2.close()
+
+
+class TestFsck:
+    def test_clean_and_drained(self, tmp_path):
+        path = str(tmp_path / "j")
+        j = Journal(path, fsync_policy="never")
+        j.open()
+        j.append_frozen(1, {"w": 2})
+        _fill(j, 4, settle=4)
+        j.close()
+        report = fsck(path)
+        assert report.clean and report.drained
+        assert (report.accepted, report.settled, report.frozen) == (4, 4, 1)
+        assert report.record_kinds["segment_header"] == 1
+        assert "clean" in report.render_text()
+        assert report.to_dict()["schema"].startswith("repro.fsck")
+
+    def test_unsettled_reported(self, tmp_path):
+        path = str(tmp_path / "j")
+        j = Journal(path, fsync_policy="never")
+        j.open()
+        _fill(j, 3, settle=1)
+        j.close()
+        report = fsck(path)
+        assert report.clean and not report.drained
+        assert report.unsettled == [(2, "k1"), (3, "k2")]
+
+    def test_missing_directory(self, tmp_path):
+        report = fsck(str(tmp_path / "nope"))
+        assert not report.clean
+        assert report.corruptions[0].kind == "missing"
+
+    def test_property_random_batches_with_damage(self, tmp_path):
+        """Random journals + random damage: fsck must agree with what
+        open() would do — count every intact record, flag every tear."""
+        for seed in range(6):
+            rng = random.Random(seed)
+            path = str(tmp_path / f"p{seed}")
+            j = Journal(path, fsync_policy="never", segment_max_bytes=2048)
+            j.open()
+            n = rng.randint(5, 25)
+            _fill(j, n, settle=rng.randint(0, n))
+            j.close()
+            clean = fsck(path)
+            assert clean.clean and clean.accepted == n
+
+            segs = sorted(
+                p for p in os.listdir(path) if segment_index(p) is not None
+            )
+            final = os.path.join(path, segs[-1])
+            with open(final, "ab") as fh:
+                fh.write(rng.randbytes(rng.randint(1, FRAME_OVERHEAD + 8)))
+            damaged = fsck(path)
+            # a torn FINAL tail is recoverable, never corruption
+            assert damaged.clean
+            assert damaged.torn_tail_bytes > 0
+            j2 = Journal(path)
+            j2.open()
+            assert j2.counts()["entries"] == n
+            assert j2.open_report.torn_truncations == 1
+            j2.close()
+            assert fsck(path).torn_tail_bytes == 0

@@ -39,6 +39,7 @@ REQUIRED_PAGES = (
     "resilience.md",
     "testing.md",
     "gateway.md",
+    "durability.md",
 )
 
 #: API symbols the docs *must* be able to name — the gray-failure
@@ -55,6 +56,14 @@ REQUIRED_API = (
     "repro.resilience.CircuitBreaker",
     "repro.resilience.RetryBudget",
     "repro.resilience.RetryDelay",
+    # the durability surface (docs/durability.md): journal, fsck, the
+    # recovery entry point, and the crash soak harness
+    "repro.durability.Journal",
+    "repro.durability.fsck",
+    "repro.durability.FaultyOs",
+    "repro.durability.run_gateway_crash_soak",
+    "repro.gateway.Gateway.recover",
+    "repro.gateway.RecoveryReport",
 )
 
 #: [text](target) — target captured up to the closing paren
