@@ -15,6 +15,9 @@ Severity model:
   can no longer prove exactly-once settlement; ``repro fsck`` exits 1;
 - ``torn_tail_bytes`` — expected crash residue at the end of the final
   segment; open() will truncate it; *not* an error;
+- ``tmp_segments`` — an uncommitted ``*.tmp`` compact segment left by
+  a crash mid-compaction; the superseded generation is still complete
+  and open() removes the residue; *not* an error;
 - ``unsettled`` — accepted work with no settlement yet; normal for a
   journal whose gateway crashed (recovery will resubmit it); an error
   only under ``--strict`` (a journal that *should* be fully drained).
@@ -26,7 +29,7 @@ import os
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
-from repro.durability.journal import scan_bytes, segment_index
+from repro.durability.journal import is_tmp_segment, scan_bytes, segment_index
 
 
 @dataclass
@@ -53,6 +56,7 @@ class FsckReport:
     bytes_scanned: int = 0
     torn_tail_bytes: int = 0
     stale_segments: int = 0  # pre-compaction leftovers (ignored, like open())
+    tmp_segments: int = 0  # uncommitted *.tmp compact residue (removed by open())
     accepted: int = 0
     settled: int = 0
     frozen: int = 0
@@ -79,6 +83,7 @@ class FsckReport:
             "bytes_scanned": self.bytes_scanned,
             "torn_tail_bytes": self.torn_tail_bytes,
             "stale_segments": self.stale_segments,
+            "tmp_segments": self.tmp_segments,
             "accepted": self.accepted,
             "settled": self.settled,
             "frozen": self.frozen,
@@ -102,6 +107,11 @@ class FsckReport:
             f"  entries:  {self.accepted} accepted, {self.settled} settled, "
             f"{len(self.unsettled)} unsettled, {self.frozen} frozen",
         ]
+        if self.tmp_segments:
+            lines.append(
+                f"  tmp:      {self.tmp_segments} uncommitted compact "
+                f"segment(s) (crash residue; open() removes them)"
+            )
         for jid, key in self.unsettled[:20]:
             lines.append(f"    unsettled jid={jid}" + (f" key={key!r}" if key else ""))
         if len(self.unsettled) > 20:
@@ -140,7 +150,9 @@ def fsck(path: str) -> FsckReport:
             FsckFinding("missing", "", 0, f"{path} is not a directory")
         )
         return report
-    names = sorted(n for n in os.listdir(path) if segment_index(n) is not None)
+    listing = os.listdir(path)
+    report.tmp_segments = sum(1 for n in listing if is_tmp_segment(n))
+    names = sorted(n for n in listing if segment_index(n) is not None)
 
     # mirror open(): the newest compact segment supersedes older ones
     start = 0

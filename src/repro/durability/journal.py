@@ -39,11 +39,17 @@ Crash-consistency rules, in the style of etcd's WAL:
   back by truncating to the pre-append offset, so torn bytes never
   masquerade as a committed record — the caller gets a structured
   :class:`~repro.errors.JournalWriteError`;
-- **rotation** caps segment size; **compaction** rewrites only the
-  *live* records (frozen specs + unsettled entries) into a fresh
-  segment whose header carries ``compact=True`` — on open, every
-  segment older than the newest compact header is ignored (and
-  removed), which makes a crash *during* compaction harmless.
+- **rotation** caps segment size; **compaction** rewrites the *live*
+  records (frozen specs, unsettled entries, and — by default — keyed
+  settled entries, whose results must stay replayable for idempotent
+  dedupe) into a fresh segment whose header carries ``compact=True``.
+  The compact segment is written under a temporary name and only
+  :func:`os.rename`\\ d into place after every live record is on disk
+  and fsync'd, so open() can never observe a *partial* compact
+  generation: a crash mid-compaction leaves the old segments fully
+  intact plus a stale ``*.tmp`` file that the next open() removes.  On
+  open, every segment older than the newest compact header is ignored
+  (and removed).
 
 All I/O goes through an injectable :class:`~repro.durability.osshim.OsFacade`
 so fault-injection tests and the crash soak can schedule fsync
@@ -52,6 +58,7 @@ failures, short writes, and ``ENOSPC`` deterministically.
 
 from __future__ import annotations
 
+import io
 import os
 import pickle
 import re
@@ -77,8 +84,47 @@ FRAME_OVERHEAD = len(MARKER) + _HDR.size
 #: segment file naming: seg-00000001.wal, strictly increasing indices
 _SEGMENT_RE = re.compile(r"^seg-(\d{8})\.wal$")
 
+#: suffix of an uncommitted compact segment being written; renamed to
+#: its final name only once complete, removed as stale residue on open
+TMP_SUFFIX = ".tmp"
+
 #: record kinds a segment may carry
 RECORD_KINDS = ("segment_header", "accepted", "settled", "frozen")
+
+#: the only globals a journal payload may reference when decoded: the
+#: picklable spec classes plus a handful of benign builtins.  ``repro
+#: fsck`` is documented as safe to run on a suspect journal, so the
+#: codec must never import or execute anything a crafted (CRC-valid)
+#: frame names — anything outside this allowlist is reported as a
+#: ``"pickle"`` problem by :func:`scan_bytes`, exactly like a payload
+#: that fails to parse.
+SAFE_GLOBALS = {
+    ("builtins", "set"),
+    ("builtins", "frozenset"),
+    ("builtins", "bytearray"),
+    ("builtins", "complex"),
+    ("repro.gateway.spec", "WorkSpec"),
+    ("repro.gateway.spec", "GeneratedSpec"),
+    ("repro.gateway.spec", "BuiltinSpec"),
+    ("repro.gateway.spec", "BurstSpec"),
+}
+
+
+class _RestrictedUnpickler(pickle.Unpickler):
+    """Unpickler that refuses any global outside :data:`SAFE_GLOBALS`."""
+
+    def find_class(self, module: str, name: str):
+        if (module, name) in SAFE_GLOBALS:
+            return super().find_class(module, name)
+        raise pickle.UnpicklingError(
+            f"journal payload references disallowed global "
+            f"{module}.{name}"
+        )
+
+
+def decode_payload(payload: bytes):
+    """Decode one frame payload under the :data:`SAFE_GLOBALS` allowlist."""
+    return _RestrictedUnpickler(io.BytesIO(payload)).load()
 
 
 def segment_name(index: int) -> str:
@@ -88,6 +134,13 @@ def segment_name(index: int) -> str:
 def segment_index(name: str) -> Optional[int]:
     m = _SEGMENT_RE.match(name)
     return int(m.group(1)) if m else None
+
+
+def is_tmp_segment(name: str) -> bool:
+    """A stale mid-compaction leftover (``seg-XXXXXXXX.wal.tmp``)."""
+    return name.endswith(TMP_SUFFIX) and (
+        segment_index(name[: -len(TMP_SUFFIX)]) is not None
+    )
 
 
 def encode_record(record: dict) -> bytes:
@@ -124,7 +177,7 @@ def scan_bytes(data: bytes) -> Tuple[List[Tuple[int, dict]], int, Optional[Tuple
         if zlib.crc32(payload) != crc:
             return records, off, ("checksum", off)
         try:
-            record = pickle.loads(payload)
+            record = decode_payload(payload)
         except Exception:
             return records, off, ("pickle", off)
         records.append((off, record))
@@ -184,6 +237,11 @@ class JournalEntry:
             "tenant": self.tenant,
         }
 
+    def settled_record(self) -> dict:
+        """The (seq-less) settled record this entry re-serializes to —
+        used by compaction to keep keyed settlements replayable."""
+        return {"kind": "settled", "jid": self.jid, **(self.settled or {})}
+
 
 @dataclass
 class OpenReport:
@@ -194,6 +252,7 @@ class OpenReport:
     torn_tail_bytes: int = 0
     torn_truncations: int = 0
     dropped_segments: int = 0  # pre-compaction leftovers removed
+    tmp_removed: int = 0  # uncommitted *.tmp compact segments removed
     entries: int = 0
     unsettled: int = 0
     frozen: int = 0
@@ -211,6 +270,13 @@ class Journal:
     close), or ``"never"`` (tests only).  ``os_impl`` swaps the
     system-call surface for fault injection
     (:class:`~repro.durability.osshim.FaultyOs`).
+
+    ``compact_retain_keyed`` (default True) makes compaction carry
+    settled entries that have an idempotency key forward, so a
+    replayed key keeps returning the journaled Result no matter how
+    many compactions have run; set it False to bound the dedupe
+    window at one compaction (keyed settlements are then dropped like
+    unkeyed ones).
     """
 
     def __init__(
@@ -222,6 +288,7 @@ class Journal:
         fsync_policy: str = "always",
         auto_compact: bool = True,
         compact_min_settled: int = 256,
+        compact_retain_keyed: bool = True,
         metrics=None,
     ) -> None:
         if fsync_policy not in ("always", "batch", "never"):
@@ -236,11 +303,13 @@ class Journal:
         self.fsync_policy = fsync_policy
         self.auto_compact = auto_compact
         self.compact_min_settled = compact_min_settled
+        self.compact_retain_keyed = compact_retain_keyed
         self._os = os_impl or OsFacade()
         self._lock = threading.Lock()
         self._fd: Optional[int] = None
         self._seg_index = 0
         self._seg_size = 0
+        self._compacting = False
         self._open = False
         self._next_seq = 1
         self._next_jid = 1
@@ -314,10 +383,17 @@ class Journal:
         if self._open:
             return self
         os.makedirs(self.path, exist_ok=True)
+        report = OpenReport()
+        # an uncommitted compact segment (crash mid-compaction, before
+        # the rename) is residue, never state — the superseded
+        # generation it was replacing is still complete on disk
+        for name in os.listdir(self.path):
+            if is_tmp_segment(name):
+                self._os.unlink(os.path.join(self.path, name))
+                report.tmp_removed += 1
         names = sorted(
             n for n in os.listdir(self.path) if segment_index(n) is not None
         )
-        report = OpenReport()
 
         # the newest compact segment supersedes everything before it;
         # a crash between "write compact segment" and "delete the old
@@ -577,7 +653,8 @@ class Journal:
         record["seq"] = self._next_seq
         frame = encode_record(record)
         if (
-            self._seg_size + len(frame) > self.segment_max_bytes
+            not self._compacting  # a compact segment holds ALL live state
+            and self._seg_size + len(frame) > self.segment_max_bytes
             and self._seg_size > 0
         ):
             self._rotate_locked()
@@ -667,26 +744,40 @@ class Journal:
         except OSError:  # pragma: no cover - exotic filesystems
             pass
 
+    def _droppable(self, entry: JournalEntry) -> bool:
+        """Would compaction discard *entry*?  Settled and either
+        unkeyed or keyed-retention disabled."""
+        return entry.is_settled and (
+            not entry.key or not self.compact_retain_keyed
+        )
+
     def _maybe_compact(self) -> None:
         if not self.auto_compact:
             return
         with self._lock:
             if not self._open:
                 return
-            settled = sum(1 for e in self.entries.values() if e.is_settled)
-            if settled < self.compact_min_settled:
+            droppable = sum(1 for e in self.entries.values() if self._droppable(e))
+            if droppable < self.compact_min_settled:
                 return
         self.compact()
 
     def compact(self) -> int:
-        """Rewrite only the live records (frozen specs + unsettled
-        entries) into a fresh segment and drop everything older.
-        Returns the number of fully-settled entries dropped.
+        """Rewrite the live records — frozen specs, unsettled entries,
+        and (with ``compact_retain_keyed``, the default) keyed settled
+        entries whose results must stay replayable for dedupe — into a
+        fresh compact segment and drop everything older.  Returns the
+        number of settled entries dropped.
 
-        Crash-safe: the new segment's header carries ``compact=True``;
-        until the old segments are unlinked both generations coexist,
-        and open ignores (and removes) everything older than the
-        newest compact header."""
+        Crash-safe: the compact segment is written under a temporary
+        name and renamed into place — atomically — only after every
+        live record is on disk and fsync'd.  Until that rename the old
+        generation is the only one open() can see, so a crash at any
+        point mid-compaction loses nothing; open() removes the stale
+        ``*.tmp`` file.  A journal *write* failure mid-compaction
+        rolls the whole compaction back (the temporary file is
+        unlinked, appends resume on the old generation) and re-raises
+        the structured :class:`~repro.errors.JournalWriteError`."""
         with self._lock:
             self._check_writable()
             old = [
@@ -699,20 +790,78 @@ class Journal:
                 self._m_fsyncs.inc()
             self._os.close(self._fd)
             self._fd = None
-            dropped = sum(1 for e in self.entries.values() if e.is_settled)
-            self._new_segment(self._seg_index + 1, compact=True)
-            for fid in sorted(self.frozen_specs):
-                self._append(
-                    {"kind": "frozen", "fid": fid, "spec": self.frozen_specs[fid]}
+            prev_index, prev_size = self._seg_index, self._seg_size
+            dropped = sum(1 for e in self.entries.values() if self._droppable(e))
+            keep = sorted(
+                (e for e in self.entries.values() if not self._droppable(e)),
+                key=lambda e: e.jid,
+            )
+            index = prev_index + 1
+            final_path = os.path.join(self.path, segment_name(index))
+            tmp_path = final_path + TMP_SUFFIX
+            try:
+                self._compacting = True
+                self._fd = self._os.open(
+                    tmp_path, os.O_WRONLY | os.O_CREAT | os.O_EXCL, 0o644
                 )
-            for entry in self.unsettled():
-                self._append(entry.accepted_record())
-            if self.fsync_policy != "never":
-                self._os.fsync(self._fd)
-                self._m_fsyncs.inc()
-            # the compact segment is durable: drop the settled entries
-            # from memory and the old segments from disk
-            for jid in [j for j, e in self.entries.items() if e.is_settled]:
+                self._seg_index = index
+                self._seg_size = 0
+                self._append(
+                    {"kind": "segment_header", "index": index, "compact": True}
+                )
+                for fid in sorted(self.frozen_specs):
+                    self._append(
+                        {"kind": "frozen", "fid": fid,
+                         "spec": self.frozen_specs[fid]}
+                    )
+                for entry in keep:
+                    self._append(entry.accepted_record())
+                for entry in keep:
+                    if entry.is_settled:
+                        self._append(entry.settled_record())
+                if self.fsync_policy != "never":
+                    self._os.fsync(self._fd)
+                    self._m_fsyncs.inc()
+                # the commit point: the complete, fsync'd compact
+                # segment becomes visible atomically
+                try:
+                    self._os.rename(tmp_path, final_path)
+                except OSError as exc:
+                    self._m_errors.inc()
+                    raise JournalWriteError(
+                        "rename", segment=segment_name(index),
+                        errno_code=exc.errno or 0,
+                    ) from exc
+            except JournalWriteError:
+                # roll the whole compaction back: remove the temporary
+                # segment and resume appends on the old generation,
+                # which was never touched
+                if self._fd is not None:
+                    try:
+                        self._os.close(self._fd)
+                    except OSError:  # pragma: no cover - already gone
+                        pass
+                    self._fd = None
+                try:
+                    self._os.unlink(tmp_path)
+                except OSError:  # pragma: no cover - never created
+                    pass
+                self._seg_index, self._seg_size = prev_index, prev_size
+                self._fd = self._os.open(
+                    os.path.join(self.path, segment_name(prev_index)),
+                    os.O_WRONLY,
+                )
+                os.lseek(self._fd, prev_size, os.SEEK_SET)
+                raise
+            finally:
+                self._compacting = False
+            try:
+                self._os.fsync_dir(self.path)
+            except OSError:  # pragma: no cover - exotic filesystems
+                pass
+            # the compact generation is durable: drop the discarded
+            # settled entries from memory and the old segments from disk
+            for jid in [j for j, e in self.entries.items() if self._droppable(e)]:
                 entry = self.entries.pop(jid)
                 if entry.key:
                     self.by_key.pop(entry.key, None)
@@ -733,8 +882,12 @@ __all__ = [
     "MARKER",
     "FRAME_OVERHEAD",
     "RECORD_KINDS",
+    "SAFE_GLOBALS",
+    "TMP_SUFFIX",
     "encode_record",
+    "decode_payload",
     "scan_bytes",
     "segment_name",
     "segment_index",
+    "is_tmp_segment",
 ]

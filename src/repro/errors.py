@@ -250,9 +250,10 @@ class JournalWriteError(JournalError):
     and the caller gets a *structured* error instead of silent loss.
 
     Structured fields: :attr:`reason` (``"write"``, ``"short_write"``,
-    ``"fsync"``, ``"enospc"``, or ``"rotate"``), the :attr:`segment`
-    file the append targeted, and the original :attr:`errno_code`
-    (0 when the failure carried no errno).
+    ``"fsync"``, ``"enospc"``, ``"rotate"``, or ``"rename"`` — the
+    compaction commit), the :attr:`segment` file the append targeted,
+    and the original :attr:`errno_code` (0 when the failure carried no
+    errno).
     """
 
     def __init__(

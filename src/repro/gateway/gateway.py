@@ -990,7 +990,10 @@ class Gateway:
         submission safe to replay across a gateway crash: a key the
         journal already settled returns the journaled Result without
         re-running; a key still in flight returns the live handle; a
-        fresh key is journaled **before** this method returns, so the
+        key journaled but orphaned by a crash (restart without
+        :meth:`recover`) is resubmitted from the **journaled** entry
+        under its original jid, the caller's payload ignored; a fresh
+        key is journaled **before** this method returns, so the
         acceptance survives any later crash (docs/durability.md).
         """
         self._check_open()
@@ -1018,9 +1021,28 @@ class Gateway:
                 if live is not None and not live.future.done():
                     self._m_dedup.inc()
                     return live
-                # journaled but unsettled with no live handle (restart
-                # without recover()): fall through and resubmit under
-                # the *same* jid — still exactly one settlement
+                if entry is not None:
+                    # journaled but unsettled with no live handle
+                    # (restart without recover()): resubmit from the
+                    # *journaled* entry under the same jid.  The
+                    # caller's payload is ignored — the same rule as
+                    # the settled row of the dedupe matrix — so what
+                    # re-runs (and what recovery would replay after
+                    # another crash) is exactly what was journaled.
+                    if entry.target == "instance":
+                        # the pinned instance died with the journaling
+                        # gateway: settle it not_replayable, mirroring
+                        # recover()
+                        exc = WorkerDiedError(-1, "not_replayable")
+                        self.journal.append_settled(
+                            entry.jid,
+                            outcome="worker_lost",
+                            error=repr(exc),
+                            reason="not_replayable",
+                        )
+                        self._m_recover_not_replayable.inc()
+                        return self._replayed_submission(jid, entry)
+                    return self._resubmit_entry(entry)
         rid = next(self._rids)
         if isinstance(target, FrozenHandle):
             handle = self._route(tenant)

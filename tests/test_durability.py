@@ -96,6 +96,58 @@ class TestCodec:
         assert segment_index("seg-00000003.wal") == 3
         assert segment_index("other.txt") is None
 
+    def test_spec_payloads_roundtrip_restricted(self):
+        # the allowlisted spec classes decode normally
+        from repro.gateway.spec import BurstSpec, GeneratedSpec
+
+        rec = {
+            "kind": "accepted", "seq": 1, "jid": 1,
+            "spec": GeneratedSpec(seed=3, num_gpus=1),
+            "extra": (BurstSpec(width=2), frozenset({1, 2})),
+        }
+        scanned, good_end, problem = scan_bytes(encode_record(rec))
+        assert problem is None
+        assert scanned[0][1]["spec"] == GeneratedSpec(seed=3, num_gpus=1)
+
+    def test_malicious_frame_is_rejected_not_executed(self, tmp_path):
+        # a crafted, CRC-valid frame naming a global outside the
+        # allowlist must surface as a "pickle" problem — the payload is
+        # never imported or executed, even by read-only fsck
+        pwned = tmp_path / "pwned"
+
+        class Evil:
+            def __reduce__(self):
+                return (os.mkdir, (str(pwned),))
+
+        evil = encode_record({"kind": "accepted", "seq": 2, "spec": Evil()})
+        scanned, _good_end, problem = scan_bytes(evil)
+        assert problem is not None and problem[0] == "pickle"
+        assert scanned == [] and not pwned.exists()
+
+        # planted in a sealed (non-final) segment it is corruption:
+        # fsck flags it, open() refuses — and neither executes it
+        jdir = tmp_path / "j"
+        jdir.mkdir()
+        (jdir / segment_name(1)).write_bytes(
+            encode_record(
+                {"kind": "segment_header", "index": 1, "compact": False,
+                 "seq": 1}
+            )
+            + evil
+        )
+        (jdir / segment_name(2)).write_bytes(
+            encode_record(
+                {"kind": "segment_header", "index": 2, "compact": False,
+                 "seq": 3}
+            )
+        )
+        report = fsck(str(jdir))
+        assert not report.clean
+        assert report.corruptions[0].kind == "pickle"
+        with pytest.raises(JournalCorruptError):
+            Journal(str(jdir)).open()
+        assert not pwned.exists()
+
 
 class TestJournal:
     def test_append_reopen_rebuilds_state(self, tmp_path):
@@ -134,10 +186,12 @@ class TestJournal:
         j.close()
 
     def test_rotation_and_compaction(self, tmp_path):
+        # compact_retain_keyed=False bounds the dedupe window: every
+        # settled entry is dropped, keyed or not
         path = str(tmp_path / "j")
         j = Journal(
             path, fsync_policy="never", segment_max_bytes=512,
-            auto_compact=False,
+            auto_compact=False, compact_retain_keyed=False,
         )
         j.open()
         j.append_frozen(1, {"w": 8})
@@ -155,6 +209,101 @@ class TestJournal:
         assert j2.frozen_specs == {1: {"w": 8}}
         assert {e.key for e in j2.unsettled()} == {"k17", "k18", "k19"}
         j2.close()
+
+    def test_compaction_retains_keyed_dedupe(self, tmp_path):
+        # the default: keyed settlements survive compaction, so a
+        # replayed idempotency key keeps returning the journaled
+        # Result; only unkeyed settled history is dropped
+        path = str(tmp_path / "j")
+        j = Journal(path, fsync_policy="never", auto_compact=False)
+        j.open()
+        _fill(j, 4, settle=4)  # keyed k0..k3, all settled
+        unkeyed = [j.append_accepted(target="spec") for _ in range(3)]
+        for jid in unkeyed:
+            j.append_settled(jid, outcome="completed")
+        live = j.append_accepted(key="live", target="spec")
+        dropped = j.compact()
+        assert dropped == 3  # the unkeyed settlements, nothing else
+        assert j.counts() == {
+            "entries": 5, "settled": 4, "unsettled": 1, "frozen": 0
+        }
+        j.close()
+
+        j2 = Journal(path)
+        j2.open()
+        for i in range(4):
+            jid = j2.lookup(f"k{i}")
+            assert jid is not None
+            assert j2.get(jid).settled["outcome"] == "completed"
+        assert all(j2.get(jid) is None for jid in unkeyed)
+        assert [e.jid for e in j2.unsettled()] == [live]
+        # a second compaction keeps carrying the keyed settlements
+        assert j2.compact() == 0
+        assert j2.lookup("k0") is not None
+        j2.close()
+        assert fsck(path).clean
+
+    def test_crash_mid_compaction_residue_is_harmless(self, tmp_path):
+        # a crash between "start writing the compact segment" and the
+        # commit rename leaves only a *.tmp file: the old generation is
+        # untouched, open() keeps every record and removes the residue
+        path = str(tmp_path / "j")
+        j = Journal(path, fsync_policy="never")
+        j.open()
+        j.append_frozen(1, {"w": 2})
+        _fill(j, 6, settle=4)
+        j.close()
+        # fabricate the residue: a header-only compact segment that
+        # never got renamed into place
+        tmp = tmp_path / "j" / (segment_name(2) + ".tmp")
+        tmp.write_bytes(encode_record(
+            {"kind": "segment_header", "index": 2, "compact": True,
+             "seq": 999}
+        ))
+        pre = fsck(path)
+        assert pre.clean and pre.tmp_segments == 1
+        assert pre.accepted == 6 and pre.settled == 4
+
+        j2 = Journal(path)
+        j2.open()
+        assert j2.open_report.tmp_removed == 1
+        assert j2.counts() == {
+            "entries": 6, "settled": 4, "unsettled": 2, "frozen": 1
+        }
+        assert not tmp.exists()
+        j2.close()
+        assert fsck(path).tmp_segments == 0
+
+    def test_compaction_write_failure_rolls_back(self, tmp_path):
+        # a device fault mid-compaction must abort the whole pass:
+        # tmp removed, appends resume on the old generation, no record
+        # lost — never a partial compact generation
+        path = str(tmp_path / "j")
+        j = Journal(
+            path, os_impl=FaultyOs(fail_write_at=9),
+            fsync_policy="always", auto_compact=False,
+        )
+        j.open()
+        _fill(j, 5, settle=2)  # writes 1-8: header + 5 accepted + 2 settled
+        with pytest.raises(JournalWriteError):
+            j.compact()  # write 9 is the compact segment's header
+        assert not any(
+            n.endswith(".tmp") for n in os.listdir(path)
+        )
+        # the journal keeps working on the old generation...
+        j.append_accepted(key="after", target="spec")
+        # ...and a retried compaction succeeds (transient device)
+        assert j.compact() == 0  # keyed settlements are retained
+        j.close()
+
+        j2 = Journal(path)
+        j2.open()
+        assert j2.counts() == {
+            "entries": 6, "settled": 2, "unsettled": 4, "frozen": 0
+        }
+        assert j2.lookup("after") == 6
+        j2.close()
+        assert fsck(path).clean
 
     def test_torn_tail_truncated_on_open(self, tmp_path):
         path = str(tmp_path / "j")

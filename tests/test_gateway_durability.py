@@ -147,6 +147,41 @@ class TestRecovery:
         # 4 fabricated + 1 fresh frozen submit; no double-accepts
         assert report.accepted == report.settled == 5
 
+    def test_keyed_fallthrough_resubmits_journaled_payload(self, tmp_path):
+        # restart WITHOUT recover(): a keyed submit whose entry is
+        # journaled-but-unsettled must resubmit from the *journaled*
+        # entry — the caller's divergent payload is ignored, so what
+        # runs (and what another recovery would replay) is exactly
+        # what the journal recorded
+        path = str(tmp_path / "j")
+        j = Journal(path, fsync_policy="never")
+        j.open()
+        j.append_accepted(key="redo", target="spec",
+                          spec=BurstSpec(width=7))
+        j.append_accepted(key="pinned", target="instance",
+                          spec=BurstSpec(width=2), iid=1)
+        j.close()
+
+        async def main():
+            async with Gateway(2, worker=_CONFIG, journal=path) as gw:
+                sub = gw.submit(BurstSpec(width=1), idempotency_key="redo")
+                assert sub.jid == 1
+                assert sub.request.spec == BurstSpec(width=7)
+                assert gw.journal.get(1).spec == BurstSpec(width=7)
+                assert (await sub).ok
+                # a pinned-instance entry is not replayable: it settles
+                # worker_lost/not_replayable, mirroring recover()
+                pinned = await gw.submit(
+                    BurstSpec(width=1), idempotency_key="pinned"
+                )
+                assert pinned.outcome == "worker_lost"
+                assert pinned.reason == "not_replayable"
+                assert await gw.drain(timeout=30.0)
+        _run(main())
+        report = fsck(path)
+        assert report.clean and report.drained
+        assert report.accepted == report.settled == 2
+
     def test_workers_ignore_operator_signals(self):
         # SIGTERM to the process group must drain via the gateway, not
         # slaughter the pool: workers ignore TERM/INT (worker_main)
